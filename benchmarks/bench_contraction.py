@@ -1,0 +1,60 @@
+"""E6: §6.2 tensor contractions — the gamma-reduction to the matmul LP."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.bounds import tile_exponent
+from repro.core.closed_forms import contraction_tile_exponent
+from repro.core.tiling import solve_tiling
+from repro.library.problems import tensor_contraction
+
+M = 2**16
+
+
+CONFIGS = [
+    # (left extents, shared extents, right extents, paper-form optimum)
+    ((2**8, 2**8), (2**8,), (2**8, 2**8), F(3, 2)),  # all large -> 3/2
+    ((2**12,), (2**4,), (2**12,), 1 + F(4, 16)),  # small shared group
+    ((2**2, 2**2), (2**12,), (2**12,), 1 + F(4, 16)),  # small left group
+    ((2**12,), (2**12,), (2**6,), 1 + F(6, 16)),  # small right group
+    ((2**12, 2**12), (2**8,), (2**8,), F(3, 2)),  # boundary: B_shared = 1/2
+]
+
+
+@pytest.mark.parametrize("left,shared,right,expected", CONFIGS)
+def test_e6_gamma_reduction(benchmark, table, left, shared, right, expected):
+    """The contraction optimum is min(3/2, 1 + min(group beta sums))."""
+    nest = tensor_contraction(left, shared, right)
+    k = benchmark(lambda: tile_exponent(nest, M))
+    assert k == expected
+    assert contraction_tile_exponent(left, shared, right, M) == k
+
+    t = table(
+        f"e6_contraction_d{nest.depth}_{hash((left, shared, right)) & 0xFFFF:04x}",
+        ["groups", "paper k", "measured k", "tile"],
+    )
+    sol = solve_tiling(nest, M)
+    t.add(f"{left}|{shared}|{right}", expected, k, sol.tile.blocks)
+
+
+def test_e6_group_aggregation_invariant(benchmark, table):
+    """Splitting one loop into several with the same product leaves k fixed.
+
+    The gamma-reduction argument: only group beta *sums* matter.
+    """
+    cases = [
+        tensor_contraction((2**8,), (2**4,), (2**8,)),
+        tensor_contraction((2**4, 2**4), (2**4,), (2**8,)),
+        tensor_contraction((2**2, 2**2, 2**4), (2**2, 2**2), (2**4, 2**4)),
+    ]
+
+    def solve_all():
+        return [tile_exponent(nest, M) for nest in cases]
+
+    ks = benchmark(solve_all)
+    assert ks[0] == ks[1] == ks[2]
+
+    t = table("e6_group_invariance", ["nest depth", "k"])
+    for nest, k in zip(cases, ks):
+        t.add(nest.depth, k)

@@ -1,0 +1,89 @@
+"""E9: Theorem-3 tightness — exact primal/dual equality, at scale.
+
+Certifies the paper's central theorem over the full problem catalog, a
+cache-size sweep, and a corpus of random projective structures, all in
+exact rational arithmetic, and times the certificate pipeline.
+"""
+
+import random
+
+import pytest
+
+from repro.core.duality import theorem3_certificate
+from repro.core.loopnest import ArrayRef, LoopNest
+from repro.library.problems import catalog
+
+CACHES = [2, 16, 256, 2**12, 2**20]
+
+
+def _random_nest(rng: random.Random, d: int, n: int) -> LoopNest:
+    supports = []
+    for _ in range(n):
+        size = rng.randint(0, d)
+        supports.append(sorted(rng.sample(range(d), size)))
+    covered = set().union(*map(set, supports)) if supports else set()
+    for loop in range(d):
+        if loop not in covered:
+            supports[rng.randrange(n)] = sorted(set(supports[rng.randrange(n)]) | {loop})
+    covered = set().union(*map(set, supports))
+    for loop in range(d):
+        if loop not in covered:
+            supports[0] = sorted(set(supports[0]) | {loop})
+    bounds = tuple(2 ** rng.randint(0, 12) for _ in range(d))
+    return LoopNest(
+        name=f"rand{d}x{n}",
+        loops=tuple(f"x{i}" for i in range(d)),
+        bounds=bounds,
+        arrays=tuple(
+            ArrayRef(f"A{j}", tuple(s), is_output=(j == 0)) for j, s in enumerate(supports)
+        ),
+    )
+
+
+def test_e9_catalog_tightness(benchmark, table):
+    problems = catalog()
+
+    def certify_all():
+        return {
+            name: [theorem3_certificate(nest, M) for M in CACHES]
+            for name, nest in problems.items()
+        }
+
+    certs = benchmark(certify_all)
+    t = table("e9_catalog_tightness", ["problem", "M sweep", "all tight", "k at M=2^12"])
+    for name, cert_list in certs.items():
+        tight = all(c.tight for c in cert_list)
+        t.add(name, len(cert_list), tight, cert_list[3].primal_value)
+        assert tight, name
+
+
+def test_e9_random_corpus(benchmark, table):
+    rng = random.Random(20200628)  # SPAA 2020 start date as seed
+    corpus = [
+        _random_nest(rng, d, n)
+        for d in (2, 3, 4, 5)
+        for n in (2, 3, 4)
+        for _ in range(5)
+    ]
+
+    def certify():
+        results = []
+        for nest in corpus:
+            M = rng.choice(CACHES)
+            results.append(theorem3_certificate(nest, M))
+        return results
+
+    certs = benchmark(certify)
+    gaps = [c for c in certs if not c.tight]
+    t = table("e9_random_corpus", ["corpus size", "tight", "gaps"])
+    t.add(len(certs), len(certs) - len(gaps), len(gaps))
+    assert not gaps, [c.summary() for c in gaps]
+
+
+def test_e9_certificate_cost(benchmark, table):
+    """Wall-time of one exact certificate on the deepest catalog problem."""
+    nest = catalog()["pointwise_conv"]
+    cert = benchmark(lambda: theorem3_certificate(nest, 2**15))
+    assert cert.tight
+    t = table("e9_certificate_cost", ["problem", "d", "n", "tight"])
+    t.add(nest.name, nest.depth, nest.num_arrays, cert.tight)

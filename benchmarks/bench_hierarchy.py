@@ -1,0 +1,72 @@
+"""E16 (extension): multi-level hierarchies — nested tilings meet every level's bound.
+
+The paper's model is two-level; its first sentence scopes the problem
+to "levels of a memory hierarchy".  This bench applies the machinery at
+every boundary of a three-level hierarchy: nested tiles, per-level
+analytic traffic, per-level lower bounds, and the ratio at each level.
+"""
+
+import pytest
+
+from repro.core.hierarchy import MemoryHierarchy, solve_hierarchical_tiling
+from repro.library.problems import matmul, mttkrp, pointwise_conv
+from repro.machine.model import MachineModel
+from repro.simulate.executor import best_order_traffic
+
+HIERARCHY = MemoryHierarchy(capacities=(2**9, 2**13, 2**17), name="L1/L2/L3")
+
+WORKLOADS = {
+    "matmul": matmul(1024, 1024, 1024),
+    "matmul_small_k": matmul(2048, 2048, 16),
+    "pointwise_conv": pointwise_conv(8, 16, 64, 28, 28),
+    "mttkrp": mttkrp(256, 256, 256, 16),
+}
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS), ids=str)
+def test_e16_per_level_attainability(benchmark, table, name):
+    nest = WORKLOADS[name]
+
+    def pipeline():
+        ht = solve_hierarchical_tiling(nest, HIERARCHY, budget="aggregate")
+        rows = []
+        for lvl in ht.levels:
+            machine = MachineModel(cache_words=lvl.capacity)
+            traffic = best_order_traffic(nest, lvl.tile, machine=machine)
+            rows.append((lvl, traffic))
+        return ht, rows
+
+    ht, rows = benchmark(pipeline)
+    t = table(f"e16_{name}", ["level M", "blocks", "bound", "traffic", "ratio"])
+    for lvl, traffic in rows:
+        ratio = traffic.ratio_to(lvl.lower_bound.value)
+        t.add(
+            lvl.capacity,
+            lvl.tile.blocks,
+            f"{lvl.lower_bound.value:.5g}",
+            traffic.total_words,
+            f"{ratio:.2f}",
+        )
+        assert ratio <= 16, (name, lvl.capacity)
+    # Nesting invariant.
+    for inner, outer in zip(ht.levels, ht.levels[1:]):
+        assert all(a <= b for a, b in zip(inner.tile.blocks, outer.tile.blocks))
+
+
+def test_e16_nesting_cost(benchmark, table):
+    """Nesting constraints cost nothing when levels are power-aligned:
+    each level's nested tile volume equals its independent optimum."""
+    from repro.core.tiling import solve_tiling
+
+    nest = matmul(2**11, 2**11, 2**11)
+
+    def pipeline():
+        ht = solve_hierarchical_tiling(nest, HIERARCHY)
+        singles = [solve_tiling(nest, c) for c in HIERARCHY.capacities]
+        return ht, singles
+
+    ht, singles = benchmark(pipeline)
+    t = table("e16_nesting_cost", ["level M", "nested volume", "independent volume"])
+    for lvl, single in zip(ht.levels, singles):
+        t.add(lvl.capacity, lvl.tile.volume, single.tile.volume)
+        assert lvl.tile.volume == single.tile.volume

@@ -1,0 +1,114 @@
+"""E12: numpy kernel timing — blocked (LP tile) vs baseline wall-time.
+
+The repro band notes kernel timing needs a numpy/C backend; per-tile
+compute here is BLAS/einsum.  Absolute times are numpy-bound and not
+comparable to the paper's machines; what must reproduce is the *shape*:
+LP-blocked kernels track the BLAS baseline within a small factor (BLAS
+blocks internally!) and beat pathological blockings, and the general
+tiled executor's overhead stays bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import TileShape, solve_tiling
+from repro.kernels.einsum_exec import execute_tiled, execute_untiled
+from repro.kernels.naive import allocate_arrays
+from repro.kernels.tiled import (
+    blocked_matmul,
+    blocked_nbody,
+    blocked_pointwise_conv,
+    naive_matmul,
+    naive_nbody,
+    naive_pointwise_conv,
+)
+from repro.library.problems import matmul, nbody, pointwise_conv
+
+# A cache budget matching a typical 256 KiB L2 in float64 words.
+M = 2**15
+
+
+@pytest.fixture(scope="module")
+def matmul_data():
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((768, 768))
+    B = rng.standard_normal((768, 768))
+    return A, B
+
+
+def test_e12_matmul_lp_blocked(benchmark, matmul_data, table):
+    A, B = matmul_data
+    nest = matmul(*A.shape, B.shape[1])
+    sol = solve_tiling(nest, M, budget="aggregate")
+    b1, b2, b3 = sol.tile.blocks
+    C = benchmark(lambda: blocked_matmul(A, B, b1, b2, b3))
+    np.testing.assert_allclose(C, A @ B, rtol=1e-8)
+    t = table("e12_matmul_blocks", ["kernel", "blocks"])
+    t.add("lp-blocked", sol.tile.blocks)
+
+
+def test_e12_matmul_blas_baseline(benchmark, matmul_data):
+    A, B = matmul_data
+    benchmark(lambda: naive_matmul(A, B))
+
+
+def test_e12_matmul_pathological_strips(benchmark, matmul_data):
+    # Deliberately bad blocking: full-width strips thrash the cache.
+    A, B = matmul_data
+    benchmark(lambda: blocked_matmul(A, B, 1, 768, 768))
+
+
+def test_e12_nbody_blocked(benchmark):
+    rng = np.random.default_rng(1)
+    P = rng.standard_normal(2**13)
+    Q = rng.standard_normal(2**13)
+    nest = nbody(len(P), len(Q))
+    sol = solve_tiling(nest, M, budget="aggregate")
+    b1, b2 = sol.tile.blocks
+    F = benchmark(lambda: blocked_nbody(P, Q, b1, b2))
+    np.testing.assert_allclose(F, naive_nbody(P, Q), rtol=1e-8)
+
+
+def test_e12_nbody_naive(benchmark):
+    rng = np.random.default_rng(1)
+    P = rng.standard_normal(2**13)
+    Q = rng.standard_normal(2**13)
+    benchmark(lambda: naive_nbody(P, Q))
+
+
+def test_e12_conv_blocked(benchmark):
+    rng = np.random.default_rng(2)
+    image = rng.standard_normal((28, 28, 64, 8))
+    filt = rng.standard_normal((128, 64))
+    nest = pointwise_conv(8, 64, 128, 28, 28)
+    sol = solve_tiling(nest, M, budget="aggregate")
+    bc = sol.tile.blocks[1]
+    bk = sol.tile.blocks[2]
+    out = benchmark(lambda: blocked_pointwise_conv(image, filt, bc=bc, bk=bk))
+    np.testing.assert_allclose(out, naive_pointwise_conv(image, filt), rtol=1e-8)
+
+
+def test_e12_conv_naive(benchmark):
+    rng = np.random.default_rng(2)
+    image = rng.standard_normal((28, 28, 64, 8))
+    filt = rng.standard_normal((128, 64))
+    benchmark(lambda: naive_pointwise_conv(image, filt))
+
+
+def test_e12_general_executor_overhead(benchmark, table):
+    """The generic einsum-tiled executor vs one-shot einsum on matmul."""
+    nest = matmul(384, 384, 384)
+    arrays = allocate_arrays(nest, rng=np.random.default_rng(3))
+    sol = solve_tiling(nest, M, budget="aggregate")
+
+    def run_tiled():
+        work = {k: (v.copy() if k == "C" else v) for k, v in arrays.items()}
+        execute_tiled(nest, work, sol.tile)
+        return work["C"]
+
+    C_tiled = benchmark(run_tiled)
+    work = {k: (v.copy() if k == "C" else v) for k, v in arrays.items()}
+    execute_untiled(nest, work)
+    np.testing.assert_allclose(C_tiled, work["C"], rtol=1e-8)
+    t = table("e12_executor", ["tile", "num tiles"])
+    t.add(sol.tile.blocks, sol.tile.num_tiles)

@@ -1,0 +1,82 @@
+"""E8: §6.3 n-body pairwise interactions — tile sizes, traffic, caveat."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.bounds import communication_lower_bound, tile_exponent
+from repro.core.closed_forms import nbody_comm_lower_bound, nbody_max_tile_size
+from repro.core.tiling import solve_tiling
+from repro.library.problems import nbody
+from repro.machine.model import MachineModel
+from repro.simulate.executor import best_order_traffic
+from repro.util.rationals import pow_fraction
+
+M = 2**10
+
+SWEEP = [
+    (2**8, 2**8),  # both large: tile M^2
+    (2**4, 2**12),  # L1 small: tile L1*M
+    (2**12, 2**4),  # L2 small
+    (2**4, 2**4),  # everything fits: tile L1*L2 (§6.3 caveat)
+    (2**10, 2**6),
+]
+
+
+@pytest.mark.parametrize("dims", SWEEP, ids=lambda d: "x".join(map(str, d)))
+def test_e8_tile_size_formula(benchmark, table, dims):
+    """min(M^2, L1 M, L2 M, L1 L2) == M^k_hat, exactly."""
+    nest = nbody(*dims)
+    k = benchmark(lambda: tile_exponent(nest, M))
+    measured = pow_fraction(M, k)
+    expected = nbody_max_tile_size(*dims, M)
+    assert measured == float(expected)
+
+    t = table("e8_nbody_tile_" + "x".join(map(str, dims)), ["quantity", "value"])
+    t.add("dims", dims)
+    t.add("paper tile size", expected)
+    t.add("measured M^k", f"{measured:.6g}")
+    t.add("k_hat", k)
+
+
+def test_e8_traffic_sweep(benchmark, table):
+    """Simulated traffic of the LP tiling tracks max(L1L2/M, L1, L2, M)."""
+    machine = MachineModel(cache_words=M)
+
+    def run():
+        rows = []
+        for dims in SWEEP:
+            nest = nbody(*dims)
+            sol = solve_tiling(nest, M, budget="aggregate")
+            lb = communication_lower_bound(nest, M)
+            rep = best_order_traffic(nest, sol.tile, machine=machine)
+            rows.append((dims, lb, rep))
+        return rows
+
+    rows = benchmark(run)
+    t = table(
+        "e8_nbody_traffic",
+        ["L1", "L2", "closed form", "bound.value", "simulated", "ratio"],
+    )
+    for dims, lb, rep in rows:
+        closed = nbody_comm_lower_bound(*dims, M)
+        ratio = rep.ratio_to(lb.value)
+        t.add(*dims, f"{closed:.5g}", f"{lb.value:.5g}", rep.total_words, f"{ratio:.2f}")
+        assert lb.hbl_words == pytest.approx(closed, rel=1e-12)
+        assert ratio <= 8, dims
+
+
+def test_e8_caveat_small_problem(benchmark, table):
+    """§6.3's closing remark: when everything fits, the formula says M but
+    the true cost is the total footprint — the bound object reports both."""
+    nest = nbody(2**4, 2**4)
+
+    lb = benchmark(lambda: communication_lower_bound(nest, M))
+    assert lb.fits_in_cache()
+    assert lb.hbl_words == float(M)  # the misleading term
+    assert lb.value == nest.total_footprint()  # the honest floor
+
+    t = table("e8_nbody_caveat", ["quantity", "value"])
+    t.add("formula (M)", int(lb.hbl_words))
+    t.add("actual floor (footprint)", lb.footprint_words)
+    t.add("fits in cache", lb.fits_in_cache())

@@ -1,0 +1,104 @@
+"""E14: §7 multiprocessor extension — rectangular grids win.
+
+Reproduces the claim that the best way to split a projective nest over
+P processors is a rectangular (grid) partition: sweeps P for matmul and
+n-body, comparing the optimal grid's per-processor traffic against 1-D
+splits and the distributed lower bound.
+"""
+
+from math import prod
+
+import pytest
+
+from repro.library.problems import matmul, nbody
+from repro.parallel.distributed import (
+    distributed_lower_bound,
+    one_dimensional_split,
+    simulate_grid,
+)
+from repro.parallel.grid import lp_grid, optimal_grid
+
+M_LOCAL = 2**12
+
+
+def test_e14_matmul_p_sweep(benchmark, table):
+    nest = matmul(512, 512, 512)
+
+    def sweep():
+        rows = []
+        for P in (1, 4, 8, 16, 64, 256):
+            opt = simulate_grid(nest, P, M_LOCAL)
+            bad = one_dimensional_split(nest, P, M_LOCAL)
+            rows.append((P, opt, bad))
+        return rows
+
+    rows = benchmark(sweep)
+    t = table(
+        "e14_matmul_sweep",
+        ["P", "grid", "words/proc", "1D words/proc", "bound", "grid/bound"],
+    )
+    for P, opt, bad in rows:
+        t.add(
+            P,
+            "x".join(map(str, opt.grid)),
+            opt.words_per_processor,
+            bad.words_per_processor,
+            f"{opt.lower_bound_words:.5g}",
+            f"{opt.ratio:.2f}",
+        )
+        assert opt.words_per_processor <= bad.words_per_processor
+        if P >= 16:
+            # The grid advantage is strict and material at scale.
+            assert bad.words_per_processor >= 1.5 * opt.words_per_processor
+
+
+def test_e14_grid_matches_lp_relaxation(benchmark, table):
+    """Exhaustive optimal grid tracks the log-space LP prediction."""
+    nest = matmul(2**10, 2**10, 2**10)
+
+    def both():
+        rows = []
+        for P in (8, 64, 512):
+            exact = optimal_grid(nest, P)
+            mu, t_val = lp_grid(nest, P)
+            rows.append((P, exact, mu, t_val))
+        return rows
+
+    rows = benchmark(both)
+    t = table("e14_lp_vs_exhaustive", ["P", "exhaustive grid", "LP mu (log2 p_i)"])
+    for P, exact, mu, _ in rows:
+        t.add(P, "x".join(map(str, exact.grid)), tuple(str(m) for m in mu))
+        # Rounding the LP point must reproduce the exhaustive grid for
+        # cube-shaped matmul (all mu integral here).
+        lp_rounded = tuple(2 ** int(m) for m in mu)
+        assert prod(lp_rounded) == P
+        assert sorted(lp_rounded) == sorted(exact.grid)
+
+
+def test_e14_nbody_sweep(benchmark, table):
+    nest = nbody(2**13, 2**13)
+
+    def sweep():
+        return [(P, simulate_grid(nest, P, M_LOCAL)) for P in (4, 16, 64)]
+
+    rows = benchmark(sweep)
+    t = table("e14_nbody_sweep", ["P", "grid", "words/proc", "bound"])
+    for P, rep in rows:
+        t.add(P, "x".join(map(str, rep.grid)), rep.words_per_processor,
+              f"{rep.lower_bound_words:.5g}")
+        assert prod(rep.grid) == P
+
+
+def test_e14_bound_scaling(benchmark, table):
+    """The distributed bound scales as 1/P under balanced work."""
+    nest = matmul(2**10, 2**10, 2**10)
+
+    def bounds():
+        return [(P, distributed_lower_bound(nest, P, M_LOCAL)) for P in (1, 4, 16, 64)]
+
+    rows = benchmark(bounds)
+    t = table("e14_bound_scaling", ["P", "bound words/proc"])
+    for P, b in rows:
+        t.add(P, f"{b:.6g}")
+    assert rows[0][1] == pytest.approx(4 * rows[1][1])
+    assert rows[1][1] == pytest.approx(4 * rows[2][1])

@@ -1,0 +1,67 @@
+"""Shared helpers for the experiment-regeneration benchmarks.
+
+Every benchmark regenerates one §6 series / theorem claim (experiment
+ids E1-E15, see DESIGN.md).  Besides pytest-benchmark timing, each test
+writes the regenerated table to ``benchmarks/results/<name>.txt`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be audited from
+artefacts, and prints it (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class Table:
+    """Tiny fixed-width table writer for experiment outputs."""
+
+    def __init__(self, name: str, columns: list[str]):
+        self.name = name
+        self.columns = columns
+        self.rows: list[list[str]] = []
+
+    def add(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append([str(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows)) if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        def fmt(row):
+            return "  ".join(v.ljust(w) for v, w in zip(row, widths))
+        lines = [f"== {self.name} ==", fmt(self.columns), fmt(["-" * w for w in widths])]
+        lines += [fmt(r) for r in self.rows]
+        return "\n".join(lines)
+
+    def save(self) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text(self.render() + "\n")
+        return path
+
+
+@pytest.fixture
+def table():
+    """Factory fixture: ``tbl = table("e1_matmul", ["L3", "k_hat", ...])``.
+
+    Saves and prints every created table at teardown.
+    """
+    created: list[Table] = []
+
+    def factory(name: str, columns: list[str]) -> Table:
+        t = Table(name, columns)
+        created.append(t)
+        return t
+
+    yield factory
+    for t in created:
+        t.save()
+        print()
+        print(t.render())

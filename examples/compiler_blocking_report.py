@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""A compiler-pass style blocking report (§7's 'immediate application').
+
+The paper positions the technique as a compiler optimisation: given any
+projective loop nest, automatically emit (a) the communication lower
+bound, (b) a provably optimal rectangular blocking, (c) the family of
+equally-optimal alternatives the code generator may pick from (to align
+with vector widths or cache lines), and (d) the closed-form bound as a
+function of the loop bounds, for *all* shapes at once.
+
+This example runs that report over a mixed batch of kernels a compiler
+might meet — exactly what `repro-tile` does one statement at a time.
+
+Run:  python examples/compiler_blocking_report.py
+"""
+
+from fractions import Fraction
+
+import repro
+
+M = 2**14
+
+BATCH = [
+    ("gemm", "C[i,k] += A[i,j] * B[j,k]", {"i": 2048, "j": 2048, "k": 2048}),
+    ("skinny-gemm", "C[i,k] += A[i,j] * B[j,k]", {"i": 4096, "j": 4096, "k": 12}),
+    ("gemv", "y[i] += A[i,j] * x[j]", {"i": 4096, "j": 4096}),
+    ("capsule-contraction", "O[b,i,u] += T[b,i,j] * P[b,j,u]", {"b": 64, "i": 16, "j": 16, "u": 32}),
+    ("pairwise", "F[i] += P[i] * Q[j]", {"i": 8192, "j": 8192}),
+    ("mttkrp", "A[i,r] += T[i,j,k] * B[j,r] * C2[k,r]", {"i": 256, "j": 256, "k": 256, "r": 16}),
+]
+
+for name, statement, bounds in BATCH:
+    nest = repro.parse_nest(statement, bounds, name=name)
+    analysis = repro.analyze(nest, cache_words=M)
+    family = repro.optimal_tile_family(nest, M)
+    pvf = repro.parametric_tile_exponent(nest)
+
+    print("=" * 72)
+    print(f"kernel     : {name}")
+    print(f"statement  : {statement}")
+    print(f"bounds     : {bounds}   cache: {M} words")
+    print(f"lower bound: {analysis.lower_bound.value:,.0f} words "
+          f"(k_hat = {analysis.lower_bound.k_hat})")
+    print(f"blocking   : {analysis.tiling.tile.blocks} "
+          f"(certified optimal: {analysis.certificate.tight})")
+    if family.is_unique:
+        print("freedom    : unique optimal shape")
+    else:
+        verts = ", ".join(
+            "(" + ", ".join(str(v) for v in vertex) + ")" for vertex in family.vertices
+        )
+        print(f"freedom    : {len(family.vertices)} optimal vertices — any convex "
+              f"combination works: {verts}")
+        # Example: hand the code generator the midpoint.
+        n = len(family.vertices)
+        mid = family.tile_at([Fraction(1, n)] * n)
+        print(f"             e.g. midpoint tile {mid.blocks}")
+    print(f"closed form: {pvf.render()}")
+
+print("=" * 72)
+print("Every blocking above is certified by an exact primal/dual pair")
+print("(Theorem 3); no per-kernel hand analysis was involved.")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Pointwise-convolution tilings for a MobileNet-style network (§6.2).
+
+The paper's machine-learning motivation: CNN pointwise (1x1) layers
+have small channel counts, so classical communication bounds are loose
+and classical tilings are infeasible.  This example walks the pointwise
+layers of a MobileNet-v1-shaped network, derives the communication-
+optimal tiling for each, verifies it against the §6.5 contraction
+closed form, and compares simulated traffic against the clamped
+classical tiling a non-bound-aware compiler would emit.
+
+Run:  python examples/conv_mobilenet.py
+"""
+
+from math import floor
+
+import repro
+from repro.core.closed_forms import contraction_tile_exponent
+from repro.library.problems import pointwise_conv
+
+M = 2**15  # 256 KiB of float64 words
+BATCH = 8
+
+# (C_in, C_out, H=W) for MobileNet-v1's pointwise stages (stride folded).
+LAYERS = [
+    (32, 64, 112),
+    (64, 128, 56),
+    (128, 128, 56),
+    (128, 256, 28),
+    (256, 256, 28),
+    (256, 512, 14),
+    (512, 512, 14),
+    (512, 1024, 7),
+]
+
+machine = repro.MachineModel(cache_words=M)
+
+print(f"MobileNet pointwise layers, batch={BATCH}, M={M} words")
+header = f"{'layer':>14} {'k_hat':>8} {'tile (b,c,k,w,h)':>22} {'LP words':>12} {'classic words':>14} {'saving':>7}"
+print(header)
+print("-" * len(header))
+
+total_lp = total_classic = 0
+for cin, cout, hw in LAYERS:
+    nest = pointwise_conv(BATCH, cin, cout, hw, hw)
+    sol = repro.solve_tiling(nest, M, budget="aggregate")
+
+    # §6.2: the contraction closed form must agree with the LP.
+    closed = contraction_tile_exponent(
+        left=(BATCH, hw, hw), shared=(cin,), right=(cout,),
+        M=max(1, M // nest.num_arrays),
+    )
+    assert closed == sol.exponent, (closed, sol.exponent)
+
+    lp_traffic = repro.best_order_traffic(nest, sol.tile, machine=machine)
+
+    # What a bound-unaware compiler does: equal cube-root shares, clamped.
+    side = max(1, floor((M // nest.num_arrays) ** (1 / 3)))
+    clamped = repro.TileShape(
+        nest=nest, blocks=tuple(min(side, L) for L in nest.bounds)
+    )
+    classic_traffic = repro.best_order_traffic(nest, clamped, machine=machine)
+
+    total_lp += lp_traffic.total_words
+    total_classic += classic_traffic.total_words
+    saving = classic_traffic.total_words / lp_traffic.total_words
+    # Exact rational exponents from non-power-of-two bounds are unwieldy
+    # to read; print those as decimals.
+    k_txt = (
+        str(sol.exponent)
+        if sol.exponent.denominator <= 64
+        else f"{float(sol.exponent):.4f}"
+    )
+    print(
+        f"{cin:>5}->{cout:<4}@{hw:<3} {k_txt:>8} "
+        f"{str(sol.tile.blocks):>22} {lp_traffic.total_words:>12,} "
+        f"{classic_traffic.total_words:>14,} {saving:>6.2f}x"
+    )
+
+print("-" * len(header))
+print(
+    f"{'network total':>14} {'':>8} {'':>22} {total_lp:>12,} {total_classic:>14,} "
+    f"{total_classic / total_lp:>6.2f}x"
+)
+print("\nEvery layer's tiling is certified optimal (Theorem 3) for its shape;")
+print("the network-level saving is the paper's 'arbitrary bounds matter' story.")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Distributed matmul: rectangular processor grids (§7's extension).
+
+The paper's discussion argues the memory model generalises to P
+processors and that assigning each processor a *rectangular* block of
+the iteration space is the right strategy.  This example sweeps P for
+a large matmul, comparing:
+
+* the optimal processor grid (exhaustive over factorizations),
+* the log-space LP relaxation's prediction,
+* naive 1-D row splits,
+* the memory-dependent distributed lower bound.
+
+Run:  python examples/distributed_matmul.py
+"""
+
+from math import prod
+
+import repro
+from repro.library.problems import matmul
+from repro.parallel import (
+    distributed_lower_bound,
+    lp_grid,
+    one_dimensional_split,
+    optimal_grid,
+    simulate_grid,
+)
+
+L = 2**11
+M_LOCAL = 2**13
+nest = matmul(L, L, L)
+
+print(f"matmul {L}x{L}x{L}, local memory {M_LOCAL} words/processor\n")
+header = (
+    f"{'P':>5} {'grid':>10} {'LP mu':>15} {'words/proc':>12} "
+    f"{'1D words/proc':>14} {'bound':>12} {'ratio':>6}"
+)
+print(header)
+print("-" * len(header))
+
+for P in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+    rep = simulate_grid(nest, P, M_LOCAL)
+    bad = one_dimensional_split(nest, P, M_LOCAL)
+    mu, _ = lp_grid(nest, P)
+    mu_txt = ",".join(str(m) for m in mu)
+    print(
+        f"{P:>5} {'x'.join(map(str, rep.grid)):>10} {mu_txt:>15} "
+        f"{rep.words_per_processor:>12,} {bad.words_per_processor:>14,} "
+        f"{rep.lower_bound_words:>12,.0f} {rep.ratio:>6.2f}"
+    )
+    assert rep.words_per_processor <= bad.words_per_processor
+
+print("-" * len(header))
+print("\nObservations (the §7 claims):")
+print(" * the optimal grid is (near-)cubic — a rectangular block per processor;")
+print(" * 1-D splits stop scaling: their per-processor traffic saturates at the")
+print("   full matrix size while grid traffic keeps falling;")
+best = optimal_grid(nest, 64)
+print(f" * at P=64 the optimal grid {best.grid} moves "
+      f"{one_dimensional_split(nest, 64, M_LOCAL).words_per_processor / best.comm_words:.1f}x "
+      "fewer words per processor than a row split;")
+print(" * the measured traffic tracks the memory-dependent lower bound")
+print("   (ratio column) within a small constant.")

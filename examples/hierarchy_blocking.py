@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Multi-level blocking: one nest, every cache boundary optimal at once.
+
+The paper's two-level analysis applies at each boundary of a real
+memory hierarchy.  This example derives *nested* tilings for an
+L1/L2/L3-shaped hierarchy, audits the whole bundle with the independent
+verifier, generates the blocked source code for the innermost level,
+and validates the nested schedule's traffic at every boundary with the
+word-accurate LRU simulator.
+
+Run:  python examples/hierarchy_blocking.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.hierarchy import MemoryHierarchy, solve_hierarchical_tiling
+from repro.kernels.codegen import generate_tiled_source, run_generated
+from repro.kernels.naive import allocate_arrays, execute_reference
+from repro.library.problems import matmul
+from repro.simulate.multilevel import (
+    simulate_hierarchical_tiling_trace,
+    simulate_hierarchy_trace,
+)
+
+hierarchy = MemoryHierarchy(capacities=(2**9, 2**13, 2**17), name="L1/L2/L3")
+nest = matmul(2048, 2048, 16)  # the paper's skinny regime, on 3 levels
+
+print("=== Nested communication-optimal tilings ===")
+ht = solve_hierarchical_tiling(nest, hierarchy, budget="aggregate")
+print(ht.summary())
+for inner, outer in zip(ht.levels, ht.levels[1:]):
+    assert all(a <= b for a, b in zip(inner.tile.blocks, outer.tile.blocks))
+print("nesting invariant holds: every level's tile contains the previous one")
+
+print("\n=== Independent audit of the two-level analysis at each capacity ===")
+for capacity in hierarchy.capacities:
+    analysis = repro.analyze(nest, cache_words=capacity)
+    problems = repro.verify_analysis(analysis)
+    print(f"  M={capacity:>7}: k_hat={analysis.lower_bound.k_hat}  "
+          f"audit: {'clean' if not problems else problems}")
+    assert not problems
+
+print("\n=== Generated innermost-level kernel (excerpt) ===")
+src = generate_tiled_source(nest, ht.levels[0].tile, func_name="l1_blocked_matmul")
+print("\n".join(src.splitlines()[:6]) + "\n    ...")
+
+small = matmul(24, 24, 8)
+small_ht = solve_hierarchical_tiling(
+    small, MemoryHierarchy(capacities=(48, 192, 768)), budget="aggregate"
+)
+arrays = allocate_arrays(small, rng=np.random.default_rng(0))
+fresh = {k: (np.zeros_like(v) if k == "C" else v.copy()) for k, v in arrays.items()}
+expected = execute_reference(small, {k: v.copy() for k, v in fresh.items()})
+got = run_generated(small, small_ht.levels[0].tile, fresh)
+assert np.allclose(got, expected)
+print("generated kernel verified against the reference executor")
+
+print("\n=== Word-accurate traffic at every boundary (small instance) ===")
+tiled = simulate_hierarchical_tiling_trace(small_ht)
+untiled = simulate_hierarchy_trace(
+    small, small_ht.hierarchy, tile=None, schedule="untiled"
+)
+print(f"  nested-tiled : {tiled.summary()}")
+print(f"  untiled      : {untiled.summary()}")
+assert tiled.boundaries[0].words <= untiled.boundaries[0].words
+print("\nThe nested tiling keeps every boundary within a model constant of its")
+print("own lower bound; the untiled schedule thrashes the innermost cache.")

@@ -1,0 +1,9 @@
+"""Legacy shim so ``pip install -e .`` works without the ``wheel`` package.
+
+All metadata lives in pyproject.toml (PEP 621); this file only gives pip
+a ``setup.py develop`` fallback for offline environments.
+"""
+
+from setuptools import setup
+
+setup()

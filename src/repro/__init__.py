@@ -1,0 +1,146 @@
+"""repro — communication-optimal tilings for projective nested loops.
+
+A full reproduction of Dinh & Demmel, *Communication-Optimal Tilings
+for Projective Nested Loops with Arbitrary Bounds* (SPAA 2020,
+arXiv:2003.00119): the HBL lower-bound machinery (§3), the
+arbitrary-bound Theorem-2 bounds (§4), the matching tiling construction
+and Theorem-3 tightness certificates (§5), the worked examples (§6) as
+a problem catalog, the multiparametric piecewise-linear value function
+(§7), a cache/traffic simulation substrate validating the bounds, a
+numpy execution backend, and the multiprocessor extension (§7).
+
+Quickstart
+----------
+>>> import repro
+>>> nest = repro.parse_nest("C[i,k] += A[i,j] * B[j,k]",
+...                         bounds={"i": 1024, "j": 1024, "k": 16})
+>>> analysis = repro.analyze(nest, cache_words=2**16)
+>>> analysis.tiling.tile.blocks          # doctest: +SKIP
+(4096, 16, 16)
+>>> analysis.lower_bound.k_hat
+Fraction(5, 4)
+"""
+
+from dataclasses import dataclass
+
+from .core import (
+    AffinePiece,
+    HierarchicalTiling,
+    MemoryHierarchy,
+    best_integer_tile,
+    solve_hierarchical_tiling,
+    verify_analysis,
+    ArrayRef,
+    CommunicationLowerBound,
+    HBLSolution,
+    LinearProgram,
+    LoopNest,
+    LoopNestError,
+    OptimalTileFamily,
+    ParseError,
+    PiecewiseValueFunction,
+    Theorem3Certificate,
+    TileShape,
+    TilingSolution,
+    best_rectangle,
+    best_subset,
+    communication_lower_bound,
+    optimal_tile_family,
+    parametric_tile_exponent,
+    parse_nest,
+    solve_hbl,
+    solve_tiling,
+    subset_exponent,
+    subset_scan,
+    theorem3_certificate,
+    tile_exponent,
+)
+from .library import catalog
+from .machine import MachineModel, TrafficReport
+from .parallel import distributed_lower_bound, optimal_grid, simulate_grid
+from .simulate import (
+    best_order_traffic,
+    run_trace_simulation,
+    simulate_tiled_traffic,
+    simulate_untiled_traffic,
+)
+
+__version__ = "1.0.0"
+
+
+@dataclass(frozen=True)
+class Analysis:
+    """One-call bundle: bound + tiling + tightness certificate."""
+
+    nest: LoopNest
+    cache_words: int
+    lower_bound: CommunicationLowerBound
+    tiling: TilingSolution
+    certificate: Theorem3Certificate
+
+    def summary(self) -> str:
+        lines = [
+            self.nest.describe(),
+            self.lower_bound.summary(),
+            self.tiling.summary(),
+            self.certificate.summary(),
+        ]
+        return "\n".join(lines)
+
+
+def analyze(nest: LoopNest, cache_words: int, budget: str = "per-array") -> Analysis:
+    """Run the full §4/§5 pipeline on a nest: bound, tiling, certificate."""
+    return Analysis(
+        nest=nest,
+        cache_words=cache_words,
+        lower_bound=communication_lower_bound(nest, cache_words),
+        tiling=solve_tiling(nest, cache_words, budget=budget),
+        certificate=theorem3_certificate(nest, cache_words),
+    )
+
+
+__all__ = [
+    "__version__",
+    "Analysis",
+    "analyze",
+    "LoopNest",
+    "ArrayRef",
+    "LoopNestError",
+    "ParseError",
+    "parse_nest",
+    "LinearProgram",
+    "HBLSolution",
+    "solve_hbl",
+    "CommunicationLowerBound",
+    "communication_lower_bound",
+    "subset_exponent",
+    "subset_scan",
+    "tile_exponent",
+    "TileShape",
+    "TilingSolution",
+    "solve_tiling",
+    "Theorem3Certificate",
+    "theorem3_certificate",
+    "OptimalTileFamily",
+    "optimal_tile_family",
+    "AffinePiece",
+    "PiecewiseValueFunction",
+    "parametric_tile_exponent",
+    "best_rectangle",
+    "best_subset",
+    "MemoryHierarchy",
+    "HierarchicalTiling",
+    "solve_hierarchical_tiling",
+    "best_integer_tile",
+    "verify_analysis",
+    "catalog",
+    "MachineModel",
+    "TrafficReport",
+    "simulate_tiled_traffic",
+    "simulate_untiled_traffic",
+    "best_order_traffic",
+    "run_trace_simulation",
+    "optimal_grid",
+    "simulate_grid",
+    "distributed_lower_bound",
+]

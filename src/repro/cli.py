@@ -1,0 +1,139 @@
+"""Command-line front end: the compiler-pass use case of §7.
+
+Examples
+--------
+Analyse a statement (bound + optimal tile + tightness certificate)::
+
+    repro-tile "C[i,k] += A[i,j] * B[j,k]" --bounds i=1024,j=1024,k=16 -M 65536
+
+Analyse a catalog problem and print the piecewise closed form::
+
+    repro-tile --problem matmul --sizes 1024,1024,16 -M 65536 --piecewise
+
+Simulate the derived tiling's traffic against the lower bound::
+
+    repro-tile --problem nbody --sizes 4096,4096 -M 4096 --simulate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import analyze
+from .core.mplp import parametric_tile_exponent
+from .core.parser import ParseError, parse_nest
+from .library.problems import CATALOG_BUILDERS
+from .machine.model import MachineModel
+from .simulate.executor import best_order_traffic, simulate_untiled_traffic
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tile",
+        description="Communication lower bounds and optimal tilings for projective loop nests",
+    )
+    parser.add_argument(
+        "statement",
+        nargs="?",
+        help='loop-nest statement, e.g. "C[i,k] += A[i,j] * B[j,k]"',
+    )
+    parser.add_argument(
+        "--bounds",
+        help="comma-separated loop bounds, e.g. i=1024,j=1024,k=16",
+    )
+    parser.add_argument(
+        "--problem",
+        choices=sorted(CATALOG_BUILDERS),
+        help="use a catalog problem instead of a statement",
+    )
+    parser.add_argument(
+        "--sizes", help="comma-separated sizes for the catalog problem"
+    )
+    parser.add_argument(
+        "-M",
+        "--cache-words",
+        type=int,
+        required=True,
+        help="fast-memory capacity in words",
+    )
+    parser.add_argument(
+        "--budget",
+        choices=("per-array", "aggregate"),
+        default="per-array",
+        help="memory-budget convention (paper model vs practical cache)",
+    )
+    parser.add_argument(
+        "--piecewise",
+        action="store_true",
+        help="also print the exact piecewise-linear tile exponent f(beta)",
+    )
+    parser.add_argument(
+        "--simulate",
+        action="store_true",
+        help="also simulate tiled vs untiled traffic in the machine model",
+    )
+    return parser
+
+
+def _parse_bounds(blob: str) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for piece in blob.split(","):
+        if "=" not in piece:
+            raise ParseError(f"bad bounds entry {piece!r}; expected name=value")
+        name, _, value = piece.partition("=")
+        try:
+            out[name.strip()] = int(value)
+        except ValueError:
+            raise ParseError(f"bad bound value in {piece!r}") from None
+    return out
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        if args.problem:
+            builder, default_sizes = CATALOG_BUILDERS[args.problem]
+            sizes = (
+                tuple(int(s) for s in args.sizes.split(",")) if args.sizes else default_sizes
+            )
+            nest = builder(*sizes)
+        elif args.statement:
+            if not args.bounds:
+                parser.error("--bounds is required with a statement")
+            nest = parse_nest(args.statement, _parse_bounds(args.bounds))
+        else:
+            parser.error("give a statement or --problem")
+            return 2  # unreachable; parser.error raises
+    except ParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TypeError as exc:
+        print(f"error: bad --sizes for problem: {exc}", file=sys.stderr)
+        return 2
+
+    analysis = analyze(nest, args.cache_words, budget=args.budget)
+    print(analysis.summary())
+
+    if args.piecewise:
+        print(parametric_tile_exponent(nest).render())
+
+    if args.simulate:
+        machine = MachineModel(cache_words=args.cache_words)
+        tiled = best_order_traffic(nest, analysis.tiling.tile, machine=machine)
+        naive = simulate_untiled_traffic(nest, machine=machine)
+        bound = analysis.lower_bound.value
+        print(f"simulated tiled traffic : {tiled.total_words} words "
+              f"(ratio to bound {tiled.ratio_to(bound):.2f})")
+        print(f"simulated naive traffic : {naive.total_words} words "
+              f"(ratio to bound {naive.ratio_to(bound):.2f})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

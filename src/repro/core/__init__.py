@@ -1,0 +1,75 @@
+"""Core machinery: the paper's LPs, bounds, tilings, and exact validators."""
+
+from .alpha_family import OptimalTileFamily, optimal_tile_family
+from .bounds import (
+    CommunicationLowerBound,
+    communication_lower_bound,
+    subset_exponent,
+    subset_exponent_literal,
+    subset_scan,
+    tile_exponent,
+)
+from .bruteforce import best_rectangle, best_subset
+from .duality import Theorem3Certificate, build_dual_lp, theorem3_certificate
+from .fraction_lp import LPError, LPSolution, solve_lp
+from .hierarchy import (
+    HierarchicalTiling,
+    LevelTiling,
+    MemoryHierarchy,
+    solve_hierarchical_tiling,
+)
+from .integer import best_integer_tile, coordinate_descent_tile, multi_seed_tile
+from .hbl import HBLSolution, build_hbl_lp, solve_hbl
+from .loopnest import ArrayRef, LoopNest, LoopNestError
+from .lp import Constraint, LinearProgram, SolveReport
+from .mplp import AffinePiece, PiecewiseValueFunction, parametric_tile_exponent
+from .parser import ParseError, parse_nest
+from .tiling import TileShape, TilingSolution, build_tiling_lp, solve_tiling
+from .verify import check_dual_certificate, check_tile, verify_analysis
+
+__all__ = [
+    "ArrayRef",
+    "LoopNest",
+    "LoopNestError",
+    "ParseError",
+    "parse_nest",
+    "LinearProgram",
+    "Constraint",
+    "SolveReport",
+    "LPError",
+    "LPSolution",
+    "solve_lp",
+    "HBLSolution",
+    "build_hbl_lp",
+    "solve_hbl",
+    "CommunicationLowerBound",
+    "communication_lower_bound",
+    "subset_exponent",
+    "subset_exponent_literal",
+    "subset_scan",
+    "tile_exponent",
+    "TileShape",
+    "TilingSolution",
+    "build_tiling_lp",
+    "solve_tiling",
+    "Theorem3Certificate",
+    "build_dual_lp",
+    "theorem3_certificate",
+    "OptimalTileFamily",
+    "optimal_tile_family",
+    "AffinePiece",
+    "PiecewiseValueFunction",
+    "parametric_tile_exponent",
+    "best_rectangle",
+    "best_subset",
+    "MemoryHierarchy",
+    "LevelTiling",
+    "HierarchicalTiling",
+    "solve_hierarchical_tiling",
+    "best_integer_tile",
+    "coordinate_descent_tile",
+    "multi_seed_tile",
+    "check_tile",
+    "check_dual_certificate",
+    "verify_analysis",
+]

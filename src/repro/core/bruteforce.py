@@ -1,0 +1,113 @@
+"""Exhaustive validators for the paper's structural claims (tiny instances).
+
+Two oracles, used by the property-based test-suite and by the E9/E11
+benchmarks as ground truth:
+
+* :func:`best_rectangle` — the largest *integer rectangle* tile that
+  fits the memory budget, by full enumeration of side lengths.  The
+  LP's fractional optimum ``M**k_hat`` must upper-bound it, and the
+  library's rounded tile must match it up to the rounding slack.
+* :func:`best_subset` — the largest *arbitrary subset* tile (any set of
+  iteration points, not necessarily a rectangle) by enumeration of all
+  ``2**(prod L)`` subsets, feasible only for iteration spaces of ~20
+  points.  Theorem 2's exchange argument says rectangles are optimal;
+  this oracle checks that claim directly on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from math import prod
+from typing import Iterable
+
+from .loopnest import LoopNest
+from .tiling import TileShape
+
+__all__ = ["BruteForceResult", "best_rectangle", "best_subset", "max_subset_of_size"]
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Outcome of an exhaustive tile search."""
+
+    volume: int
+    blocks: tuple[int, ...] | None  # None for subset searches
+    points: frozenset[tuple[int, ...]] | None
+
+
+def best_rectangle(
+    nest: LoopNest, cache_words: int, budget: str = "per-array"
+) -> BruteForceResult:
+    """Largest feasible integer rectangle by full enumeration.
+
+    Cost is ``prod_i L_i`` side combinations; guarded to small nests.
+    """
+    if prod(nest.bounds) > 4_000_000:
+        raise ValueError("instance too large for exhaustive rectangle search")
+    best_volume = 0
+    best_blocks: tuple[int, ...] | None = None
+    for blocks in product(*(range(1, L + 1) for L in nest.bounds)):
+        shape = TileShape(nest=nest, blocks=blocks)
+        if not shape.is_feasible(cache_words, budget=budget):
+            continue
+        if shape.volume > best_volume:
+            best_volume = shape.volume
+            best_blocks = blocks
+    if best_blocks is None:  # pragma: no cover - the 1x...x1 tile is always feasible
+        raise AssertionError("no feasible rectangle found (even the unit tile?)")
+    return BruteForceResult(volume=best_volume, blocks=best_blocks, points=None)
+
+
+def _footprints_ok(
+    nest: LoopNest, points: Iterable[tuple[int, ...]], cache_words: int, budget: str
+) -> bool:
+    points = list(points)
+    sizes = [len({arr.project(p) for p in points}) for arr in nest.arrays]
+    if budget == "per-array":
+        return all(s <= cache_words for s in sizes)
+    if budget == "aggregate":
+        return sum(sizes) <= cache_words
+    raise ValueError(f"unknown budget {budget!r}")
+
+
+def best_subset(
+    nest: LoopNest, cache_words: int, budget: str = "per-array", limit_points: int = 20
+) -> BruteForceResult:
+    """Largest feasible *arbitrary* subset tile, by powerset enumeration.
+
+    Validates the rectangle-optimality claim of Theorem 2 directly:
+    on every instance small enough to enumerate, the best arbitrary
+    subset is no larger than the best rectangle (they agree; subsets
+    never win).  Exponential — restricted to ``prod L <= limit_points``.
+    """
+    space = list(nest.iteration_points())
+    if len(space) > limit_points:
+        raise ValueError(
+            f"iteration space has {len(space)} points; max {limit_points} for powerset search"
+        )
+    # Monotonicity: supersets have (weakly) larger footprints, so search
+    # by decreasing size and stop at the first feasible cardinality.
+    for size in range(len(space), 0, -1):
+        for combo in combinations(space, size):
+            if _footprints_ok(nest, combo, cache_words, budget):
+                return BruteForceResult(
+                    volume=size, blocks=None, points=frozenset(combo)
+                )
+    # The single-point tile has footprint 1 per array; cache_words >= 1
+    # makes it feasible.
+    return BruteForceResult(volume=0, blocks=None, points=frozenset())
+
+
+def max_subset_of_size(
+    nest: LoopNest, cache_words: int, size: int, budget: str = "per-array"
+) -> frozenset[tuple[int, ...]] | None:
+    """First feasible subset of exactly ``size`` points, or None.
+
+    Helper for tests that probe the boundary of Theorem 2's bound.
+    """
+    space = list(nest.iteration_points())
+    for combo in combinations(space, size):
+        if _footprints_ok(nest, combo, cache_words, budget):
+            return frozenset(combo)
+    return None

@@ -1,0 +1,378 @@
+"""Exact rational linear programming via two-phase primal simplex.
+
+Every linear program in this library — the HBL LP (paper eq. 3.2), its
+row-deleted variants (§4), the tiling LP (eq. 5.1) and its dual
+(eq. 5.5/5.6) — is small (at most a few dozen variables/rows) but must
+be solved *exactly*: the paper's headline results are exact rationals
+(``3/2`` for matmul, ``1 + beta_3`` in the small-bound regime), and the
+Theorem-3 tightness argument is an exact primal/dual equality that a
+floating-point solver can only confirm to tolerance.
+
+This module implements a dense two-phase primal simplex over
+:class:`fractions.Fraction` with Bland's anti-cycling rule, supporting
+the general form::
+
+    min / max   c^T x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lo_i <= x_i <= hi_i        (lo_i may be -inf, hi_i +inf)
+
+Termination is guaranteed by Bland's rule; arithmetic is exact, so the
+returned vertex and objective are the true rational optimum.  The scipy
+HiGHS backend in :mod:`repro.core.lp` cross-checks these results in the
+test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+__all__ = ["LPSolution", "LPError", "solve_lp"]
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+class LPError(ValueError):
+    """Raised for malformed LP inputs (shape mismatches, bad bounds)."""
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Outcome of an exact LP solve.
+
+    Attributes
+    ----------
+    status:
+        ``"optimal"``, ``"infeasible"`` or ``"unbounded"``.
+    x:
+        Optimal vertex (exact Fractions) when ``status == "optimal"``,
+        else ``None``.
+    objective:
+        Optimal objective value in the *user's* sense (i.e. the max for
+        a maximisation problem), else ``None``.
+    """
+
+    status: str
+    x: tuple[Fraction, ...] | None = None
+    objective: Fraction | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+@dataclass
+class _Standardizer:
+    """Bookkeeping for converting user variables to standard form.
+
+    Each user variable becomes either one nonnegative variable (possibly
+    shifted and/or negated) or a pair ``x+ - x-`` for free variables.
+    """
+
+    n_user: int
+    # per user variable: ("shift", col, lo) | ("neg", col, hi) | ("free", col_pos, col_neg)
+    mapping: list[tuple] = field(default_factory=list)
+    n_std: int = 0
+
+    def recover(self, std_x: Sequence[Fraction]) -> tuple[Fraction, ...]:
+        out: list[Fraction] = []
+        for entry in self.mapping:
+            kind = entry[0]
+            if kind == "shift":
+                _, col, lo = entry
+                out.append(std_x[col] + lo)
+            elif kind == "neg":
+                _, col, hi = entry
+                out.append(hi - std_x[col])
+            else:
+                _, cp, cn = entry
+                out.append(std_x[cp] - std_x[cn])
+        return tuple(out)
+
+
+def _to_fractions(row: Sequence, width: int, what: str) -> list[Fraction]:
+    if len(row) != width:
+        raise LPError(f"{what} has length {len(row)}, expected {width}")
+    return [Fraction(v) for v in row]
+
+
+def solve_lp(
+    c: Sequence,
+    A_ub: Sequence[Sequence] | None = None,
+    b_ub: Sequence | None = None,
+    A_eq: Sequence[Sequence] | None = None,
+    b_eq: Sequence | None = None,
+    bounds: Sequence[tuple] | None = None,
+    sense: str = "min",
+) -> LPSolution:
+    """Solve the LP exactly; see module docstring for the accepted form.
+
+    Parameters
+    ----------
+    c:
+        Objective coefficients (length ``n``).
+    A_ub, b_ub:
+        Inequality block ``A_ub x <= b_ub`` (optional).
+    A_eq, b_eq:
+        Equality block ``A_eq x == b_eq`` (optional).
+    bounds:
+        Per-variable ``(lo, hi)`` pairs; ``None`` entries mean
+        unbounded on that side.  Defaults to ``(0, None)`` for every
+        variable (the LP-standard nonnegativity convention).
+    sense:
+        ``"min"`` or ``"max"``.
+    """
+    if sense not in ("min", "max"):
+        raise LPError(f"sense must be 'min' or 'max', got {sense!r}")
+    n = len(c)
+    c_frac = [Fraction(v) for v in c]
+    if sense == "max":
+        c_frac = [-v for v in c_frac]
+
+    rows_ub = [_to_fractions(r, n, "A_ub row") for r in (A_ub or [])]
+    rhs_ub = [Fraction(v) for v in (b_ub or [])]
+    rows_eq = [_to_fractions(r, n, "A_eq row") for r in (A_eq or [])]
+    rhs_eq = [Fraction(v) for v in (b_eq or [])]
+    if len(rows_ub) != len(rhs_ub):
+        raise LPError("A_ub / b_ub length mismatch")
+    if len(rows_eq) != len(rhs_eq):
+        raise LPError("A_eq / b_eq length mismatch")
+
+    if bounds is None:
+        bounds = [(0, None)] * n
+    if len(bounds) != n:
+        raise LPError("bounds length mismatch")
+
+    # --- standardize variables ------------------------------------------
+    std = _Standardizer(n_user=n)
+    # Columns of the standardized constraint matrix, built as linear
+    # combinations of user columns; we materialise by transforming rows.
+    # Strategy: express user variable x_i in terms of std variables, then
+    # substitute into every row and the objective.
+    upper_rows: list[tuple[int, Fraction]] = []  # (std col, upper bound) extra rows
+    col = 0
+    subst: list[tuple[Fraction, list[tuple[int, Fraction]]]] = []
+    # subst[i] = (constant, [(std_col, coeff), ...]) with x_i = constant + sum coeff*std
+    for i, (lo, hi) in enumerate(bounds):
+        lo_f = None if lo is None else Fraction(lo)
+        hi_f = None if hi is None else Fraction(hi)
+        if lo_f is not None and hi_f is not None and lo_f > hi_f:
+            return LPSolution(status="infeasible")
+        if lo_f is not None:
+            std.mapping.append(("shift", col, lo_f))
+            subst.append((lo_f, [(col, _ONE)]))
+            if hi_f is not None:
+                upper_rows.append((col, hi_f - lo_f))
+            col += 1
+        elif hi_f is not None:
+            std.mapping.append(("neg", col, hi_f))
+            subst.append((hi_f, [(col, -_ONE)]))
+            col += 1
+        else:
+            std.mapping.append(("free", col, col + 1))
+            subst.append((_ZERO, [(col, _ONE), (col + 1, -_ONE)]))
+            col += 2
+    std.n_std = col
+
+    def transform_row(row: list[Fraction], rhs: Fraction) -> tuple[list[Fraction], Fraction]:
+        out = [_ZERO] * std.n_std
+        shift = _ZERO
+        for i, coeff in enumerate(row):
+            if coeff == 0:
+                continue
+            const, terms = subst[i]
+            shift += coeff * const
+            for sc, scoeff in terms:
+                out[sc] += coeff * scoeff
+        return out, rhs - shift
+
+    std_ub: list[list[Fraction]] = []
+    std_ub_rhs: list[Fraction] = []
+    for row, rhs in zip(rows_ub, rhs_ub):
+        r, b = transform_row(row, rhs)
+        std_ub.append(r)
+        std_ub_rhs.append(b)
+    for scol, ub in upper_rows:
+        r = [_ZERO] * std.n_std
+        r[scol] = _ONE
+        std_ub.append(r)
+        std_ub_rhs.append(ub)
+    std_eq: list[list[Fraction]] = []
+    std_eq_rhs: list[Fraction] = []
+    for row, rhs in zip(rows_eq, rhs_eq):
+        r, b = transform_row(row, rhs)
+        std_eq.append(r)
+        std_eq_rhs.append(b)
+
+    obj = [_ZERO] * std.n_std
+    obj_shift = _ZERO
+    for i, coeff in enumerate(c_frac):
+        if coeff == 0:
+            continue
+        const, terms = subst[i]
+        obj_shift += coeff * const
+        for sc, scoeff in terms:
+            obj[sc] += coeff * scoeff
+
+    status, x_std, val = _solve_standard(obj, std_ub, std_ub_rhs, std_eq, std_eq_rhs)
+    if status != "optimal":
+        return LPSolution(status=status)
+    x_user = std.recover(x_std)
+    objective = val + obj_shift
+    if sense == "max":
+        objective = -objective
+    return LPSolution(status="optimal", x=x_user, objective=objective)
+
+
+def _solve_standard(
+    c: list[Fraction],
+    A_ub: list[list[Fraction]],
+    b_ub: list[Fraction],
+    A_eq: list[list[Fraction]],
+    b_eq: list[Fraction],
+) -> tuple[str, list[Fraction], Fraction]:
+    """Solve ``min c^T x, A_ub x <= b_ub, A_eq x == b_eq, x >= 0`` exactly."""
+    n = len(c)
+    # Add slacks to inequality rows.
+    n_slack = len(A_ub)
+    rows: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    for idx, (row, b) in enumerate(zip(A_ub, b_ub)):
+        full = row + [_ZERO] * n_slack
+        full[n + idx] = _ONE
+        rows.append(full)
+        rhs.append(b)
+    for row, b in zip(A_eq, b_eq):
+        rows.append(row + [_ZERO] * n_slack)
+        rhs.append(b)
+    m = len(rows)
+    width = n + n_slack
+    if m == 0:
+        # Unconstrained nonnegative minimisation: bounded iff c >= 0.
+        if any(v < 0 for v in c):
+            return "unbounded", [], _ZERO
+        return "optimal", [_ZERO] * n, _ZERO
+
+    # Make RHS nonnegative.
+    for i in range(m):
+        if rhs[i] < 0:
+            rows[i] = [-v for v in rows[i]]
+            rhs[i] = -rhs[i]
+
+    # Artificial columns: one per row; kept through phase 2 (barred from
+    # entering) so the final tableau retains a full basis inverse.
+    total = width + m
+    T: list[list[Fraction]] = []
+    for i in range(m):
+        T.append(rows[i] + [_ONE if j == i else _ZERO for j in range(m)] + [rhs[i]])
+    basis = [width + i for i in range(m)]
+
+    # Phase 1 objective: minimise sum of artificials.
+    zrow = [_ZERO] * (total + 1)
+    for j in range(width, total):
+        zrow[j] = _ONE
+    for i in range(m):
+        # Eliminate basic (artificial) columns from the objective row.
+        _axpy(zrow, T[i], -_ONE)
+    T.append(zrow)
+
+    status = _simplex_loop(T, basis, m, total, forbidden_from=None)
+    if status == "unbounded":  # pragma: no cover - phase 1 is always bounded below by 0
+        raise AssertionError("phase-1 LP cannot be unbounded")
+    if -T[m][-1] != 0:  # objective = -zrow rhs
+        return "infeasible", [], _ZERO
+
+    # Drive remaining artificials out of the basis where possible.
+    for i in range(m):
+        if basis[i] >= width:
+            pivot_col = next((j for j in range(width) if T[i][j] != 0), None)
+            if pivot_col is not None:
+                _pivot(T, basis, i, pivot_col)
+            # else: the row is all-zero in structural columns (redundant
+            # constraint); the artificial stays basic at value 0, which
+            # is harmless as it can never become positive again.
+
+    # Phase 2 objective.
+    T[m] = [_ZERO] * (total + 1)
+    for j in range(width):
+        T[m][j] = c[j] if j < n else _ZERO
+    for i in range(m):
+        bj = basis[i]
+        coeff = c[bj] if bj < n else _ZERO
+        if coeff != 0:
+            _axpy(T[m], T[i], -coeff)
+
+    status = _simplex_loop(T, basis, m, total, forbidden_from=width)
+    if status == "unbounded":
+        return "unbounded", [], _ZERO
+
+    x = [_ZERO] * width
+    for i in range(m):
+        if basis[i] < width:
+            x[basis[i]] = T[i][-1]
+    objective = -T[m][-1]
+    return "optimal", x[:n], objective
+
+
+def _axpy(target: list[Fraction], source: list[Fraction], scale: Fraction) -> None:
+    if scale == 0:
+        return
+    for j, v in enumerate(source):
+        if v != 0:
+            target[j] += scale * v
+
+
+def _pivot(T: list[list[Fraction]], basis: list[int], row: int, col: int) -> None:
+    pivot_val = T[row][col]
+    if pivot_val == 0:
+        raise AssertionError("zero pivot")
+    inv = _ONE / pivot_val
+    T[row] = [v * inv for v in T[row]]
+    prow = T[row]
+    for i, other in enumerate(T):
+        if i == row:
+            continue
+        factor = other[col]
+        if factor != 0:
+            T[i] = [ov - factor * pv for ov, pv in zip(other, prow)]
+    basis[row] = col
+
+
+def _simplex_loop(
+    T: list[list[Fraction]],
+    basis: list[int],
+    m: int,
+    total: int,
+    forbidden_from: int | None,
+) -> str:
+    """Run Bland-rule simplex iterations on tableau ``T`` until done.
+
+    ``forbidden_from`` bars columns with index >= that value from
+    entering the basis (used to freeze artificial columns in phase 2).
+    """
+    limit = total if forbidden_from is None else forbidden_from
+    zrow = T[m]
+    while True:
+        enter = -1
+        for j in range(limit):
+            if zrow[j] < 0:
+                enter = j
+                break
+        if enter < 0:
+            return "optimal"
+        leave = -1
+        best: Fraction | None = None
+        for i in range(m):
+            coeff = T[i][enter]
+            if coeff > 0:
+                ratio = T[i][-1] / coeff
+                if best is None or ratio < best or (ratio == best and basis[i] < basis[leave]):
+                    best = ratio
+                    leave = i
+        if leave < 0:
+            return "unbounded"
+        _pivot(T, basis, leave, enter)
+        zrow = T[m]

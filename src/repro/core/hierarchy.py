@@ -1,0 +1,197 @@
+"""Multi-level memory hierarchies: nested communication-optimal tilings.
+
+The paper's opening sentence scopes the problem to "levels of a memory
+hierarchy"; its analysis is two-level (one cache of ``M`` words).  The
+standard lift to ``L1 ⊂ L2 ⊂ ... ⊂ RAM`` applies the two-level bound at
+*every* boundary: traffic between level ``l`` and ``l+1`` obeys the §4
+bound at ``M = capacity_l``, and a tiling attains all bounds at once if
+its per-level tiles are **nested** rectangles, each feasible for its
+level.
+
+This module computes such nested tilings by solving the tiling LP
+level-by-level in a *common* log base (base 2, so different cache sizes
+share one variable space), adding at level ``l`` the nesting
+constraints ``u_i >= u_i^{(l-1)}`` (level-l blocks contain level-(l-1)
+blocks).  Each level's LP remains feasible because the previous
+solution satisfies the larger capacity, and each level's optimum is the
+unconstrained-level optimum whenever nesting is slack — tests verify
+both facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..util.rationals import log_ratio
+from .bounds import CommunicationLowerBound, communication_lower_bound
+from .loopnest import LoopNest
+from .lp import LinearProgram
+from .tiling import BUDGETS, TileShape
+
+__all__ = ["MemoryHierarchy", "LevelTiling", "HierarchicalTiling", "solve_hierarchical_tiling"]
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Strictly increasing cache capacities, innermost first (words)."""
+
+    capacities: tuple[int, ...]
+    name: str = "hierarchy"
+
+    def __post_init__(self) -> None:
+        if not self.capacities:
+            raise ValueError("need at least one level")
+        if any(c < 2 for c in self.capacities):
+            raise ValueError("level capacities must be >= 2 words")
+        if any(a >= b for a, b in zip(self.capacities, self.capacities[1:])):
+            raise ValueError(f"capacities must be strictly increasing, got {self.capacities}")
+
+    @property
+    def levels(self) -> int:
+        return len(self.capacities)
+
+    def describe(self) -> str:
+        caps = " < ".join(str(c) for c in self.capacities)
+        return f"{self.name}: {caps} words"
+
+
+@dataclass(frozen=True)
+class LevelTiling:
+    """One level's tile, with its own Theorem-2 bound for context."""
+
+    capacity: int
+    tile: TileShape
+    exponent_base2: Fraction  # sum_i log2(b_i) at the LP vertex
+    lower_bound: CommunicationLowerBound
+
+
+@dataclass(frozen=True)
+class HierarchicalTiling:
+    """Nested tiles, innermost (smallest cache) first.
+
+    Invariant: ``levels[l].tile.blocks[i] <= levels[l+1].tile.blocks[i]``
+    for every loop ``i`` — outer tiles contain inner tiles, so the
+    execution "tile within tile" realises every level's blocking at
+    once.
+    """
+
+    nest: LoopNest
+    hierarchy: MemoryHierarchy
+    budget: str
+    levels: tuple[LevelTiling, ...]
+
+    def tile_at(self, level: int) -> TileShape:
+        return self.levels[level].tile
+
+    def summary(self) -> str:
+        lines = [f"{self.nest.name} on {self.hierarchy.describe()} [{self.budget}]"]
+        for idx, lvl in enumerate(self.levels):
+            lines.append(
+                f"  L{idx + 1} (M={lvl.capacity}): blocks {lvl.tile.blocks} "
+                f"k_hat={lvl.lower_bound.k_hat}"
+            )
+        return "\n".join(lines)
+
+
+def _solve_level(
+    nest: LoopNest,
+    capacity: int,
+    lower_u: Sequence[Fraction] | None,
+    budget: str,
+) -> tuple[tuple[Fraction, ...], Fraction]:
+    """Tiling LP in log base 2 with optional per-variable lower bounds."""
+    effective = capacity if budget == "per-array" else max(2, capacity // nest.num_arrays)
+    log_m = log_ratio(effective, 2)
+    log_l = [log_ratio(L, 2) for L in nest.bounds]
+    lp = LinearProgram(sense="max")
+    for i in range(nest.depth):
+        lo = lower_u[i] if lower_u is not None else Fraction(0)
+        # A previous level's block may already exceed this level's beta
+        # cap only if L_i < previous block — impossible since blocks are
+        # clamped to L_i; still guard with max for safety.
+        lp.add_variable(f"u[{nest.loops[i]}]", lo=lo, hi=max(lo, log_l[i]))
+    for arr in nest.arrays:
+        if not arr.support:
+            continue
+        lp.add_constraint(
+            f"cap[{arr.name}]",
+            {f"u[{nest.loops[i]}]": 1 for i in arr.support},
+            "<=",
+            log_m,
+        )
+    lp.set_objective({f"u[{nest.loops[i]}]": 1 for i in range(nest.depth)})
+    report = lp.solve()
+    if not report.is_optimal:
+        raise RuntimeError(
+            f"level LP {report.status}: capacity {capacity} cannot nest the previous level"
+        )
+    u = tuple(report.values[f"u[{nest.loops[i]}]"] for i in range(nest.depth))
+    return u, report.objective
+
+
+def solve_hierarchical_tiling(
+    nest: LoopNest,
+    hierarchy: MemoryHierarchy,
+    budget: str = "per-array",
+) -> HierarchicalTiling:
+    """Nested communication-optimal tilings for every hierarchy level.
+
+    Levels are solved innermost-out; each level maximises its tile
+    volume subject to (a) its own capacity rows and (b) containing the
+    previous level's (integer) tile.  Integer repair per level uses the
+    same floor-then-grow scheme as :func:`repro.core.tiling.solve_tiling`
+    but grows from the previous level's blocks, preserving nesting.
+    """
+    if budget not in BUDGETS:
+        raise ValueError(f"unknown budget {budget!r}; expected one of {BUDGETS}")
+    if budget == "aggregate" and hierarchy.capacities[0] < nest.num_arrays:
+        raise ValueError(
+            f"aggregate budget needs the innermost level >= {nest.num_arrays} words"
+        )
+    levels: list[LevelTiling] = []
+    prev_blocks: tuple[int, ...] | None = None
+    prev_u: tuple[Fraction, ...] | None = None
+    for capacity in hierarchy.capacities:
+        u, exponent = _solve_level(nest, capacity, prev_u, budget)
+        # Integer blocks: floor of 2^u, clamped into [prev_block, L].
+        blocks = []
+        for i in range(nest.depth):
+            raw = int(2 ** float(u[i]) + 1e-9)
+            lo = prev_blocks[i] if prev_blocks is not None else 1
+            blocks.append(max(lo, min(nest.bounds[i], max(1, raw))))
+        # Grow coordinates while the level stays feasible (order: by
+        # ascending block so small dims get first chance to grow).
+        changed = True
+        while changed:
+            changed = False
+            for i in sorted(range(nest.depth), key=lambda k: blocks[k]):
+                lo, hi = blocks[i], nest.bounds[i]
+                while lo < hi:
+                    mid = (lo + hi + 1) // 2
+                    trial = blocks.copy()
+                    trial[i] = mid
+                    if TileShape(nest=nest, blocks=tuple(trial)).is_feasible(capacity, budget):
+                        lo = mid
+                    else:
+                        hi = mid - 1
+                if lo > blocks[i]:
+                    blocks[i] = lo
+                    changed = True
+        tile = TileShape(nest=nest, blocks=tuple(blocks))
+        if not tile.is_feasible(capacity, budget):  # pragma: no cover - by construction
+            raise AssertionError("level tile infeasible after repair")
+        levels.append(
+            LevelTiling(
+                capacity=capacity,
+                tile=tile,
+                exponent_base2=exponent,
+                lower_bound=communication_lower_bound(nest, capacity),
+            )
+        )
+        prev_blocks = tile.blocks
+        prev_u = tuple(log_ratio(b, 2) for b in tile.blocks)
+    return HierarchicalTiling(
+        nest=nest, hierarchy=hierarchy, budget=budget, levels=tuple(levels)
+    )

@@ -1,0 +1,156 @@
+"""Integer tile search beyond the default round-and-grow repair.
+
+The LP vertex is a *fractional* optimum; real block sizes are integers.
+``solve_tiling`` floors and greedily grows — fast and within ``2^d`` of
+optimal, but not always exactly optimal at small ``M``.  This module
+provides progressively stronger searches, used by the integer-rounding
+ablation (bench_integer.py) and available to users who care about the
+last few percent:
+
+* :func:`coordinate_descent_tile` — repeated per-coordinate maximal
+  growth from a seed, over all ``d!`` growth orders (d is small);
+* :func:`multi_seed_tile` — coordinate descent from several seeds:
+  the floored LP vertex, every optimal-face vertex, and the unit tile;
+* :func:`best_integer_tile` — the above, plus exhaustive search when
+  the instance is small enough to afford ground truth.
+
+All searches preserve feasibility invariantly (they only test-and-grow
+feasible configurations), so any returned tile is valid for the given
+budget.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from math import prod
+from typing import Iterable, Sequence
+
+from ..util.rationals import pow_fraction
+from .alpha_family import optimal_tile_family
+from .loopnest import LoopNest
+from .tiling import BUDGETS, TileShape, solve_tiling
+
+__all__ = [
+    "coordinate_descent_tile",
+    "multi_seed_tile",
+    "best_integer_tile",
+]
+
+
+def _max_feasible(
+    nest: LoopNest, blocks: list[int], i: int, cache_words: int, budget: str
+) -> int:
+    lo, hi = blocks[i], nest.bounds[i]
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        trial = blocks.copy()
+        trial[i] = mid
+        if TileShape(nest=nest, blocks=tuple(trial)).is_feasible(cache_words, budget):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def coordinate_descent_tile(
+    nest: LoopNest,
+    cache_words: int,
+    seed: Sequence[int],
+    budget: str = "per-array",
+    orders: Iterable[Sequence[int]] | None = None,
+) -> TileShape:
+    """Best tile reachable from ``seed`` by per-coordinate maximal growth.
+
+    Growth outcomes depend on which coordinate grows first; with ``d``
+    small we simply try all ``d!`` orders (or the given subset) and keep
+    the largest result.  The seed must be feasible.
+    """
+    if budget not in BUDGETS:
+        raise ValueError(f"unknown budget {budget!r}")
+    seed_shape = TileShape(nest=nest, blocks=tuple(seed))
+    if not seed_shape.is_feasible(cache_words, budget):
+        raise ValueError(f"seed {tuple(seed)} infeasible for M={cache_words} ({budget})")
+    if orders is None:
+        orders = permutations(range(nest.depth))
+    best = seed_shape
+    for order in orders:
+        blocks = list(seed)
+        changed = True
+        while changed:
+            changed = False
+            for i in order:
+                grown = _max_feasible(nest, blocks, i, cache_words, budget)
+                if grown > blocks[i]:
+                    blocks[i] = grown
+                    changed = True
+        candidate = TileShape(nest=nest, blocks=tuple(blocks))
+        if candidate.volume > best.volume:
+            best = candidate
+    return best
+
+
+def _lp_seeds(nest: LoopNest, cache_words: int, budget: str) -> list[tuple[int, ...]]:
+    """Feasible integer seeds: floored LP vertex + floored face vertices."""
+    effective = cache_words if budget == "per-array" else max(2, cache_words // nest.num_arrays)
+    seeds: list[tuple[int, ...]] = [tuple(1 for _ in range(nest.depth))]
+    sol = solve_tiling(nest, cache_words, budget=budget)
+    seeds.append(sol.tile.blocks)
+    if effective >= 2:
+        try:
+            family = optimal_tile_family(nest, effective)
+        except RuntimeError:  # pragma: no cover - defensive
+            family = None
+        if family is not None:
+            for vertex in family.vertices:
+                blocks = tuple(
+                    max(1, min(L, int(pow_fraction(effective, lam) + 1e-9)))
+                    for lam, L in zip(vertex, nest.bounds)
+                )
+                if TileShape(nest=nest, blocks=blocks).is_feasible(cache_words, budget):
+                    seeds.append(blocks)
+    # Deduplicate, preserve order.
+    seen: set[tuple[int, ...]] = set()
+    unique = []
+    for s in seeds:
+        if s not in seen:
+            seen.add(s)
+            unique.append(s)
+    return unique
+
+
+def multi_seed_tile(
+    nest: LoopNest, cache_words: int, budget: str = "per-array"
+) -> TileShape:
+    """Coordinate descent from every LP-derived seed; best volume wins."""
+    best: TileShape | None = None
+    for seed in _lp_seeds(nest, cache_words, budget):
+        candidate = coordinate_descent_tile(nest, cache_words, seed, budget=budget)
+        if best is None or candidate.volume > best.volume:
+            best = candidate
+    assert best is not None
+    return best
+
+
+#: Instances with at most this many side combinations get exact search.
+_EXHAUSTIVE_LIMIT = 250_000
+
+
+def best_integer_tile(
+    nest: LoopNest,
+    cache_words: int,
+    budget: str = "per-array",
+    allow_exhaustive: bool = True,
+) -> TileShape:
+    """Strongest available integer tile.
+
+    Uses exhaustive enumeration (guaranteed optimal) when the search
+    space is small, otherwise multi-seed coordinate descent.  Always at
+    least as large as ``solve_tiling``'s repaired tile.
+    """
+    if allow_exhaustive and prod(nest.bounds) <= _EXHAUSTIVE_LIMIT:
+        from .bruteforce import best_rectangle
+
+        res = best_rectangle(nest, cache_words, budget=budget)
+        assert res.blocks is not None
+        return TileShape(nest=nest, blocks=res.blocks)
+    return multi_seed_tile(nest, cache_words, budget=budget)

@@ -1,0 +1,223 @@
+"""Structured linear-program wrapper with exact and floating backends.
+
+The rest of the library builds LPs through :class:`LinearProgram`,
+which keeps named variables and named constraints so that duality
+arguments (paper §5) and certificates can refer to rows symbolically.
+Solving defaults to the exact rational simplex
+(:mod:`repro.core.fraction_lp`); ``backend="scipy"`` uses HiGHS through
+:func:`scipy.optimize.linprog`, and ``backend="both"`` runs the two and
+asserts agreement — the configuration used throughout the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .fraction_lp import LPError, LPSolution, solve_lp
+
+__all__ = ["LinearProgram", "Constraint", "SolveReport"]
+
+_FLOAT_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single named row ``sum_i coeffs[name] * x_name  (<= | >= | ==)  rhs``."""
+
+    name: str
+    coeffs: Mapping[str, Fraction]
+    relation: str  # "<=", ">=", "=="
+    rhs: Fraction
+
+    def __post_init__(self) -> None:
+        if self.relation not in ("<=", ">=", "=="):
+            raise LPError(f"bad relation {self.relation!r}")
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """Named view of an LP solution."""
+
+    status: str
+    objective: Fraction | None
+    values: dict[str, Fraction]
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def __getitem__(self, name: str) -> Fraction:
+        return self.values[name]
+
+
+@dataclass
+class LinearProgram:
+    """Builder for small named LPs.
+
+    Example
+    -------
+    >>> lp = LinearProgram(sense="max")
+    >>> for v in ("l1", "l2", "l3"):
+    ...     lp.add_variable(v, lo=0)
+    >>> _ = lp.add_constraint("A1", {"l1": 1, "l3": 1}, "<=", 1)
+    >>> _ = lp.add_constraint("A2", {"l1": 1, "l2": 1}, "<=", 1)
+    >>> _ = lp.add_constraint("A3", {"l2": 1, "l3": 1}, "<=", 1)
+    >>> lp.set_objective({"l1": 1, "l2": 1, "l3": 1})
+    >>> lp.solve().objective
+    Fraction(3, 2)
+    """
+
+    sense: str = "min"
+    variables: list[str] = field(default_factory=list)
+    bounds: dict[str, tuple[Fraction | None, Fraction | None]] = field(default_factory=dict)
+    constraints: list[Constraint] = field(default_factory=list)
+    objective: dict[str, Fraction] = field(default_factory=dict)
+
+    def add_variable(self, name: str, lo=0, hi=None) -> str:
+        """Register variable ``name`` with bounds ``[lo, hi]`` (None = unbounded)."""
+        if name in self.bounds:
+            raise LPError(f"duplicate variable {name!r}")
+        self.variables.append(name)
+        self.bounds[name] = (
+            None if lo is None else Fraction(lo),
+            None if hi is None else Fraction(hi),
+        )
+        return name
+
+    def add_constraint(self, name: str, coeffs: Mapping[str, object], relation: str, rhs) -> Constraint:
+        unknown = [v for v in coeffs if v not in self.bounds]
+        if unknown:
+            raise LPError(f"constraint {name!r} references unknown variables {unknown}")
+        con = Constraint(
+            name=name,
+            coeffs={k: Fraction(v) for k, v in coeffs.items()},
+            relation=relation,
+            rhs=Fraction(rhs),
+        )
+        self.constraints.append(con)
+        return con
+
+    def set_objective(self, coeffs: Mapping[str, object]) -> None:
+        unknown = [v for v in coeffs if v not in self.bounds]
+        if unknown:
+            raise LPError(f"objective references unknown variables {unknown}")
+        self.objective = {k: Fraction(v) for k, v in coeffs.items()}
+
+    # -- matrix form -------------------------------------------------------
+
+    def matrix_form(self):
+        """Return ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` over self.variables order."""
+        index = {v: i for i, v in enumerate(self.variables)}
+        n = len(self.variables)
+        c = [Fraction(0)] * n
+        for v, coeff in self.objective.items():
+            c[index[v]] = coeff
+        A_ub: list[list[Fraction]] = []
+        b_ub: list[Fraction] = []
+        A_eq: list[list[Fraction]] = []
+        b_eq: list[Fraction] = []
+        for con in self.constraints:
+            row = [Fraction(0)] * n
+            for v, coeff in con.coeffs.items():
+                row[index[v]] = coeff
+            if con.relation == "<=":
+                A_ub.append(row)
+                b_ub.append(con.rhs)
+            elif con.relation == ">=":
+                A_ub.append([-v for v in row])
+                b_ub.append(-con.rhs)
+            else:
+                A_eq.append(row)
+                b_eq.append(con.rhs)
+        bnds = [self.bounds[v] for v in self.variables]
+        return c, A_ub, b_ub, A_eq, b_eq, bnds
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(self, backend: str = "exact") -> SolveReport:
+        """Solve and return a :class:`SolveReport`.
+
+        ``backend``: ``"exact"`` (rational simplex), ``"scipy"``
+        (HiGHS, float), or ``"both"`` (exact result, with a scipy
+        agreement assertion — raises ``AssertionError`` on mismatch).
+        """
+        if backend not in ("exact", "scipy", "both"):
+            raise LPError(f"unknown backend {backend!r}")
+        if backend in ("exact", "both"):
+            exact = self._solve_exact()
+            if backend == "both":
+                floating = self._solve_scipy()
+                self._assert_agreement(exact, floating)
+            return exact
+        return self._solve_scipy()
+
+    def _solve_exact(self) -> SolveReport:
+        c, A_ub, b_ub, A_eq, b_eq, bnds = self.matrix_form()
+        sol: LPSolution = solve_lp(
+            c, A_ub or None, b_ub or None, A_eq or None, b_eq or None, bnds, sense=self.sense
+        )
+        if not sol.is_optimal:
+            return SolveReport(status=sol.status, objective=None, values={})
+        values = dict(zip(self.variables, sol.x))
+        return SolveReport(status="optimal", objective=sol.objective, values=values)
+
+    def _solve_scipy(self) -> SolveReport:
+        from scipy.optimize import linprog
+
+        c, A_ub, b_ub, A_eq, b_eq, bnds = self.matrix_form()
+        sign = 1.0 if self.sense == "min" else -1.0
+        res = linprog(
+            c=[sign * float(v) for v in c],
+            A_ub=np.array([[float(v) for v in r] for r in A_ub]) if A_ub else None,
+            b_ub=np.array([float(v) for v in b_ub]) if b_ub else None,
+            A_eq=np.array([[float(v) for v in r] for r in A_eq]) if A_eq else None,
+            b_eq=np.array([float(v) for v in b_eq]) if b_eq else None,
+            bounds=[(None if lo is None else float(lo), None if hi is None else float(hi)) for lo, hi in bnds],
+            method="highs",
+        )
+        if res.status == 2:
+            return SolveReport(status="infeasible", objective=None, values={})
+        if res.status == 3:
+            return SolveReport(status="unbounded", objective=None, values={})
+        if not res.success:  # pragma: no cover - defensive
+            return SolveReport(status=f"error:{res.status}", objective=None, values={})
+        values = {
+            v: Fraction(x).limit_denominator(10**9) for v, x in zip(self.variables, res.x)
+        }
+        obj = Fraction(float(sign * res.fun)).limit_denominator(10**9)
+        return SolveReport(status="optimal", objective=obj, values=values)
+
+    @staticmethod
+    def _assert_agreement(exact: SolveReport, floating: SolveReport) -> None:
+        if exact.status != floating.status:
+            raise AssertionError(
+                f"backend disagreement: exact={exact.status} scipy={floating.status}"
+            )
+        if exact.is_optimal:
+            diff = abs(float(exact.objective) - float(floating.objective))
+            if diff > _FLOAT_TOL * max(1.0, abs(float(exact.objective))):
+                raise AssertionError(
+                    f"objective disagreement: exact={float(exact.objective)} "
+                    f"scipy={float(floating.objective)}"
+                )
+
+    # -- introspection -------------------------------------------------------
+
+    def pretty(self) -> str:
+        """Multi-line human-readable rendering of the program."""
+        lines = [f"{self.sense} " + " + ".join(
+            f"{coeff}*{v}" if coeff != 1 else v for v, coeff in self.objective.items()
+        )]
+        for con in self.constraints:
+            terms = " + ".join(
+                f"{coeff}*{v}" if coeff != 1 else v for v, coeff in con.coeffs.items()
+            )
+            lines.append(f"  [{con.name}] {terms} {con.relation} {con.rhs}")
+        for v in self.variables:
+            lo, hi = self.bounds[v]
+            lines.append(f"  {lo if lo is not None else '-inf'} <= {v} <= {hi if hi is not None else 'inf'}")
+        return "\n".join(lines)

@@ -1,0 +1,266 @@
+"""Multiparametric analysis: the exact piecewise-linear value function.
+
+The paper's discussion (§7) observes that for a fixed loop *structure*
+the optimal tile cardinality is ``M**f(beta_1..beta_d)`` for a
+piecewise-linear ``f``, computable by feeding LP (5.1) to a
+multiparametric LP solver [BBM03].  This module computes ``f`` *exactly*
+without a general mpLP package by exploiting a structural fact:
+
+The dual (5.5/5.6) of the tiling LP has feasible region::
+
+    D = { (zeta, s) >= 0 : zeta_i + sum_{j in R_i} s_j >= 1  for all i }
+
+which does **not** depend on ``beta``.  By strong duality::
+
+    f(beta) = min_{(zeta, s) in vert(D)}  [ sum_j s_j + sum_i beta_i zeta_i ]
+
+so ``f`` is the lower envelope of finitely many *affine* functions of
+``beta``, one per vertex of ``D``.  We enumerate ``vert(D)`` exactly
+(rational basis enumeration — the polyhedron has ``d + n`` variables
+and ``2d + n + ...`` facets, tiny for real loop nests), prune dominated
+pieces with exact LP feasibility tests, and return a
+:class:`PiecewiseValueFunction`.
+
+For matmul this reproduces §6.1's closed form: pieces
+``3/2``, ``1 + beta_1``, ``1 + beta_2``, ``1 + beta_3``,
+``beta_1 + beta_2``, ..., ``beta_1 + beta_2 + beta_3`` — and the
+derived communication expression ``max(L1 L2 L3 / sqrt(M), L2 L3,
+L1 L3, L1 L2, ...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+from typing import Sequence
+
+from ..util.linalg import SingularMatrixError, solve_square
+from ..util.rationals import format_affine, pow_fraction
+from .fraction_lp import solve_lp
+from .loopnest import LoopNest
+
+__all__ = ["AffinePiece", "PiecewiseValueFunction", "parametric_tile_exponent"]
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class AffinePiece:
+    """One affine piece ``constant + sum_i coeffs[i] * beta_i``.
+
+    ``source`` records the dual vertex ``(zeta, s)`` that generated the
+    piece (``coeffs == zeta``, ``constant == sum(s)``), which doubles as
+    an exact optimality certificate for the regions where the piece is
+    active.
+    """
+
+    constant: Fraction
+    coeffs: tuple[Fraction, ...]
+    source_zeta: tuple[Fraction, ...]
+    source_s: tuple[Fraction, ...]
+
+    def evaluate(self, betas: Sequence[Fraction]) -> Fraction:
+        if len(betas) != len(self.coeffs):
+            raise ValueError("beta vector has wrong length")
+        return self.constant + sum(
+            (c * Fraction(b) for c, b in zip(self.coeffs, betas)), start=_ZERO
+        )
+
+    def render(self, names: Sequence[str]) -> str:
+        return format_affine(self.constant, self.coeffs, names)
+
+
+@dataclass(frozen=True)
+class PiecewiseValueFunction:
+    """``f(beta) = min_pieces (constant + <coeffs, beta>)`` — exact mpLP output.
+
+    ``pieces`` contains only *essential* pieces: each is uniquely
+    minimal somewhere on the open orthant ``beta > 0`` (unless
+    ``pruned=False`` was requested).
+    """
+
+    nest: LoopNest
+    pieces: tuple[AffinePiece, ...]
+    pruned: bool
+
+    def evaluate(self, betas: Sequence[Fraction]) -> Fraction:
+        """``f(beta)`` — equals the tiling-LP optimum at that beta."""
+        return min(p.evaluate(betas) for p in self.pieces)
+
+    def argmin(self, betas: Sequence[Fraction]) -> AffinePiece:
+        """The (first) piece attaining the minimum at ``beta``."""
+        return min(self.pieces, key=lambda p: p.evaluate(betas))
+
+    def tile_size(self, cache_words: int, betas: Sequence[Fraction]) -> float:
+        """``M**f(beta)``: the optimal tile cardinality."""
+        return pow_fraction(cache_words, self.evaluate(betas))
+
+    def communication_pieces(self) -> tuple[AffinePiece, ...]:
+        """Pieces of the *communication* exponent ``g = sum(beta) + 1 - f``.
+
+        ``comm >= M**g(beta)``; because ``f`` is a min, ``g`` is a max of
+        affine pieces — §6.1's ``max(L1L2L3/sqrt M, L1L2, ...)`` shape.
+        """
+        d = self.nest.depth
+        out = []
+        for p in self.pieces:
+            out.append(
+                AffinePiece(
+                    constant=_ONE - p.constant,
+                    coeffs=tuple(_ONE - c for c in p.coeffs),
+                    source_zeta=p.source_zeta,
+                    source_s=p.source_s,
+                )
+            )
+        return tuple(out)
+
+    def region_inequalities(self, piece: AffinePiece) -> list[tuple[Fraction, tuple[Fraction, ...]]]:
+        """The polyhedral region where ``piece`` is minimal.
+
+        Returns inequalities ``const + <coeffs, beta> >= 0`` (one per
+        other piece, i.e. ``other(beta) - piece(beta) >= 0``); together
+        with ``beta >= 0`` they cut out the piece's critical region in
+        the multiparametric-programming sense [BBM03].
+        """
+        region = []
+        for other in self.pieces:
+            if other is piece:
+                continue
+            region.append(
+                (
+                    other.constant - piece.constant,
+                    tuple(oc - pc for oc, pc in zip(other.coeffs, piece.coeffs)),
+                )
+            )
+        return region
+
+    def render(self) -> str:
+        names = [f"b({nm})" for nm in self.nest.loops]
+        body = ", ".join(p.render(names) for p in self.pieces)
+        return f"f(beta) = min({body})"
+
+
+def _dual_vertices(nest: LoopNest) -> list[tuple[tuple[Fraction, ...], tuple[Fraction, ...]]]:
+    """Enumerate the vertices of the beta-independent dual polyhedron D.
+
+    Variables: ``zeta_0..zeta_{d-1}, s_0..s_{n-1}`` (dimension d+n).
+    Facets: ``zeta_i + sum_{j in R_i} s_j >= 1`` (d rows, for loops),
+    plus nonnegativity (d+n rows).  A vertex is a feasible point where
+    some d+n linearly-independent facets are tight.  Note arrays with
+    empty support never appear in covering rows, so their ``s_j`` is 0
+    at every vertex (tight nonnegativity is the only option).
+    """
+    d, n = nest.depth, nest.num_arrays
+    dim = d + n
+    # Facet list: (row_coeffs, rhs) for rows  a.x >= rhs.
+    facets: list[tuple[list[Fraction], Fraction]] = []
+    for i in range(d):
+        row = [_ZERO] * dim
+        row[i] = _ONE
+        for j in nest.arrays_containing(i):
+            row[d + j] = _ONE
+        facets.append((row, _ONE))
+    for v in range(dim):
+        row = [_ZERO] * dim
+        row[v] = _ONE
+        facets.append((row, _ZERO))
+
+    vertices: list[tuple[tuple[Fraction, ...], tuple[Fraction, ...]]] = []
+    seen: set[tuple[Fraction, ...]] = set()
+    for combo in combinations(range(len(facets)), dim):
+        A = [facets[idx][0] for idx in combo]
+        b = [facets[idx][1] for idx in combo]
+        try:
+            x = solve_square(A, b)
+        except SingularMatrixError:
+            continue
+        key = tuple(x)
+        if key in seen:
+            continue
+        # Feasibility w.r.t. all facets.
+        ok = True
+        for row, rhs in facets:
+            total = sum((r * xv for r, xv in zip(row, x) if r != 0), start=_ZERO)
+            if total < rhs:
+                ok = False
+                break
+        if not ok:
+            continue
+        seen.add(key)
+        vertices.append((tuple(x[:d]), tuple(x[d:])))
+    return vertices
+
+
+def _is_essential(piece_idx: int, pieces: list[AffinePiece], d: int) -> bool:
+    """Exact test: is piece strictly minimal somewhere on ``beta >= 0``?
+
+    LP over (beta, delta): maximise delta subject to
+    ``other(beta) - piece(beta) >= delta`` for every other piece and
+    ``beta >= 0``.  The piece is essential iff the optimum is positive
+    (an unbounded LP also certifies essentiality).  We additionally cap
+    ``beta <= BIG`` to keep the LP bounded without affecting the sign
+    of the answer (pieces differing only beyond astronomically large
+    beta have no modelling value: ``beta_i <= 64`` covers every cache
+    size ``M >= 2`` and bound ``L_i <= 2**64``).
+    """
+    BIG = Fraction(64)
+    piece = pieces[piece_idx]
+    c = [_ZERO] * d + [-_ONE]  # minimise -delta
+    A_ub: list[list[Fraction]] = []
+    b_ub: list[Fraction] = []
+    for k, other in enumerate(pieces):
+        if k == piece_idx:
+            continue
+        # piece(beta) + delta <= other(beta)
+        row = [pc - oc for pc, oc in zip(piece.coeffs, other.coeffs)] + [_ONE]
+        A_ub.append(row)
+        b_ub.append(other.constant - piece.constant)
+    bounds = [(0, BIG)] * d + [(None, None)]
+    sol = solve_lp(c, A_ub, b_ub, bounds=bounds, sense="min")
+    if sol.status == "unbounded":  # pragma: no cover - delta is capped via rows
+        return True
+    if not sol.is_optimal:  # pragma: no cover - defensive
+        return True
+    delta = -sol.objective
+    return delta > 0
+
+
+def parametric_tile_exponent(nest: LoopNest, prune: bool = True) -> PiecewiseValueFunction:
+    """Compute the exact piecewise-linear tile-size exponent ``f(beta)``.
+
+    Parameters
+    ----------
+    nest:
+        Only the *structure* (supports) matters; the bounds stored in
+        the nest are ignored — ``beta`` is the free parameter.
+    prune:
+        Drop pieces that are nowhere uniquely minimal on the orthant
+        (exact LP domination test).  Disable to inspect the full vertex
+        set of the dual polyhedron.
+    """
+    raw = _dual_vertices(nest)
+    pieces = [
+        AffinePiece(
+            constant=sum(s, start=_ZERO),
+            coeffs=zeta,
+            source_zeta=zeta,
+            source_s=s,
+        )
+        for zeta, s in raw
+    ]
+    # Deduplicate pieces that share (constant, coeffs) but come from
+    # different dual vertices (degeneracy).
+    unique: dict[tuple, AffinePiece] = {}
+    for p in pieces:
+        unique.setdefault((p.constant, p.coeffs), p)
+    pieces = list(unique.values())
+    if prune and len(pieces) > 1:
+        essential = [
+            p for idx, p in enumerate(pieces) if _is_essential(idx, pieces, nest.depth)
+        ]
+        if essential:  # pragma: no branch - at least one piece always survives
+            pieces = essential
+    pieces.sort(key=lambda p: (p.constant, p.coeffs))
+    return PiecewiseValueFunction(nest=nest, pieces=tuple(pieces), pruned=prune)

@@ -1,0 +1,164 @@
+"""Textual front-end: parse statements like ``C[i,k] += A[i,j] * B[j,k]``.
+
+This is the compiler-facing entry point envisioned in the paper's
+discussion (§7: "compiler optimization to automatically block projective
+nested loops").  The accepted grammar is a single update statement::
+
+    output "[" indices "]"  ("+="|"=")  expr
+
+    expr   := term (("*" | "+" | ",") term)*
+    term   := name "[" indices "]" | name "[" "]"
+    indices:= ident ("," ident)*
+
+Every identifier appearing inside brackets becomes a loop; the loop
+order is the order of first appearance unless ``loop_order`` overrides
+it.  Bounds are supplied separately (mapping loop name -> extent).
+
+Only *projective* accesses are accepted: each index slot must be a bare
+loop name.  Affine expressions (``i+j``, ``2*i``) are rejected with a
+pointered error message, since the paper's machinery (and this library)
+covers the projective case only.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Sequence
+
+from .loopnest import ArrayRef, LoopNest, LoopNestError
+
+__all__ = ["parse_nest", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed statements, with position information."""
+
+
+_ACCESS = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\[([^\]]*)\]")
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+
+
+def _parse_indices(array: str, blob: str, offset: int) -> list[str]:
+    blob = blob.strip()
+    if not blob:
+        return []
+    names = []
+    for piece in blob.split(","):
+        ident = piece.strip()
+        if not _IDENT.match(ident):
+            raise ParseError(
+                f"array {array!r}: index expression {ident!r} (at char {offset}) is not a "
+                "bare loop name; only projective accesses are supported"
+            )
+        names.append(ident)
+    if len(set(names)) != len(names):
+        raise ParseError(f"array {array!r} repeats an index: {names}")
+    return names
+
+
+def parse_nest(
+    statement: str,
+    bounds: Mapping[str, int],
+    name: str = "nest",
+    loop_order: Sequence[str] | None = None,
+) -> LoopNest:
+    """Parse ``statement`` into a :class:`LoopNest`.
+
+    Parameters
+    ----------
+    statement:
+        e.g. ``"C[i,k] += A[i,j] * B[j,k]"`` or the §6.5 pointwise
+        convolution ``"Out[k,h,w,b] += Image[w,h,c,b] * Filter[k,c]"``.
+    bounds:
+        Extent of every loop appearing in the statement.
+    name:
+        Name for the resulting nest.
+    loop_order:
+        Optional explicit loop ordering; defaults to first-appearance
+        order (output array first).
+
+    Raises
+    ------
+    ParseError
+        On syntax errors, non-projective accesses, or missing bounds.
+    """
+    if "=" not in statement:
+        raise ParseError("statement must contain '=' or '+='")
+    lhs_text, _, rhs_text = statement.partition("+=")
+    if not rhs_text:
+        lhs_text, _, rhs_text = statement.partition("=")
+    if not rhs_text.strip():
+        raise ParseError("empty right-hand side")
+
+    accesses: list[tuple[str, list[str], bool]] = []
+    seen_arrays: set[str] = set()
+
+    lhs_matches = list(_ACCESS.finditer(lhs_text))
+    if len(lhs_matches) != 1 or lhs_text[: lhs_matches[0].start()].strip():
+        raise ParseError(f"left-hand side {lhs_text.strip()!r} must be a single array access")
+    m = lhs_matches[0]
+    accesses.append((m.group(1), _parse_indices(m.group(1), m.group(2), m.start(2)), True))
+    seen_arrays.add(m.group(1))
+
+    consumed_until = 0
+    rhs_matches = list(_ACCESS.finditer(rhs_text))
+    if not rhs_matches:
+        raise ParseError(f"no array accesses found on right-hand side {rhs_text.strip()!r}")
+    for m in rhs_matches:
+        gap = rhs_text[consumed_until : m.start()].strip()
+        if gap and not all(ch in "*+,()" or ch.isspace() for ch in gap):
+            raise ParseError(f"unexpected token {gap!r} between accesses")
+        consumed_until = m.end()
+        arr_name = m.group(1)
+        indices = _parse_indices(arr_name, m.group(2), m.start(2))
+        if arr_name in seen_arrays:
+            # Repeated reference to the same array with the same support is a
+            # no-op for the bounds; with a different support it would be a
+            # distinct phi and must be renamed by the caller.
+            existing = next(a for a in accesses if a[0] == arr_name)
+            if existing[1] != indices:
+                raise ParseError(
+                    f"array {arr_name!r} accessed with two different index tuples "
+                    f"({existing[1]} vs {indices}); give the accesses distinct names"
+                )
+            continue
+        seen_arrays.add(arr_name)
+        accesses.append((arr_name, indices, False))
+    trailing = rhs_text[consumed_until:].strip()
+    if trailing and not all(ch in "*+,()" or ch.isspace() for ch in trailing):
+        raise ParseError(f"unexpected trailing token {trailing!r}")
+
+    # Loop ordering.
+    first_seen: list[str] = []
+    for _, indices, _ in accesses:
+        for ident in indices:
+            if ident not in first_seen:
+                first_seen.append(ident)
+    loops = list(loop_order) if loop_order is not None else first_seen
+    if sorted(loops) != sorted(first_seen):
+        raise ParseError(
+            f"loop_order {loops} does not match loops used in the statement {first_seen}"
+        )
+
+    missing = [l for l in loops if l not in bounds]
+    if missing:
+        raise ParseError(f"no bounds given for loops {missing}")
+    position = {l: i for i, l in enumerate(loops)}
+
+    arrays = tuple(
+        ArrayRef(
+            name=arr_name,
+            support=tuple(sorted(position[ident] for ident in indices)),
+            is_output=is_out,
+        )
+        for arr_name, indices, is_out in accesses
+    )
+    try:
+        return LoopNest(
+            name=name,
+            loops=tuple(loops),
+            bounds=tuple(int(bounds[l]) for l in loops),
+            arrays=arrays,
+        )
+    except LoopNestError as exc:
+        raise ParseError(str(exc)) from exc

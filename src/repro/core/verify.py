@@ -1,0 +1,188 @@
+"""Independent verification of claimed tilings and bounds.
+
+A compiler or library integrating this analysis wants to *check* an
+artefact without trusting the solver that produced it.  This module
+provides self-contained verifiers whose logic is deliberately
+independent of the LP pipeline:
+
+* :func:`check_tile` — is a tile feasible for a budget, and how close
+  is its volume to the claimed exponent?
+* :func:`check_dual_certificate` — does a dual point ``(zeta, s)``
+  certify an upper bound on every feasible tile's volume?  (Weak
+  duality, verified from the definition by pure arithmetic.)
+* :func:`verify_analysis` — cross-examines a full
+  :class:`repro.Analysis` bundle: feasibility, weak-duality validity of
+  the dual certificate, exact primal/dual equality, and agreement of
+  the bound object with the tiling exponent.
+
+The checks use only Fractions and the nest's combinatorial structure —
+no LP solves — so they are a genuinely independent audit path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..util.rationals import pow_fraction
+from .loopnest import LoopNest
+from .tiling import BUDGETS, TileShape
+
+__all__ = ["TileCheck", "CertificateCheck", "check_tile", "check_dual_certificate", "verify_analysis"]
+
+
+@dataclass(frozen=True)
+class TileCheck:
+    """Outcome of a tile audit."""
+
+    feasible: bool
+    volume: int
+    claimed_bound: float
+    utilisation: float  # volume / M^k (1.0 = attains the fractional bound)
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.feasible and not self.violations
+
+
+def check_tile(
+    nest: LoopNest,
+    tile: TileShape,
+    cache_words: int,
+    claimed_exponent: Fraction,
+    budget: str = "per-array",
+) -> TileCheck:
+    """Audit a tile against the model and a claimed exponent.
+
+    Violations reported: out-of-range blocks (raised by TileShape
+    itself), budget violations per array, and volume exceeding the
+    claimed fractional bound (which would disprove the claim).
+    """
+    if budget not in BUDGETS:
+        raise ValueError(f"unknown budget {budget!r}")
+    violations: list[str] = []
+    if budget == "per-array":
+        for j, arr in enumerate(nest.arrays):
+            fp = tile.footprint(j)
+            if fp > cache_words:
+                violations.append(f"array {arr.name}: footprint {fp} > M={cache_words}")
+    else:
+        total = tile.total_footprint()
+        if total > cache_words:
+            violations.append(f"total footprint {total} > M={cache_words}")
+    bound = pow_fraction(cache_words, claimed_exponent)
+    if tile.volume > bound * (1 + 1e-12):
+        violations.append(
+            f"volume {tile.volume} exceeds claimed bound M^{claimed_exponent} = {bound:.6g}"
+        )
+    feasible = not any(v.startswith(("array", "total")) for v in violations)
+    return TileCheck(
+        feasible=feasible,
+        volume=tile.volume,
+        claimed_bound=bound,
+        utilisation=tile.volume / bound if bound > 0 else 0.0,
+        violations=tuple(violations),
+    )
+
+
+@dataclass(frozen=True)
+class CertificateCheck:
+    """Outcome of a weak-duality certificate audit."""
+
+    dual_feasible: bool
+    certified_exponent: Fraction | None
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.dual_feasible
+
+
+def check_dual_certificate(
+    nest: LoopNest,
+    betas: Sequence[Fraction],
+    zeta: Sequence[Fraction],
+    s: Sequence[Fraction],
+) -> CertificateCheck:
+    """Verify a dual point certifies tile-volume <= M^(beta.zeta + sum s).
+
+    Weak duality, checked from first principles: for any tile with
+    log-sides ``lambda`` (0 <= lambda_i <= beta_i, capacity rows hold),
+
+        sum_i lambda_i <= sum_i lambda_i (zeta_i + sum_{j in R_i} s_j)
+                        <= sum_i beta_i zeta_i + sum_j s_j
+
+    provided ``zeta, s >= 0`` and every covering row
+    ``zeta_i + sum_{j in R_i} s_j >= 1`` holds.  Only those conditions
+    are checked here — no solver involved.
+    """
+    zeta = [Fraction(z) for z in zeta]
+    s = [Fraction(v) for v in s]
+    betas = [Fraction(b) for b in betas]
+    violations: list[str] = []
+    if len(zeta) != nest.depth or len(s) != nest.num_arrays or len(betas) != nest.depth:
+        raise ValueError("certificate arity mismatch")
+    for i, z in enumerate(zeta):
+        if z < 0:
+            violations.append(f"zeta[{nest.loops[i]}] = {z} < 0")
+    for j, v in enumerate(s):
+        if v < 0:
+            violations.append(f"s[{nest.arrays[j].name}] = {v} < 0")
+    for i in range(nest.depth):
+        row = zeta[i] + sum((s[j] for j in nest.arrays_containing(i)), start=Fraction(0))
+        if row < 1:
+            violations.append(
+                f"covering row for loop {nest.loops[i]}: {row} < 1 (certificate invalid)"
+            )
+    if violations:
+        return CertificateCheck(dual_feasible=False, certified_exponent=None, violations=tuple(violations))
+    certified = sum((b * z for b, z in zip(betas, zeta)), start=Fraction(0)) + sum(
+        s, start=Fraction(0)
+    )
+    return CertificateCheck(dual_feasible=True, certified_exponent=certified, violations=())
+
+
+def verify_analysis(analysis) -> list[str]:
+    """Cross-examine a :class:`repro.Analysis` bundle; return problems found.
+
+    An empty list means: the tile is feasible, the dual point is a
+    valid weak-duality certificate, the certified exponent equals the
+    primal exponent (tightness), and the bound object used the same
+    exponent.  This is the audit a downstream compiler should run on
+    received artefacts.
+    """
+    problems: list[str] = []
+    nest: LoopNest = analysis.nest
+    M: int = analysis.cache_words
+
+    tile_check = check_tile(
+        nest,
+        analysis.tiling.tile,
+        M,
+        analysis.tiling.exponent,
+        budget=analysis.tiling.budget,
+    )
+    if not tile_check.ok:
+        problems.extend(f"tile: {v}" for v in tile_check.violations)
+
+    cert = analysis.certificate
+    cert_check = check_dual_certificate(nest, cert.betas, cert.dual.zeta, cert.dual.s)
+    if not cert_check.ok:
+        problems.extend(f"certificate: {v}" for v in cert_check.violations)
+    elif cert_check.certified_exponent != cert.dual_value:
+        problems.append(
+            f"certificate objective mismatch: recomputed {cert_check.certified_exponent}, "
+            f"stored {cert.dual_value}"
+        )
+    if cert.primal_value != cert.dual_value:
+        problems.append(
+            f"tightness gap: primal {cert.primal_value} != dual {cert.dual_value}"
+        )
+    if analysis.lower_bound.k_hat != cert.primal_value:
+        problems.append(
+            f"bound object exponent {analysis.lower_bound.k_hat} != "
+            f"certified {cert.primal_value}"
+        )
+    return problems

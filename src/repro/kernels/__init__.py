@@ -1,0 +1,31 @@
+"""Executable numpy kernels: general einsum-tiled executor + specialised benches."""
+
+from .codegen import compile_kernel, generate_tiled_source, run_generated
+from .einsum_exec import ExecutionStats, einsum_spec, execute_tiled, execute_untiled
+from .naive import allocate_arrays, execute_reference
+from .tiled import (
+    blocked_matmul,
+    blocked_nbody,
+    blocked_pointwise_conv,
+    naive_matmul,
+    naive_nbody,
+    naive_pointwise_conv,
+)
+
+__all__ = [
+    "compile_kernel",
+    "generate_tiled_source",
+    "run_generated",
+    "allocate_arrays",
+    "execute_reference",
+    "ExecutionStats",
+    "einsum_spec",
+    "execute_tiled",
+    "execute_untiled",
+    "blocked_matmul",
+    "naive_matmul",
+    "blocked_nbody",
+    "naive_nbody",
+    "blocked_pointwise_conv",
+    "naive_pointwise_conv",
+]

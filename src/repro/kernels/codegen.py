@@ -1,0 +1,110 @@
+"""Tiled-loop code generation: the §7 compiler pass, made literal.
+
+Given a nest and a tile, emit runnable Python/numpy source implementing
+the blocked loop nest — outer loops over tile origins in a chosen
+order, one einsum per tile — and compile it to a callable.  This is the
+artefact a compiler integration would produce (cf. the paper's remark
+on icc's ``--opt-matmul``): the *structure* is general, only block
+sizes come from the analysis.
+
+Generated code is deliberately human-readable; examples and tests
+exercise it against the reference executor.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.loopnest import LoopNest, LoopNestError
+from ..core.tiling import TileShape
+from ..simulate.footprint import validate_order
+
+__all__ = ["generate_tiled_source", "compile_kernel"]
+
+
+def _slice_expr(nest: LoopNest, support: Sequence[int]) -> str:
+    parts = [f"{nest.loops[i]}0:{nest.loops[i]}1" for i in support]
+    return ", ".join(parts) if parts else "..."
+
+
+def generate_tiled_source(
+    nest: LoopNest,
+    tile: TileShape,
+    order: Sequence[int] | None = None,
+    func_name: str = "tiled_kernel",
+) -> str:
+    """Emit Python source for the blocked execution of ``nest``.
+
+    The function signature lists the output array first, then inputs in
+    nest order; it mutates the output in place and returns it.
+    """
+    order = validate_order(nest, order)
+    outputs = [a for a in nest.arrays if a.is_output]
+    if len(outputs) != 1:
+        raise LoopNestError("code generation needs exactly one output array")
+    output = outputs[0]
+    inputs = [a for a in nest.arrays if not a.is_output]
+    if nest.depth > len(string.ascii_lowercase):
+        raise LoopNestError("too many loops for einsum letters")
+    letters = string.ascii_lowercase[: nest.depth]
+    spec_in = ",".join("".join(letters[i] for i in arr.support) for arr in inputs)
+    spec = f"{spec_in}->" + "".join(letters[i] for i in output.support)
+
+    args = ", ".join([output.name] + [a.name for a in inputs])
+    lines = [
+        f"def {func_name}({args}):",
+        f'    """Blocked {nest.name}: tile {tile.blocks}, loop order '
+        f'{tuple(nest.loops[i] for i in order)}."""',
+    ]
+    indent = "    "
+    for depth, loop in enumerate(order):
+        name = nest.loops[loop]
+        L = nest.bounds[loop]
+        b = tile.blocks[loop]
+        pad = indent * (depth + 1)
+        lines.append(f"{pad}for {name}0 in range(0, {L}, {b}):")
+        lines.append(f"{pad}    {name}1 = min({name}0 + {b}, {L})")
+    body_pad = indent * (nest.depth + 1)
+    operand_exprs = [f"{arr.name}[{_slice_expr(nest, arr.support)}]" for arr in inputs]
+    out_expr = f"{output.name}[{_slice_expr(nest, output.support)}]"
+    lines.append(
+        f"{body_pad}{out_expr} += _einsum({spec!r}, "
+        + ", ".join(operand_exprs)
+        + ", optimize=True)"
+    )
+    lines.append(f"    return {output.name}")
+    return "\n".join(lines) + "\n"
+
+
+def compile_kernel(
+    nest: LoopNest,
+    tile: TileShape,
+    order: Sequence[int] | None = None,
+    func_name: str = "tiled_kernel",
+) -> Callable[..., np.ndarray]:
+    """Compile the generated source into a callable.
+
+    The callable takes arrays positionally (output first, inputs in
+    nest order) or can be applied to an array mapping via
+    ``kernel(**arrays)`` after renaming — tests use positional form.
+    """
+    source = generate_tiled_source(nest, tile, order=order, func_name=func_name)
+    namespace: dict[str, object] = {"_einsum": np.einsum}
+    exec(compile(source, f"<generated {nest.name}>", "exec"), namespace)
+    return namespace[func_name]  # type: ignore[return-value]
+
+
+def run_generated(
+    nest: LoopNest,
+    tile: TileShape,
+    arrays: Mapping[str, np.ndarray],
+    order: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Convenience: compile and invoke on a name-keyed array dict."""
+    kernel = compile_kernel(nest, tile, order=order)
+    output = next(a for a in nest.arrays if a.is_output)
+    inputs = [a for a in nest.arrays if not a.is_output]
+    return kernel(arrays[output.name], *(arrays[a.name] for a in inputs))

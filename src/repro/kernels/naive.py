@@ -1,0 +1,75 @@
+"""Pure-Python reference kernels (oracles for the numpy backend).
+
+Executes a projective nest with multiply-accumulate semantics::
+
+    out[phi_out(x)] += prod_j in_j[phi_j(x)]        for every point x
+
+one iteration point at a time.  Deliberately slow and obviously
+correct — the numpy tiled executor is tested against this on small
+instances.  Exactly one output array is required (the common case for
+every catalog problem; multi-output nests are analysable for bounds but
+not executable by this semiring backend).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..core.loopnest import LoopNest, LoopNestError
+
+__all__ = ["allocate_arrays", "execute_reference"]
+
+
+def allocate_arrays(
+    nest: LoopNest, rng: np.random.Generator | None = None, dtype=np.float64
+) -> dict[str, np.ndarray]:
+    """Allocate input arrays (random) and the output array (zeros).
+
+    Shapes follow each access's support: array ``j`` has one axis per
+    supported loop, extents taken from the nest bounds.
+    """
+    rng = rng or np.random.default_rng(0)
+    arrays: dict[str, np.ndarray] = {}
+    for arr in nest.arrays:
+        shape = tuple(nest.bounds[i] for i in arr.support)
+        if arr.is_output:
+            arrays[arr.name] = np.zeros(shape, dtype=dtype)
+        else:
+            arrays[arr.name] = rng.standard_normal(shape).astype(dtype)
+    return arrays
+
+
+def _check_arrays(nest: LoopNest, arrays: Mapping[str, np.ndarray]) -> None:
+    outputs = [a for a in nest.arrays if a.is_output]
+    if len(outputs) != 1:
+        raise LoopNestError(
+            f"executable kernels need exactly one output array, nest has {len(outputs)}"
+        )
+    for arr in nest.arrays:
+        if arr.name not in arrays:
+            raise LoopNestError(f"missing array {arr.name!r}")
+        expected = tuple(nest.bounds[i] for i in arr.support)
+        if arrays[arr.name].shape != expected:
+            raise LoopNestError(
+                f"array {arr.name!r} has shape {arrays[arr.name].shape}, expected {expected}"
+            )
+
+
+def execute_reference(nest: LoopNest, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Run the multiply-accumulate nest point-by-point; returns the output.
+
+    Guarded to small iteration spaces (inherits the
+    :meth:`LoopNest.iteration_points` limit).
+    """
+    _check_arrays(nest, arrays)
+    output_ref = next(a for a in nest.arrays if a.is_output)
+    inputs = [a for a in nest.arrays if not a.is_output]
+    out = arrays[output_ref.name]
+    for point in nest.iteration_points():
+        value = 1.0
+        for arr in inputs:
+            value *= arrays[arr.name][arr.project(point)]
+        out[output_ref.project(point)] += value
+    return out

@@ -1,0 +1,129 @@
+"""Hand-specialised numpy kernels for the timing benchmarks (E12).
+
+Three workloads the paper motivates, each in a *blocked* variant whose
+block sizes come straight from :func:`repro.core.tiling.solve_tiling`
+and a baseline variant, so the benchmark harness can report the shape
+of blocked-vs-baseline timing alongside the word-count story:
+
+* :func:`blocked_matmul` — per-tile ``A_blk @ B_blk`` accumulation;
+* :func:`blocked_nbody` — per-tile broadcasting pairwise interaction;
+* :func:`blocked_pointwise_conv` — §6.5 as a blocked image-matrix
+  product over channel tiles.
+
+Python loop overhead means wall-time gains only appear once tiles carry
+enough arithmetic; the benchmarks pick sizes accordingly and the README
+documents the caveat (absolute times are numpy-bound, the *shape* of
+the comparison is what reproduces).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "blocked_matmul",
+    "naive_matmul",
+    "blocked_nbody",
+    "naive_nbody",
+    "blocked_pointwise_conv",
+    "naive_pointwise_conv",
+]
+
+
+def naive_matmul(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Whole-problem ``A @ B`` (BLAS handles blocking internally)."""
+    return A @ B
+
+
+def blocked_matmul(A: np.ndarray, B: np.ndarray, b1: int, b2: int, b3: int) -> np.ndarray:
+    """Matmul as an explicit b1 x b2 x b3 tiled triple loop.
+
+    Block sizes are the paper's tile dimensions for loops (x1, x2, x3) —
+    (rows of A, contraction, cols of B).
+    """
+    L1, L2 = A.shape
+    L2b, L3 = B.shape
+    if L2 != L2b:
+        raise ValueError(f"inner dimensions disagree: {A.shape} x {B.shape}")
+    if min(b1, b2, b3) < 1:
+        raise ValueError("block sizes must be positive")
+    C = np.zeros((L1, L3), dtype=np.result_type(A, B))
+    for i0 in range(0, L1, b1):
+        i1 = min(i0 + b1, L1)
+        for k0 in range(0, L3, b3):
+            k1 = min(k0 + b3, L3)
+            acc = C[i0:i1, k0:k1]
+            for j0 in range(0, L2, b2):
+                j1 = min(j0 + b2, L2)
+                acc += A[i0:i1, j0:j1] @ B[j0:j1, k0:k1]
+    return C
+
+
+def naive_nbody(
+    P: np.ndarray, Q: np.ndarray, interaction: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
+) -> np.ndarray:
+    """All-pairs interaction F[i] = sum_j f(P[i], Q[j]) in one broadcast."""
+    f = interaction or _default_interaction
+    return f(P[:, None], Q[None, :]).sum(axis=1)
+
+
+def blocked_nbody(
+    P: np.ndarray,
+    Q: np.ndarray,
+    b1: int,
+    b2: int,
+    interaction: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
+    """All-pairs interaction evaluated over b1 x b2 tiles of (i, j)."""
+    if min(b1, b2) < 1:
+        raise ValueError("block sizes must be positive")
+    f = interaction or _default_interaction
+    F = np.zeros_like(P)
+    n1, n2 = len(P), len(Q)
+    for i0 in range(0, n1, b1):
+        i1 = min(i0 + b1, n1)
+        acc = F[i0:i1]
+        for j0 in range(0, n2, b2):
+            j1 = min(j0 + b2, n2)
+            acc += f(P[i0:i1, None], Q[None, j0:j1]).sum(axis=1)
+    return F
+
+
+def _default_interaction(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    # A softened inverse-square law: smooth, no singularities at p == q.
+    return (p - q) / (1.0 + (p - q) ** 2)
+
+
+def naive_pointwise_conv(image: np.ndarray, filt: np.ndarray) -> np.ndarray:
+    """§6.5 pointwise convolution: Out[k,h,w,b] = sum_c Image[w,h,c,b] Filter[k,c].
+
+    Shapes: image (W, H, C, B), filt (K, C) -> out (K, H, W, B).
+    """
+    return np.einsum("whcb,kc->khwb", image, filt, optimize=True)
+
+
+def blocked_pointwise_conv(
+    image: np.ndarray, filt: np.ndarray, bc: int, bk: int
+) -> np.ndarray:
+    """Pointwise conv blocked over the channel (c) and filter (k) loops.
+
+    The spatial/batch loops stream; c and k are the loops the tiling LP
+    shortens when C is small (the common CNN regime the paper targets).
+    """
+    if min(bc, bk) < 1:
+        raise ValueError("block sizes must be positive")
+    W, H, C, B = image.shape
+    K, Cf = filt.shape
+    if C != Cf:
+        raise ValueError(f"channel dims disagree: image C={C}, filter C={Cf}")
+    out = np.zeros((K, H, W, B), dtype=np.result_type(image, filt))
+    for k0 in range(0, K, bk):
+        k1 = min(k0 + bk, K)
+        for c0 in range(0, C, bc):
+            c1 = min(c0 + bc, C)
+            out[k0:k1] += np.einsum(
+                "whcb,kc->khwb", image[:, :, c0:c1, :], filt[k0:k1, c0:c1], optimize=True
+            )
+    return out

@@ -1,0 +1,15 @@
+"""Two-level machine model and cache policies (the paper's cost model)."""
+
+from .cache import CacheStats, DirectMappedCache, FullyAssociativeLRU, simulate_belady
+from .counters import ArrayTraffic, TrafficReport
+from .model import MachineModel
+
+__all__ = [
+    "MachineModel",
+    "CacheStats",
+    "FullyAssociativeLRU",
+    "DirectMappedCache",
+    "simulate_belady",
+    "ArrayTraffic",
+    "TrafficReport",
+]

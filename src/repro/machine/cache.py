@@ -1,0 +1,191 @@
+"""Cache replacement policies for the trace-driven validator.
+
+Three policies:
+
+* :class:`FullyAssociativeLRU` — the standard online policy; the
+  Hong–Kung bounds hold for *any* policy, and LRU within a factor of 2
+  (capacity) of optimal, so LP tilings should land within a small
+  constant of the lower bound under LRU.
+* :class:`DirectMappedCache` — a deliberately weak policy to show the
+  *gap* a bad cache introduces (conflict misses the model ignores).
+* :func:`simulate_belady` — the offline optimal (furthest-next-use)
+  policy: the tightest realisable traffic for a fixed access order,
+  bounding from below what any hardware could do with that schedule.
+
+All policies work on line addresses; write-backs of dirty lines are
+counted separately so reports can separate read and write traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = [
+    "CacheStats",
+    "FullyAssociativeLRU",
+    "DirectMappedCache",
+    "simulate_belady",
+]
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counters for one simulation run."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def words_moved(self, line_words: int = 1, count_writebacks: bool = True) -> int:
+        """Total slow-memory traffic in words (fills + optional write-backs)."""
+        moved = self.misses * line_words
+        if count_writebacks:
+            moved += self.writebacks * line_words
+        return moved
+
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
+
+class FullyAssociativeLRU:
+    """Fully-associative LRU cache over line addresses.
+
+    ``capacity_lines`` whole lines; ``access`` returns True on hit.
+    Dirty lines write back on eviction (write-allocate, write-back).
+    """
+
+    def __init__(self, capacity_lines: int):
+        if capacity_lines < 1:
+            raise ValueError("capacity_lines must be >= 1")
+        self.capacity = capacity_lines
+        self._lines: OrderedDict[int, bool] = OrderedDict()  # line -> dirty
+        self.stats = CacheStats()
+
+    def access(self, line: int, is_write: bool = False) -> bool:
+        self.stats.accesses += 1
+        if line in self._lines:
+            self.stats.hits += 1
+            dirty = self._lines.pop(line)
+            self._lines[line] = dirty or is_write
+            return True
+        self.stats.misses += 1
+        if len(self._lines) >= self.capacity:
+            _, dirty = self._lines.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+        self._lines[line] = is_write
+        return False
+
+    def flush(self) -> None:
+        """Write back all dirty lines (end-of-run accounting)."""
+        for _, dirty in self._lines.items():
+            if dirty:
+                self.stats.writebacks += 1
+        self._lines.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self._lines)
+
+
+class DirectMappedCache:
+    """Direct-mapped cache: line maps to set ``line % num_sets``.
+
+    Included as a *negative control*: the paper's model assumes an
+    ideal fully-associative cache; direct mapping adds conflict misses
+    that inflate traffic above the analytic prediction.
+    """
+
+    def __init__(self, num_sets: int):
+        if num_sets < 1:
+            raise ValueError("num_sets must be >= 1")
+        self.num_sets = num_sets
+        self._sets: dict[int, tuple[int, bool]] = {}  # set -> (line, dirty)
+        self.stats = CacheStats()
+
+    def access(self, line: int, is_write: bool = False) -> bool:
+        self.stats.accesses += 1
+        idx = line % self.num_sets
+        occupant = self._sets.get(idx)
+        if occupant is not None and occupant[0] == line:
+            self.stats.hits += 1
+            self._sets[idx] = (line, occupant[1] or is_write)
+            return True
+        self.stats.misses += 1
+        if occupant is not None and occupant[1]:
+            self.stats.writebacks += 1
+        self._sets[idx] = (line, is_write)
+        return False
+
+    def flush(self) -> None:
+        for _, (_, dirty) in self._sets.items():
+            if dirty:
+                self.stats.writebacks += 1
+        self._sets.clear()
+
+
+def simulate_belady(
+    trace: Sequence[tuple[int, bool]], capacity_lines: int
+) -> CacheStats:
+    """Offline-optimal (Belady/MIN) simulation of a full line trace.
+
+    ``trace`` is a sequence of ``(line, is_write)``.  Evicts the
+    resident line whose next use is furthest in the future (never-used
+    lines first), via a lazily-invalidated max-heap.  Returns the run's
+    :class:`CacheStats` (with end-of-run dirty flushes included).
+    """
+    if capacity_lines < 1:
+        raise ValueError("capacity_lines must be >= 1")
+    n = len(trace)
+    INF = n + 1
+    # next_use[t] = next position after t accessing the same line.
+    next_use = [INF] * n
+    last_pos: dict[int, int] = {}
+    for t in range(n - 1, -1, -1):
+        line = trace[t][0]
+        next_use[t] = last_pos.get(line, INF)
+        last_pos[line] = t
+
+    stats = CacheStats()
+    resident: dict[int, bool] = {}  # line -> dirty
+    heap: list[tuple[int, int]] = []  # (-next_use, line), lazily invalidated
+    current_next: dict[int, int] = {}
+
+    for t, (line, is_write) in enumerate(trace):
+        stats.accesses += 1
+        nxt = next_use[t]
+        if line in resident:
+            stats.hits += 1
+            resident[line] = resident[line] or is_write
+        else:
+            stats.misses += 1
+            if len(resident) >= capacity_lines:
+                while True:
+                    neg, victim = heapq.heappop(heap)
+                    if victim in resident and current_next.get(victim) == -neg:
+                        break
+                dirty = resident.pop(victim)
+                current_next.pop(victim, None)
+                if dirty:
+                    stats.writebacks += 1
+            resident[line] = is_write
+        current_next[line] = nxt
+        heapq.heappush(heap, (-nxt, line))
+
+    for dirty in resident.values():
+        if dirty:
+            stats.writebacks += 1
+    return stats

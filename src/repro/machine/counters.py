@@ -1,0 +1,64 @@
+"""Per-array traffic accounting shared by the analytic and trace simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ArrayTraffic", "TrafficReport"]
+
+
+@dataclass(frozen=True)
+class ArrayTraffic:
+    """Words moved for one array."""
+
+    name: str
+    loads: int
+    stores: int
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Words moved between slow and fast memory for one execution.
+
+    ``source`` records which simulator produced it (``"analytic"``,
+    ``"lru"``, ``"belady"``, ``"direct"``), ``meta`` carries
+    simulator-specific details (tile shape, loop order, line size).
+    """
+
+    nest_name: str
+    per_array: tuple[ArrayTraffic, ...]
+    source: str
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def loads(self) -> int:
+        return sum(a.loads for a in self.per_array)
+
+    @property
+    def stores(self) -> int:
+        return sum(a.stores for a in self.per_array)
+
+    @property
+    def total_words(self) -> int:
+        return self.loads + self.stores
+
+    def array(self, name: str) -> ArrayTraffic:
+        for a in self.per_array:
+            if a.name == name:
+                return a
+        raise KeyError(f"no traffic entry for array {name!r}")
+
+    def ratio_to(self, bound_words: float) -> float:
+        """Measured traffic over a lower bound — the optimality gap."""
+        if bound_words <= 0:
+            raise ValueError("bound must be positive")
+        return self.total_words / bound_words
+
+    def summary(self) -> str:
+        per = ", ".join(f"{a.name}:{a.loads}+{a.stores}" for a in self.per_array)
+        return f"{self.nest_name}[{self.source}]: {self.total_words} words ({per})"

@@ -1,0 +1,60 @@
+"""The two-level machine model of the paper (§2).
+
+A processor computes only on data resident in a *fast memory* (cache)
+of ``cache_words`` words; an unbounded *slow memory* holds everything;
+the cost of an execution is the number of words moved between the two.
+This is the Hong–Kung red/blue-pebble model the lower bounds live in.
+
+``line_words`` extends the model with cache-line granularity for the
+trace-driven simulators (``line_words = 1`` recovers the paper's model
+exactly; larger lines let the benchmarks show spatial-locality effects
+the asymptotic theory ignores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Two-level memory hierarchy parameters.
+
+    Attributes
+    ----------
+    cache_words:
+        Fast-memory capacity ``M`` in words.
+    line_words:
+        Transfer granularity; traffic is counted in words but data
+        moves in aligned groups of ``line_words`` (1 = paper model).
+    name:
+        Cosmetic label for reports.
+    """
+
+    cache_words: int
+    line_words: int = 1
+    name: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.cache_words < 1:
+            raise ValueError("cache_words must be >= 1")
+        if self.line_words < 1:
+            raise ValueError("line_words must be >= 1")
+        if self.line_words > self.cache_words:
+            raise ValueError("line_words cannot exceed cache_words")
+
+    @property
+    def cache_lines(self) -> int:
+        """Number of whole lines the cache holds."""
+        return self.cache_words // self.line_words
+
+    def line_of(self, address: int) -> int:
+        """Aligned line index containing ``address``."""
+        if address < 0:
+            raise ValueError("addresses are nonnegative")
+        return address // self.line_words
+
+    def describe(self) -> str:
+        return f"{self.name}: M={self.cache_words} words, {self.line_words}-word lines"

@@ -1,0 +1,21 @@
+"""Multiprocessor extension (§7): processor grids and distributed bounds."""
+
+from .distributed import (
+    DistributedReport,
+    distributed_lower_bound,
+    one_dimensional_split,
+    simulate_grid,
+)
+from .grid import GridCost, factor_grids, grid_cost, lp_grid, optimal_grid
+
+__all__ = [
+    "GridCost",
+    "factor_grids",
+    "grid_cost",
+    "optimal_grid",
+    "lp_grid",
+    "DistributedReport",
+    "distributed_lower_bound",
+    "simulate_grid",
+    "one_dimensional_split",
+]

@@ -1,0 +1,155 @@
+"""Processor-grid partitioning (the paper's §7 multiprocessor extension).
+
+§7 argues the memory model generalises to P processors (after [Kni15],
+[ITT04]) and that the best split hands each processor a *rectangular*
+block of the iteration space.  This module makes that concrete:
+
+* enumerate integer processor grids ``p_1 x ... x p_d`` with
+  ``prod p_i = P``, each processor owning a ``ceil(L_i / p_i)`` block;
+* cost a grid by its per-processor data requirement
+  ``sum_j prod_{i in supp_j} ceil(L_i / p_i)`` (the §2 footprint of the
+  owned block) or by the *communication* variant that credits each
+  processor the ``1/P`` slice of each array it can own locally;
+* :func:`optimal_grid` — exhaustive argmin over grids (exact);
+* :func:`lp_grid` — the log-space LP relaxation (the continuous
+  analogue of the tiling LP with the capacity rows replaced by a
+  makespan objective), used to show the exhaustive optimum tracks the
+  LP prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import prod
+from typing import Iterator, Sequence
+
+from ..core.loopnest import LoopNest
+from ..core.lp import LinearProgram
+from ..util.rationals import log_ratio
+
+__all__ = ["GridCost", "factor_grids", "grid_cost", "optimal_grid", "lp_grid"]
+
+
+@dataclass(frozen=True)
+class GridCost:
+    """Cost report for one processor grid."""
+
+    grid: tuple[int, ...]
+    block: tuple[int, ...]
+    footprint_words: int
+    comm_words: int
+
+    def describe(self) -> str:
+        g = "x".join(str(p) for p in self.grid)
+        return (
+            f"grid {g}: block {self.block}, footprint {self.footprint_words}, "
+            f"comm {self.comm_words}"
+        )
+
+
+def factor_grids(P: int, d: int) -> Iterator[tuple[int, ...]]:
+    """All ordered factorizations of ``P`` into ``d`` positive factors."""
+    if P < 1 or d < 1:
+        raise ValueError("need P >= 1 and d >= 1")
+    if d == 1:
+        yield (P,)
+        return
+    for first in range(1, P + 1):
+        if P % first == 0:
+            for rest in factor_grids(P // first, d - 1):
+                yield (first, *rest)
+
+
+def grid_cost(nest: LoopNest, grid: Sequence[int]) -> GridCost:
+    """Per-processor footprint and communication for a grid.
+
+    Each processor owns the iteration block ``ceil(L_i / p_i)``; it
+    must access ``prod_{i in supp_j} block_i`` words of array ``j`` and
+    can hold ``array_size / P`` of them locally under a balanced
+    distribution, so its communication is the difference (floored at
+    zero per array).
+    """
+    grid = tuple(int(p) for p in grid)
+    if len(grid) != nest.depth:
+        raise ValueError("grid length must equal nest depth")
+    if any(p < 1 for p in grid):
+        raise ValueError("grid entries must be positive")
+    P = prod(grid)
+    block = tuple(-(-L // p) for L, p in zip(nest.bounds, grid))
+    footprint = 0
+    comm = 0
+    for j, arr in enumerate(nest.arrays):
+        need = prod(block[i] for i in arr.support)
+        footprint += need
+        owned = nest.array_size(j) // P
+        comm += max(0, need - owned)
+    return GridCost(grid=grid, block=block, footprint_words=footprint, comm_words=comm)
+
+
+def optimal_grid(nest: LoopNest, P: int, objective: str = "comm") -> GridCost:
+    """Exhaustive best grid for ``P`` processors.
+
+    ``objective``: ``"comm"`` (default) or ``"footprint"``.  Grids whose
+    factors exceed the loop bounds waste processors (empty blocks); they
+    are still legal but never optimal, and the enumeration includes
+    them for completeness.
+    """
+    if objective not in ("comm", "footprint"):
+        raise ValueError(f"unknown objective {objective!r}")
+    best: GridCost | None = None
+    for grid in factor_grids(P, nest.depth):
+        cost = grid_cost(nest, grid)
+        key = cost.comm_words if objective == "comm" else cost.footprint_words
+        best_key = (
+            None
+            if best is None
+            else (best.comm_words if objective == "comm" else best.footprint_words)
+        )
+        if best is None or key < best_key or (key == best_key and cost.grid < best.grid):
+            best = cost
+    assert best is not None
+    return best
+
+
+def lp_grid(nest: LoopNest, P: int) -> tuple[tuple[Fraction, ...], Fraction]:
+    """Log-space LP relaxation of grid selection.
+
+    Variables ``mu_i = log2 p_i``; minimise the makespan ``t`` of
+    per-array block footprints::
+
+        min t
+        s.t. sum_{i in supp_j} (log2 L_i - mu_i) <= t   for each array j
+             sum_i mu_i = log2 P
+             0 <= mu_i <= log2 L_i
+
+    Returns ``(mu, t)`` exactly (Fractions, base-2 logs).  Rounding mu
+    to integer grid factors reproduces the exhaustive optimum's shape;
+    the benchmarks compare the two.
+    """
+    logL = [log_ratio(L, 2) for L in nest.bounds]
+    logP = log_ratio(P, 2)
+    lp = LinearProgram(sense="min")
+    for i in range(nest.depth):
+        lp.add_variable(f"mu[{nest.loops[i]}]", lo=0, hi=logL[i])
+    lp.add_variable("t", lo=None)
+    for j, arr in enumerate(nest.arrays):
+        if not arr.support:
+            continue
+        coeffs = {f"mu[{nest.loops[i]}]": -1 for i in arr.support}
+        coeffs["t"] = -1
+        lp.add_constraint(
+            f"fp[{arr.name}]",
+            coeffs,
+            "<=",
+            -sum((logL[i] for i in arr.support), start=Fraction(0)),
+        )
+    lp.add_constraint(
+        "procs", {f"mu[{nest.loops[i]}]": 1 for i in range(nest.depth)}, "==", logP
+    )
+    lp.set_objective({"t": 1})
+    report = lp.solve()
+    if not report.is_optimal:
+        raise RuntimeError(f"grid LP {report.status}: is P={P} larger than the iteration space?")
+    mu = tuple(report.values[f"mu[{nest.loops[i]}]"] for i in range(nest.depth))
+    return mu, report.objective

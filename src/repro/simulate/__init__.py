@@ -1,0 +1,29 @@
+"""Execution simulators: analytic word counts and trace-driven caches."""
+
+from .executor import best_order_traffic, simulate_tiled_traffic, simulate_untiled_traffic
+from .footprint import array_tile_loads, working_set_words
+from .trace import Access, AddressMap, generate_trace, trace_length
+from .multilevel import (
+    BoundaryTraffic,
+    MultiLevelReport,
+    simulate_hierarchical_tiling_trace,
+    simulate_hierarchy_trace,
+)
+from .trace_sim import run_trace_simulation
+
+__all__ = [
+    "simulate_tiled_traffic",
+    "simulate_untiled_traffic",
+    "best_order_traffic",
+    "array_tile_loads",
+    "working_set_words",
+    "Access",
+    "AddressMap",
+    "generate_trace",
+    "trace_length",
+    "run_trace_simulation",
+    "BoundaryTraffic",
+    "MultiLevelReport",
+    "simulate_hierarchy_trace",
+    "simulate_hierarchical_tiling_trace",
+]

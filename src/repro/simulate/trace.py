@@ -1,0 +1,128 @@
+"""Word-level address-trace generation for tiled loop nests.
+
+The trace-driven validator needs the actual sequence of array-element
+touches a tiled execution performs.  :func:`generate_trace` walks the
+tile grid in a given loop order, walks each tile's points, and emits
+one access per array reference per iteration point (reads for inputs,
+read-modify-write for outputs — i.e. an output access is a write that
+also needs the line resident, which is how write-allocate caches treat
+``+=``).
+
+Traces are word-granular; :func:`linearize` maps an array element to a
+flat address in a global address space with per-array bases, row-major
+within each array (matching how the numpy kernels lay memory out).
+Intended for *small* instances — the trace has
+``num_operations * num_arrays`` entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Iterator, Sequence
+
+from ..core.loopnest import LoopNest
+from ..core.tiling import TileShape
+from .footprint import validate_order
+
+__all__ = ["Access", "AddressMap", "generate_trace", "trace_length"]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One word access: which array, which element, read or write."""
+
+    array: int
+    element: tuple[int, ...]
+    is_write: bool
+
+
+class AddressMap:
+    """Row-major per-array linearisation into one flat address space."""
+
+    def __init__(self, nest: LoopNest):
+        self.nest = nest
+        self._dims: list[tuple[int, ...]] = []
+        self._bases: list[int] = []
+        base = 0
+        for arr in nest.arrays:
+            dims = tuple(nest.bounds[i] for i in arr.support)
+            self._dims.append(dims)
+            self._bases.append(base)
+            base += prod(dims) if dims else 1
+        self.total_words = base
+
+    def address(self, access: Access) -> int:
+        dims = self._dims[access.array]
+        if len(access.element) != len(dims):
+            raise ValueError(
+                f"element {access.element} has wrong arity for array "
+                f"{self.nest.arrays[access.array].name} (dims {dims})"
+            )
+        flat = 0
+        for coord, extent in zip(access.element, dims):
+            if not 0 <= coord < extent:
+                raise ValueError(f"element {access.element} out of bounds {dims}")
+            flat = flat * extent + coord
+        return self._bases[access.array] + flat
+
+    def array_of(self, address: int) -> int:
+        """Inverse lookup: which array owns ``address`` (linear scan, small n)."""
+        for j in range(len(self._bases) - 1, -1, -1):
+            if address >= self._bases[j]:
+                return j
+        raise ValueError(f"address {address} below first base")
+
+
+def trace_length(nest: LoopNest) -> int:
+    """Number of accesses :func:`generate_trace` will emit."""
+    return nest.num_operations * nest.num_arrays
+
+
+def _tile_ranges(L: int, b: int) -> list[range]:
+    return [range(start, min(start + b, L)) for start in range(0, L, b)]
+
+
+def generate_trace(
+    nest: LoopNest,
+    tile: TileShape | None = None,
+    order: Sequence[int] | None = None,
+) -> Iterator[Access]:
+    """Yield the access stream of a tiled execution.
+
+    ``tile=None`` means the untiled (single-tile-per-point) execution in
+    plain lexicographic order ``order``.  Within a tile, points are
+    visited lexicographically in the same loop order; per point, arrays
+    are touched in nest order (inputs as reads, outputs as writes).
+    """
+    order = validate_order(nest, order)
+    d = nest.depth
+    if nest.num_operations * nest.num_arrays > 8_000_000:
+        raise ValueError("trace too long; use the analytic executor for large nests")
+    blocks = tile.blocks if tile is not None else tuple(1 for _ in range(d))
+    per_dim_ranges = [_tile_ranges(nest.bounds[i], blocks[i]) for i in range(d)]
+
+    def walk_tiles(depth: int, chosen: list[range]) -> Iterator[list[range]]:
+        if depth == d:
+            yield chosen
+            return
+        loop = order[depth]
+        for rng in per_dim_ranges[loop]:
+            chosen[loop] = rng
+            yield from walk_tiles(depth + 1, chosen)
+
+    point = [0] * d
+
+    def walk_points(depth: int, ranges: list[range]) -> Iterator[tuple[int, ...]]:
+        if depth == d:
+            yield tuple(point)
+            return
+        loop = order[depth]
+        for v in ranges[loop]:
+            point[loop] = v
+            yield from walk_points(depth + 1, ranges)
+
+    for ranges in walk_tiles(0, [range(0)] * d):
+        for pt in walk_points(0, ranges):
+            for j, arr in enumerate(nest.arrays):
+                yield Access(array=j, element=arr.project(pt), is_write=arr.is_output)

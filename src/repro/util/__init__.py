@@ -1,0 +1,1 @@
+"""Shared exact-arithmetic and enumeration utilities."""

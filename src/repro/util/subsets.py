@@ -1,0 +1,60 @@
+"""Subset-enumeration helpers for the Theorem-2 minimisation over Q.
+
+The arbitrary-bound lower bound (paper §4.2) minimises over all subsets
+``Q`` of loop indices treated as "small".  ``d`` is the loop-nest depth
+(rarely more than 8 in practice), so explicit enumeration is cheap; we
+nevertheless provide a pruned enumerator keyed on which loops can
+possibly contribute (``beta_j < k_HBL`` is a quick necessary condition
+for membership to matter).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["all_subsets", "subsets_of", "powerset_size", "lex_tuples"]
+
+
+def all_subsets(n: int) -> Iterator[tuple[int, ...]]:
+    """All subsets of ``range(n)`` as sorted tuples, by increasing size."""
+    for size in range(n + 1):
+        yield from combinations(range(n), size)
+
+
+def subsets_of(items: Sequence[T]) -> Iterator[tuple[T, ...]]:
+    """All subsets of ``items`` as tuples, by increasing size."""
+    for size in range(len(items) + 1):
+        yield from combinations(items, size)
+
+
+def powerset_size(n: int) -> int:
+    """Number of subsets of an ``n``-element set (``2**n``)."""
+    return 1 << n
+
+
+def lex_tuples(extents: Sequence[int]) -> Iterator[tuple[int, ...]]:
+    """Lexicographic enumeration of the integer box ``prod_i range(extents[i])``.
+
+    Equivalent to ``itertools.product(*map(range, extents))`` but kept
+    here so call sites document intent (tile-grid walking order).
+    """
+    if any(e < 0 for e in extents):
+        raise ValueError("extents must be nonnegative")
+    if not extents:
+        yield ()
+        return
+    idx = [0] * len(extents)
+    if any(e == 0 for e in extents):
+        return
+    while True:
+        yield tuple(idx)
+        for pos in range(len(extents) - 1, -1, -1):
+            idx[pos] += 1
+            if idx[pos] < extents[pos]:
+                break
+            idx[pos] = 0
+        else:
+            return

@@ -1,0 +1,92 @@
+"""Tests for optimal-tile-family enumeration (§6.1's alpha family)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.alpha_family import optimal_tile_family
+from repro.library.problems import matmul, nbody
+
+
+class TestMatmulFamily:
+    M = 2**16
+
+    def test_unique_optimum_large_bounds(self):
+        fam = optimal_tile_family(matmul(2**10, 2**10, 2**10), self.M)
+        assert fam.is_unique
+        assert fam.vertices == ((F(1, 2), F(1, 2), F(1, 2)),)
+
+    def test_small_l3_family_endpoints(self):
+        # beta = (5/8, 5/8, 1/4): optimal face is the segment between
+        # (5/8, 3/8, 1/4) and (3/8, 5/8, 1/4) - the paper's alpha family
+        # clipped to the actual beta1 cap.
+        fam = optimal_tile_family(matmul(2**10, 2**10, 2**4), self.M)
+        assert fam.exponent == F(5, 4)
+        assert set(fam.vertices) == {
+            (F(5, 8), F(3, 8), F(1, 4)),
+            (F(3, 8), F(5, 8), F(1, 4)),
+        }
+
+    def test_paper_alpha_family_with_huge_l1_l2(self):
+        # With beta1 = beta2 = 1 the paper's alpha=0 member (1-b3, b3, b3)
+        # is a face vertex; the alpha=1 member (1/2, 1/2, b3) is the
+        # *midpoint* of the face (between the vertex and its mirror), so
+        # it is contained but not itself a vertex.
+        fam = optimal_tile_family(
+            matmul(2**16, 2**16, 2**4), self.M
+        )  # beta1 = beta2 = 1, beta3 = 1/4
+        assert fam.exponent == F(5, 4)
+        assert (F(3, 4), F(1, 4), F(1, 4)) in fam.vertices  # (1-b3, b3, b3)
+        assert fam.contains((F(1, 2), F(1, 2), F(1, 4)))  # (1/2, 1/2, b3)
+
+    def test_interpolation_is_optimal(self):
+        fam = optimal_tile_family(matmul(2**16, 2**16, 2**4), self.M)
+        n = len(fam.vertices)
+        uniform = [F(1, n)] * n
+        lam = fam.interpolate(uniform)
+        assert fam.contains(lam)
+        assert sum(lam) == fam.exponent
+
+    def test_alpha_parameterisation_matches_paper(self):
+        # lambda(alpha) = (a/2 + (1-a)(1-b3), a/2 + (1-a) b3, b3).
+        fam = optimal_tile_family(matmul(2**16, 2**16, 2**4), self.M)
+        b3 = F(1, 4)
+        for alpha in (F(0), F(1, 3), F(1, 2), F(1)):
+            lam = (
+                alpha / 2 + (1 - alpha) * (1 - b3),
+                alpha / 2 + (1 - alpha) * b3,
+                b3,
+            )
+            assert fam.contains(lam), alpha
+
+
+class TestFamilyAPI:
+    M = 2**12
+
+    def test_interpolate_validation(self):
+        fam = optimal_tile_family(matmul(2**6, 2**6, 2**6), self.M)
+        with pytest.raises(ValueError):
+            fam.interpolate([F(1, 2)] * (len(fam.vertices) + 1))
+        with pytest.raises(ValueError):
+            fam.interpolate([F(2)] + [F(0)] * (len(fam.vertices) - 1) if len(fam.vertices) > 1 else [F(2)])
+
+    def test_tile_at_is_feasible(self):
+        fam = optimal_tile_family(matmul(2**10, 2**10, 2**2), self.M)
+        n = len(fam.vertices)
+        tile = fam.tile_at([F(1, n)] * n)
+        assert tile.is_feasible(self.M, "per-array")
+
+    def test_contains_rejects_suboptimal(self):
+        fam = optimal_tile_family(matmul(2**6, 2**6, 2**6), self.M)
+        assert not fam.contains((F(0), F(0), F(0)))
+        assert not fam.contains((F(10), F(10), F(10)))
+        assert not fam.contains((F(1, 2), F(1, 2)))
+
+    def test_nbody_whole_space_vertex(self):
+        # Everything fits (k = b1 + b2): unique vertex at (b1, b2).
+        fam = optimal_tile_family(nbody(2**4, 2**4), 2**16)
+        assert fam.vertices == ((F(1, 4), F(1, 4)),)
+
+    def test_describe(self):
+        fam = optimal_tile_family(matmul(2**6, 2**6, 2**6), self.M)
+        assert "k_hat" in fam.describe()

@@ -1,0 +1,110 @@
+"""Exhaustive-oracle tests: Theorem 2's rectangle-optimality on tiny instances."""
+
+import pytest
+
+from repro.core.bruteforce import best_rectangle, best_subset, max_subset_of_size
+from repro.core.bounds import tile_exponent
+from repro.core.tiling import solve_tiling
+from repro.library.problems import matmul, matvec, nbody
+from repro.util.rationals import pow_fraction
+
+
+class TestBestRectangle:
+    def test_matmul_small(self):
+        nest = matmul(4, 4, 4)
+        res = best_rectangle(nest, 8)
+        # Per-array: b1 b3 <= 8, b1 b2 <= 8, b2 b3 <= 8; best volume is
+        # b=(2,4,2)-style giving 16? Check exhaustively against LP bound.
+        k = tile_exponent(nest, 8)
+        assert res.volume <= pow_fraction(8, k) + 1e-9
+
+    def test_lp_tile_matches_bruteforce(self):
+        # On instances where M^lambda is integral, round-and-grow should
+        # find a tile as large as the exhaustive optimum.
+        nest = matmul(8, 8, 8)
+        M = 16
+        res = best_rectangle(nest, M)
+        sol = solve_tiling(nest, M)
+        assert sol.tile.volume == res.volume
+
+    def test_guard_on_large_instances(self):
+        with pytest.raises(ValueError):
+            best_rectangle(matmul(1024, 1024, 1024), 64)
+
+    def test_budget_aggregate(self):
+        nest = nbody(4, 4)
+        per = best_rectangle(nest, 8, budget="per-array")
+        agg = best_rectangle(nest, 8, budget="aggregate")
+        assert agg.volume <= per.volume
+
+
+CASES = [
+    (matmul(2, 2, 2), 2),
+    (matmul(2, 2, 2), 3),
+    (matmul(2, 2, 2), 4),
+    (matmul(2, 2, 4), 4),
+    (matvec(4, 4), 3),
+    (matvec(4, 4), 4),
+    (matvec(4, 4), 6),
+    (nbody(4, 4), 3),
+    (nbody(4, 4), 4),
+    (nbody(4, 5), 4),
+    (nbody(2, 8), 5),
+]
+
+
+class TestRectangleOptimality:
+    """Theorem 2's structural claim, stated precisely.
+
+    The theorem bounds *arbitrary* subset tiles by ``M**k_hat``, and the
+    bound is attained by a (generally fractional) rectangle.  At integer
+    granularity a non-rectangular subset can exceed the best *integer*
+    rectangle (see ``test_integer_granularity_gap``) while still
+    respecting the fractional bound — the claim that matters.
+    """
+
+    @pytest.mark.parametrize("nest,M", CASES, ids=lambda x: getattr(x, "name", x))
+    def test_theorem2_bounds_arbitrary_subsets(self, nest, M):
+        k = tile_exponent(nest, M)
+        subset = best_subset(nest, M)
+        assert subset.volume <= pow_fraction(M, k) + 1e-9
+
+    @pytest.mark.parametrize("nest,M", CASES, ids=lambda x: getattr(x, "name", x))
+    def test_rectangles_are_subsets(self, nest, M):
+        assert best_rectangle(nest, M).volume <= best_subset(nest, M).volume
+
+    @pytest.mark.parametrize(
+        "nest,M",
+        CASES[:1] + CASES[2:],  # all but the M=3 matmul gap case
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_integer_rectangles_usually_match(self, nest, M):
+        assert best_rectangle(nest, M).volume == best_subset(nest, M).volume
+
+    def test_integer_granularity_gap(self):
+        # matmul 2x2x2 with M=3: the best integer rectangle has volume 2,
+        # but the 4-point "cross" {origin + unit steps} has per-array
+        # footprints exactly 3.  Both sit below M^(3/2) ~ 5.196 — the
+        # Theorem-2 bound — illustrating that rectangle optimality is a
+        # statement about the fractional bound, not integer tiles.
+        nest, M = matmul(2, 2, 2), 3
+        assert best_rectangle(nest, M).volume == 2
+        assert best_subset(nest, M).volume == 4
+        assert 4 <= pow_fraction(M, tile_exponent(nest, M))
+
+    def test_guard_on_subset_size(self):
+        with pytest.raises(ValueError):
+            best_subset(matmul(4, 4, 4), 8)
+
+
+class TestMaxSubsetOfSize:
+    def test_feasible_size_found(self):
+        nest = nbody(4, 4)
+        rect = best_rectangle(nest, 3)
+        found = max_subset_of_size(nest, 3, rect.volume)
+        assert found is not None and len(found) == rect.volume
+
+    def test_infeasible_size_rejected(self):
+        nest = nbody(4, 4)
+        best = best_subset(nest, 3)
+        assert max_subset_of_size(nest, 3, best.volume + 1) is None

@@ -1,0 +1,82 @@
+"""Tests for the command-line front end and the analyze() bundle."""
+
+import pytest
+
+import repro
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_bundle_fields(self):
+        nest = repro.parse_nest(
+            "C[i,k] += A[i,j] * B[j,k]", bounds={"i": 1024, "j": 1024, "k": 16}
+        )
+        analysis = repro.analyze(nest, cache_words=2**16)
+        assert analysis.certificate.tight
+        assert analysis.lower_bound.k_hat == analysis.tiling.exponent
+        assert analysis.tiling.tile.is_feasible(2**16, "per-array")
+        text = analysis.summary()
+        assert "k_hat" in text and "TIGHT" in text
+
+
+class TestCLI:
+    def test_statement_mode(self, capsys):
+        rc = main(
+            [
+                "C[i,k] += A[i,j] * B[j,k]",
+                "--bounds",
+                "i=1024,j=1024,k=16",
+                "-M",
+                "65536",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "k_hat=5/4" in out
+        assert "TIGHT" in out
+
+    def test_problem_mode_with_sizes(self, capsys):
+        rc = main(["--problem", "nbody", "--sizes", "4096,4096", "-M", "4096"])
+        assert rc == 0
+        assert "nbody" in capsys.readouterr().out
+
+    def test_problem_mode_default_sizes(self, capsys):
+        rc = main(["--problem", "matvec", "-M", "1024"])
+        assert rc == 0
+
+    def test_piecewise_flag(self, capsys):
+        rc = main(
+            ["--problem", "matmul", "--sizes", "64,64,64", "-M", "256", "--piecewise"]
+        )
+        assert rc == 0
+        assert "min(" in capsys.readouterr().out
+
+    def test_simulate_flag(self, capsys):
+        rc = main(
+            ["--problem", "matmul", "--sizes", "64,64,64", "-M", "1024", "--simulate", "--budget", "aggregate"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated tiled traffic" in out
+        assert "simulated naive traffic" in out
+
+    def test_bad_statement(self, capsys):
+        rc = main(["C[i] += A[i+1]", "--bounds", "i=4", "-M", "64"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_bounds_blob(self, capsys):
+        rc = main(["C[i] += A[i]", "--bounds", "i:4", "-M", "64"])
+        assert rc == 2
+
+    def test_bad_sizes_arity(self, capsys):
+        rc = main(["--problem", "matmul", "--sizes", "4,4", "-M", "64"])
+        assert rc == 2
+
+    def test_missing_inputs(self):
+        with pytest.raises(SystemExit):
+            main(["-M", "64"])
+
+    def test_statement_requires_bounds(self):
+        with pytest.raises(SystemExit):
+            main(["C[i] += A[i]", "-M", "64"])

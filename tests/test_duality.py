@@ -1,0 +1,61 @@
+"""Theorem-3 tightness tests (§5): primal LP == dual LP, exactly."""
+
+from fractions import Fraction as F
+
+from repro.core.bounds import subset_exponent
+from repro.core.duality import build_dual_lp, theorem3_certificate
+from repro.library.problems import catalog, matmul
+
+
+class TestTheorem3OnCatalog:
+    def test_every_catalog_problem_is_tight(self):
+        M = 2**12
+        for name, nest in catalog().items():
+            cert = theorem3_certificate(nest, M)
+            assert cert.tight, f"{name}: {cert.summary()}"
+
+    def test_certificate_fields(self):
+        cert = theorem3_certificate(matmul(2**8, 2**8, 2**4), 2**16)
+        assert cert.primal_value == cert.dual_value == F(5, 4)
+        assert len(cert.lambdas) == 3
+        assert len(cert.dual.zeta) == 3
+        assert len(cert.dual.s) == 3
+        assert "TIGHT" in cert.summary()
+
+    def test_complementary_slackness_flag(self):
+        cert = theorem3_certificate(matmul(2**8, 2**8, 2**4), 2**16)
+        assert cert.complementary_slackness
+
+    def test_various_cache_sizes(self):
+        nest = matmul(2**6, 2**9, 2**3)
+        for M in (2, 16, 97, 2**10, 2**20):
+            assert theorem3_certificate(nest, M).tight, M
+
+
+class TestDualEquivalences:
+    def test_dual_lp_equals_full_subset_lp(self):
+        # build_dual_lp (from LP dualisation) and build_subset_lp with
+        # Q = all loops (from Theorem 2) must produce the same optimum.
+        M = 2**10
+        for nest in catalog().values():
+            dual_opt = build_dual_lp(nest, M).solve().objective
+            subset_opt = subset_exponent(nest, M, range(nest.depth))
+            assert dual_opt == subset_opt, nest.name
+
+    def test_dual_value_bounds_every_subset(self):
+        # Strongest-bound property: the dual optimum is <= every
+        # Theorem-2 subset bound.
+        nest = matmul(2**9, 2**5, 2**2)
+        M = 2**12
+        full = theorem3_certificate(nest, M).dual_value
+        from repro.util.subsets import all_subsets
+
+        for Q in all_subsets(nest.depth):
+            assert full <= subset_exponent(nest, M, Q)
+
+    def test_dual_multipliers_price_small_loops(self):
+        # For matmul with small L3, the binding loop bound must carry a
+        # positive dual price (zeta_3 > 0) - the paper's beta3 term.
+        cert = theorem3_certificate(matmul(2**10, 2**10, 2**3), 2**16)
+        assert cert.dual.zeta[2] > 0
+        assert cert.dual.zeta[0] == cert.dual.zeta[1] == 0

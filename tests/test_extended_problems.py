@@ -1,0 +1,92 @@
+"""Golden analyses for the extended workloads (SYRK, Tucker, attention).
+
+These go beyond the paper's §6 set; each value below was derived by
+hand from the supports and cross-checked against the exact machinery —
+they serve as regression anchors for the LP pipeline on deeper nests.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.bounds import communication_lower_bound, tile_exponent
+from repro.core.duality import theorem3_certificate
+from repro.core.hbl import solve_hbl
+from repro.core.mplp import parametric_tile_exponent
+from repro.core.tiling import solve_tiling
+from repro.library.problems import attention_scores, syrk, tucker_core
+
+
+class TestSyrk:
+    def test_hbl_is_matmul_like(self):
+        # Supports are isomorphic to matmul's: k_HBL = 3/2.
+        assert solve_hbl(syrk(256, 256)).k == F(3, 2)
+
+    def test_small_k_regime(self):
+        # K = 16, M = 2^16: beta_k = 1/4 -> 1 + beta_k, like skinny matmul.
+        assert tile_exponent(syrk(2**12, 2**4), 2**16) == F(5, 4)
+
+    def test_tight(self):
+        assert theorem3_certificate(syrk(2**10, 2**5), 2**12).tight
+
+
+class TestTuckerCore:
+    M = 2**12
+
+    def test_hbl_value(self):
+        # Variables (G, X, U1, U2, U3); rows: i: x+u1>=1, j: x+u2>=1,
+        # k: x+u3>=1, a: g+u1>=1, b: g+u2>=1, c: g+u3>=1.
+        # Optimum: x = g = 1/2, u_i = 1/2 each -> total 5/2?  Check:
+        # x=1/2 forces u1,u2,u3 >= 1/2; g then free >= 1/2 from a-row:
+        # g + u1 >= 1 -> g >= 1/2.  Total = 1/2*5 = 5/2.  Alternative
+        # x=1, u=0: a-rows need g >= 1 -> total 2.  So optimum <= 2.
+        # Even better: x=1, g=1, all u=0 -> rows a: g+u1=1 ok -> total 2.
+        # Try x=3/4: u_i >= 1/4, g >= 3/4: total = 3/4+3/4+3*1/4 = 9/4 > 2.
+        sol = solve_hbl(tucker_core(64, 64, 64, 8, 8, 8))
+        assert sol.k == F(2)
+
+    def test_small_rank_exponent(self):
+        # Ranks 8 at M = 2^12: beta_rank = 1/4 each.
+        k = tile_exponent(tucker_core(2**8, 2**8, 2**8, 8, 8, 8), self.M)
+        cert = theorem3_certificate(tucker_core(2**8, 2**8, 2**8, 8, 8, 8), self.M)
+        assert cert.tight
+        assert k == cert.primal_value
+        # The rank loops saturate: lambda_a = lambda_b = lambda_c = 1/4
+        # and X's row gives lambda_i+lambda_j+lambda_k <= 1 -> k <= 7/4.
+        assert k == F(7, 4)
+
+    def test_tile_saturates_rank_loops(self):
+        sol = solve_tiling(tucker_core(2**8, 2**8, 2**8, 8, 8, 8), self.M)
+        assert sol.tile.blocks[3:] == (8, 8, 8)
+
+
+class TestAttentionScores:
+    M = 2**14
+
+    def test_structure_is_batched_matmul(self):
+        # With batch loops shared by all arrays, the optimum matches
+        # batched matmul: 3/2 in the large-bound regime.
+        nest = attention_scores(2**4, 2**4, 2**10, 2**10, 2**10)
+        assert tile_exponent(nest, self.M) == F(3, 2)
+
+    def test_small_head_dim_regime(self):
+        # d = 64 = 2^6, M = 2^14: beta_d = 6/14 < 1/2 -> 1 + beta_d.
+        nest = attention_scores(2**4, 2**4, 2**10, 2**10, 2**6)
+        assert tile_exponent(nest, self.M) == 1 + F(6, 14)
+
+    def test_bound_reads_q_and_k(self):
+        nest = attention_scores(8, 12, 512, 512, 64)
+        lb = communication_lower_bound(nest, self.M)
+        # Must at least read Q and K and write the scores once.
+        assert lb.value >= nest.total_footprint()
+
+    def test_piecewise_contains_head_dim_piece(self):
+        nest = attention_scores(2, 2, 4, 4, 2)
+        pvf = parametric_tile_exponent(nest)
+        # There must be a piece 1 + beta_d (coeff on the last loop).
+        assert any(
+            p.constant == 1 and p.coeffs == (0, 0, 0, 0, 1) for p in pvf.pieces
+        ), pvf.render()
+
+    def test_tight(self):
+        assert theorem3_certificate(attention_scores(4, 4, 256, 256, 64), self.M).tight

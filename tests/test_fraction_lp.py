@@ -1,0 +1,158 @@
+"""Unit tests for the exact rational simplex (repro.core.fraction_lp)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.fraction_lp import LPError, solve_lp
+
+
+class TestBasicSolves:
+    def test_simple_min(self):
+        # min x + y s.t. x + y >= 1  (as -x - y <= -1)
+        sol = solve_lp([1, 1], A_ub=[[-1, -1]], b_ub=[-1])
+        assert sol.is_optimal
+        assert sol.objective == 1
+
+    def test_simple_max(self):
+        # max x + y s.t. x <= 2, y <= 3
+        sol = solve_lp([1, 1], A_ub=[[1, 0], [0, 1]], b_ub=[2, 3], sense="max")
+        assert sol.objective == 5
+        assert sol.x == (2, 3)
+
+    def test_fractional_optimum(self):
+        # The matmul HBL LP: min s1+s2+s3, each pair sums >= 1.
+        A = [[-1, -1, 0], [0, -1, -1], [-1, 0, -1]]
+        sol = solve_lp([1, 1, 1], A_ub=A, b_ub=[-1, -1, -1])
+        assert sol.objective == F(3, 2)
+        assert sol.x == (F(1, 2), F(1, 2), F(1, 2))
+
+    def test_equality_constraints(self):
+        # min x + 2y s.t. x + y == 4, x <= 1
+        sol = solve_lp([1, 2], A_ub=[[1, 0]], b_ub=[1], A_eq=[[1, 1]], b_eq=[4])
+        assert sol.is_optimal
+        assert sol.x == (1, 3)
+        assert sol.objective == 7
+
+    def test_zero_variable_problem(self):
+        sol = solve_lp([], A_ub=None, b_ub=None)
+        assert sol.is_optimal
+        assert sol.objective == 0
+
+    def test_no_constraints_bounded(self):
+        sol = solve_lp([2, 3])
+        assert sol.is_optimal
+        assert sol.objective == 0
+        assert sol.x == (0, 0)
+
+    def test_no_constraints_unbounded(self):
+        sol = solve_lp([-1, 0])
+        assert sol.status == "unbounded"
+
+
+class TestStatusDetection:
+    def test_infeasible(self):
+        # x >= 2 and x <= 1
+        sol = solve_lp([1], A_ub=[[-1], [1]], b_ub=[-2, 1])
+        assert sol.status == "infeasible"
+
+    def test_unbounded(self):
+        # max x with x unconstrained above
+        sol = solve_lp([1], A_ub=[[-1]], b_ub=[0], sense="max")
+        assert sol.status == "unbounded"
+
+    def test_infeasible_bounds(self):
+        sol = solve_lp([1], bounds=[(3, 2)])
+        assert sol.status == "infeasible"
+
+    def test_redundant_rows_ok(self):
+        # Duplicate equality rows must not break phase 1 / basis cleanup.
+        sol = solve_lp([1, 1], A_eq=[[1, 1], [1, 1], [2, 2]], b_eq=[2, 2, 4])
+        assert sol.is_optimal
+        assert sol.objective == 2
+
+
+class TestBounds:
+    def test_upper_bounds(self):
+        sol = solve_lp([-1, -1], bounds=[(0, 5), (0, F(7, 2))])
+        assert sol.objective == F(-17, 2)
+        assert sol.x == (5, F(7, 2))
+
+    def test_shifted_lower_bounds(self):
+        # min x with x >= 3
+        sol = solve_lp([1], bounds=[(3, None)])
+        assert sol.objective == 3
+
+    def test_negative_lower_bounds(self):
+        sol = solve_lp([1], bounds=[(-4, None)])
+        assert sol.objective == -4
+
+    def test_free_variable(self):
+        # min x + y s.t. x + y >= -10, x free, y >= 0
+        sol = solve_lp([1, 1], A_ub=[[-1, -1]], b_ub=[10], bounds=[(None, None), (0, None)])
+        assert sol.objective == -10
+
+    def test_upper_bounded_only(self):
+        # max x, x <= 7, no lower bound on x; constraint x >= 0 given as row
+        sol = solve_lp([1], A_ub=[[-1]], b_ub=[0], bounds=[(None, 7)], sense="max")
+        assert sol.objective == 7
+
+    def test_fixed_variable_via_bounds(self):
+        sol = solve_lp([1, 1], A_ub=[[-1, 0]], b_ub=[-1], bounds=[(0, None), (2, 2)])
+        assert sol.objective == 3
+        assert sol.x == (1, 2)
+
+
+class TestDegenerate:
+    def test_degenerate_vertex_terminates(self):
+        # Classic degeneracy: multiple constraints through the origin.
+        sol = solve_lp(
+            [-1, -1, -1],
+            A_ub=[[1, 1, 0], [1, 0, 1], [0, 1, 1], [1, 1, 1]],
+            b_ub=[1, 1, 1, F(3, 2)],
+        )
+        assert sol.is_optimal
+        assert sol.objective == F(-3, 2)
+
+    def test_beale_cycling_example(self):
+        # Beale's example that cycles under Dantzig's rule; Bland must terminate.
+        c = [F(-3, 4), 150, F(-1, 50), 6]
+        A = [
+            [F(1, 4), -60, F(-1, 25), 9],
+            [F(1, 2), -90, F(-1, 50), 3],
+            [0, 0, 1, 0],
+        ]
+        b = [0, 0, 1]
+        sol = solve_lp(c, A_ub=A, b_ub=b)
+        assert sol.is_optimal
+        assert sol.objective == F(-1, 20)
+
+
+class TestValidation:
+    def test_bad_sense(self):
+        with pytest.raises(LPError):
+            solve_lp([1], sense="maximize")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(LPError):
+            solve_lp([1, 1], A_ub=[[1]], b_ub=[1])
+
+    def test_rhs_mismatch(self):
+        with pytest.raises(LPError):
+            solve_lp([1], A_ub=[[1]], b_ub=[1, 2])
+
+    def test_bounds_mismatch(self):
+        with pytest.raises(LPError):
+            solve_lp([1, 1], bounds=[(0, None)])
+
+
+class TestExactness:
+    def test_huge_rationals(self):
+        big = F(10**12, 10**12 + 1)
+        sol = solve_lp([1], A_ub=[[-1]], b_ub=[-big])
+        assert sol.objective == big
+
+    def test_result_is_fraction(self):
+        sol = solve_lp([1, 1], A_ub=[[-1, -1]], b_ub=[-1])
+        assert all(isinstance(v, F) for v in sol.x)
+        assert isinstance(sol.objective, F)

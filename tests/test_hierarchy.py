@@ -1,0 +1,109 @@
+"""Tests for multi-level hierarchy tilings (repro.core.hierarchy)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.hierarchy import MemoryHierarchy, solve_hierarchical_tiling
+from repro.core.tiling import solve_tiling
+from repro.library.problems import matmul, mttkrp, nbody, pointwise_conv
+
+
+class TestMemoryHierarchy:
+    def test_valid(self):
+        h = MemoryHierarchy(capacities=(64, 1024, 2**16), name="3level")
+        assert h.levels == 3
+        assert "64 < 1024" in h.describe()
+
+    def test_must_increase(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(capacities=(64, 64))
+        with pytest.raises(ValueError):
+            MemoryHierarchy(capacities=(1024, 64))
+
+    def test_nonempty_and_min_size(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(capacities=())
+        with pytest.raises(ValueError):
+            MemoryHierarchy(capacities=(1,))
+
+
+class TestHierarchicalTiling:
+    H3 = MemoryHierarchy(capacities=(2**8, 2**12, 2**16))
+
+    def test_matmul_power_of_two_levels(self):
+        ht = solve_hierarchical_tiling(matmul(1024, 1024, 1024), self.H3)
+        assert [lvl.tile.blocks for lvl in ht.levels] == [
+            (16, 16, 16),
+            (64, 64, 64),
+            (256, 256, 256),
+        ]
+
+    def test_nesting_invariant(self):
+        for nest in [
+            matmul(512, 512, 8),
+            nbody(4096, 64),
+            pointwise_conv(8, 16, 32, 16, 16),
+            mttkrp(128, 128, 128, 8),
+        ]:
+            ht = solve_hierarchical_tiling(nest, self.H3)
+            for inner, outer in zip(ht.levels, ht.levels[1:]):
+                assert all(
+                    a <= b for a, b in zip(inner.tile.blocks, outer.tile.blocks)
+                ), nest.name
+
+    def test_per_level_feasibility(self):
+        for nest in [matmul(512, 512, 8), nbody(4096, 64)]:
+            ht = solve_hierarchical_tiling(nest, self.H3)
+            for lvl in ht.levels:
+                assert lvl.tile.is_feasible(lvl.capacity, "per-array"), nest.name
+
+    def test_matches_single_level_solution(self):
+        # With power-of-two data, each level's tile should equal the
+        # independent two-level solution (nesting constraints slack).
+        nest = matmul(2**10, 2**10, 2**10)
+        ht = solve_hierarchical_tiling(nest, self.H3)
+        for lvl in ht.levels:
+            single = solve_tiling(nest, lvl.capacity)
+            assert lvl.tile.volume == single.tile.volume
+
+    def test_small_bound_propagates_through_levels(self):
+        # L3 = 8 caps every level's third block at 8.
+        ht = solve_hierarchical_tiling(matmul(2**10, 2**10, 8), self.H3)
+        for lvl in ht.levels:
+            assert lvl.tile.blocks[2] <= 8
+
+    def test_level_bounds_attached(self):
+        ht = solve_hierarchical_tiling(matmul(2**10, 2**10, 2**10), self.H3)
+        ks = [lvl.lower_bound.k_hat for lvl in ht.levels]
+        assert ks == [F(3, 2)] * 3
+        assert ht.levels[0].lower_bound.hbl_words > ht.levels[2].lower_bound.hbl_words
+
+    def test_aggregate_budget(self):
+        ht = solve_hierarchical_tiling(
+            matmul(2**10, 2**10, 2**10), self.H3, budget="aggregate"
+        )
+        for lvl in ht.levels:
+            assert lvl.tile.total_footprint() <= lvl.capacity
+
+    def test_aggregate_too_small(self):
+        with pytest.raises(ValueError):
+            solve_hierarchical_tiling(
+                matmul(4, 4, 4), MemoryHierarchy(capacities=(2, 8)), budget="aggregate"
+            )
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            solve_hierarchical_tiling(matmul(4, 4, 4), self.H3, budget="bogus")
+
+    def test_summary(self):
+        ht = solve_hierarchical_tiling(matmul(64, 64, 64), self.H3)
+        text = ht.summary()
+        assert "L1" in text and "L3" in text
+        assert ht.tile_at(0).blocks == ht.levels[0].tile.blocks
+
+    def test_single_level_degenerates_to_solve_tiling(self):
+        nest = matmul(2**8, 2**8, 2**8)
+        ht = solve_hierarchical_tiling(nest, MemoryHierarchy(capacities=(2**10,)))
+        single = solve_tiling(nest, 2**10)
+        assert ht.levels[0].tile.volume == single.tile.volume

@@ -1,0 +1,78 @@
+"""Tests for the stronger integer-tile searches (repro.core.integer)."""
+
+import pytest
+
+from repro.core.bruteforce import best_rectangle
+from repro.core.integer import (
+    best_integer_tile,
+    coordinate_descent_tile,
+    multi_seed_tile,
+)
+from repro.core.tiling import solve_tiling
+from repro.library.problems import matmul, matvec, nbody, tensor_contraction
+
+
+class TestCoordinateDescent:
+    def test_grows_from_unit_seed(self):
+        nest = matmul(20, 20, 20)
+        tile = coordinate_descent_tile(nest, 25, seed=(1, 1, 1))
+        assert tile.volume > 1
+        assert tile.is_feasible(25, "per-array")
+
+    def test_infeasible_seed_rejected(self):
+        nest = matmul(20, 20, 20)
+        with pytest.raises(ValueError, match="infeasible"):
+            coordinate_descent_tile(nest, 4, seed=(20, 20, 20))
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            coordinate_descent_tile(matmul(4, 4, 4), 8, seed=(1, 1, 1), budget="x")
+
+    def test_respects_explicit_orders(self):
+        nest = matvec(100, 100)
+        t1 = coordinate_descent_tile(nest, 50, seed=(1, 1), orders=[(0, 1)])
+        t2 = coordinate_descent_tile(nest, 50, seed=(1, 1), orders=[(1, 0)])
+        # Different growth orders may produce different (feasible) tiles;
+        # each maximises greedily along its order.
+        assert t1.is_feasible(50, "per-array")
+        assert t2.is_feasible(50, "per-array")
+
+
+class TestMultiSeed:
+    @pytest.mark.parametrize("M", [5, 7, 11, 16, 37, 64])
+    def test_never_worse_than_round_and_grow(self, M):
+        for nest in [matmul(30, 30, 30), matvec(50, 50), nbody(40, 40)]:
+            default = solve_tiling(nest, M).tile
+            improved = multi_seed_tile(nest, M)
+            assert improved.volume >= default.volume, (nest.name, M)
+            assert improved.is_feasible(M, "per-array")
+
+    def test_aggregate_budget(self):
+        nest = matmul(30, 30, 30)
+        tile = multi_seed_tile(nest, 48, budget="aggregate")
+        assert tile.is_feasible(48, "aggregate")
+
+
+class TestBestIntegerTile:
+    @pytest.mark.parametrize("M", [3, 5, 8, 13, 21])
+    def test_exhaustive_matches_bruteforce(self, M):
+        for nest in [matmul(6, 6, 6), matvec(12, 12), nbody(10, 10)]:
+            best = best_integer_tile(nest, M)
+            oracle = best_rectangle(nest, M)
+            assert best.volume == oracle.volume, (nest.name, M)
+
+    def test_heuristic_path(self):
+        # Force the non-exhaustive path on a large instance.
+        nest = matmul(500, 500, 500)
+        tile = best_integer_tile(nest, 1000, allow_exhaustive=False)
+        default = solve_tiling(nest, 1000).tile
+        assert tile.volume >= default.volume
+        assert tile.is_feasible(1000, "per-array")
+
+    def test_small_m_gain_over_floor(self):
+        # At M = 10 the fractional optimum floors badly; the search must
+        # recover the exhaustive optimum.
+        nest = tensor_contraction((9,), (9,), (9,))
+        best = best_integer_tile(nest, 10)
+        oracle = best_rectangle(nest, 10)
+        assert best.volume == oracle.volume

@@ -1,0 +1,128 @@
+"""End-to-end integration: full pipelines across the whole catalog.
+
+Each test drives the complete user-facing flow — parse/build → analyze
+→ independent audit → simulate → execute — asserting the cross-module
+contracts that no unit test covers in one piece.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.verify import verify_analysis
+from repro.kernels.codegen import run_generated
+from repro.kernels.einsum_exec import execute_tiled
+from repro.kernels.naive import allocate_arrays, execute_reference
+from repro.library.problems import CATALOG_BUILDERS, catalog
+from repro.machine.model import MachineModel
+from repro.simulate.executor import best_order_traffic, simulate_untiled_traffic
+
+M = 2**10
+
+#: Catalog problems shrunk so reference execution stays fast.
+SMALL_SIZES = {
+    "matmul": (12, 10, 8),
+    "matvec": (16, 16),
+    "outer_product": (12, 12),
+    "dot_product": (64,),
+    "nbody": (14, 12),
+    "contraction": ((4, 4), (4,), (4, 4)),
+    "pointwise_conv": (2, 3, 4, 3, 3),
+    "fully_connected": (6, 8, 10),
+    "mttkrp": (5, 4, 6, 3),
+    "ttm": (5, 4, 6, 3),
+    "batched_matmul": (2, 5, 4, 6),
+    "join_aggregate": (16, 16),
+    "syrk": (10, 8),
+    "tucker_core": (4, 4, 4, 2, 2, 2),
+    "attention_scores": (2, 2, 4, 4, 3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG_BUILDERS), ids=str)
+def test_full_pipeline_per_problem(name):
+    """analyze -> audit -> simulate, on realistic sizes."""
+    nest = catalog()[name]
+    analysis = repro.analyze(nest, cache_words=M)
+    # 1. Tightness and audit.
+    assert analysis.certificate.tight
+    assert verify_analysis(analysis) == []
+    # 2. The bound object and the tiling agree on the exponent.
+    assert analysis.lower_bound.k_hat == analysis.tiling.exponent
+    # 3. An executable tiling's simulated traffic meets the bound within
+    #    the model constant, and never loses to the untiled schedule.
+    practical = repro.solve_tiling(nest, M, budget="aggregate")
+    machine = MachineModel(cache_words=M)
+    tiled = best_order_traffic(nest, practical.tile, machine=machine)
+    naive = simulate_untiled_traffic(nest, machine=machine)
+    assert tiled.total_words <= naive.total_words * 1.001, name
+    assert tiled.ratio_to(analysis.lower_bound.value) <= 16, name
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_SIZES), ids=str)
+def test_execution_consistency_per_problem(name):
+    """Reference, tiled-einsum, and generated-code executions agree."""
+    builder, _ = CATALOG_BUILDERS[name]
+    nest = builder(*SMALL_SIZES[name])
+    arrays = allocate_arrays(nest, rng=np.random.default_rng(123))
+    out_name = next(a.name for a in nest.arrays if a.is_output)
+
+    def fresh():
+        d = {k: v.copy() for k, v in arrays.items()}
+        d[out_name] = np.zeros_like(arrays[out_name])
+        return d
+
+    expected = execute_reference(nest, fresh())
+    sol = repro.solve_tiling(nest, 16, budget="aggregate")
+
+    via_einsum = fresh()
+    execute_tiled(nest, via_einsum, sol.tile)
+    np.testing.assert_allclose(via_einsum[out_name], expected, rtol=1e-10)
+
+    via_codegen = run_generated(nest, sol.tile, fresh())
+    np.testing.assert_allclose(via_codegen, expected, rtol=1e-10)
+
+
+def test_parser_reproduces_catalog_matmul_analysis():
+    """A parsed statement and the catalog builder give identical analyses."""
+    parsed = repro.parse_nest(
+        "C[x1,x3] += A[x1,x2] * B[x2,x3]",
+        bounds={"x1": 512, "x2": 512, "x3": 8},
+        name="matmul",
+        loop_order=["x1", "x2", "x3"],
+    )
+    from repro.library.problems import matmul
+
+    built = matmul(512, 512, 8)
+    a1 = repro.analyze(parsed, cache_words=M)
+    a2 = repro.analyze(built, cache_words=M)
+    assert a1.lower_bound.k_hat == a2.lower_bound.k_hat
+    assert a1.tiling.tile.blocks == a2.tiling.tile.blocks
+
+
+def test_hierarchy_pipeline_end_to_end():
+    """Nested tiling -> per-level audit -> per-boundary trace validation."""
+    from repro.core.hierarchy import MemoryHierarchy, solve_hierarchical_tiling
+    from repro.simulate.multilevel import simulate_hierarchical_tiling_trace
+
+    from repro.library.problems import matmul
+
+    nest = matmul(20, 20, 20)
+    hierarchy = MemoryHierarchy(capacities=(48, 192, 768))
+    ht = solve_hierarchical_tiling(nest, hierarchy, budget="aggregate")
+    for lvl in ht.levels:
+        analysis = repro.analyze(nest, cache_words=lvl.capacity)
+        assert verify_analysis(analysis) == []
+    report = simulate_hierarchical_tiling_trace(ht)
+    for boundary in report.boundaries:
+        assert boundary.words >= boundary.lower_bound * 0.999
+
+
+def test_piecewise_form_predicts_every_catalog_exponent():
+    """The mpLP closed form evaluated at each nest's betas equals the LP."""
+    for name, nest in catalog().items():
+        if nest.depth > 5:
+            continue  # vertex enumeration cost grows fast; covered elsewhere
+        pvf = repro.parametric_tile_exponent(nest)
+        betas = nest.betas(M)
+        assert pvf.evaluate(betas) == repro.tile_exponent(nest, M, betas=betas), name

@@ -1,0 +1,171 @@
+"""Correctness tests for the numpy kernel backend against the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.loopnest import LoopNestError
+from repro.core.tiling import TileShape, solve_tiling
+from repro.kernels.einsum_exec import einsum_spec, execute_tiled, execute_untiled
+from repro.kernels.naive import allocate_arrays, execute_reference
+from repro.kernels.tiled import (
+    blocked_matmul,
+    blocked_nbody,
+    blocked_pointwise_conv,
+    naive_matmul,
+    naive_nbody,
+    naive_pointwise_conv,
+)
+from repro.library.problems import (
+    batched_matmul,
+    matmul,
+    matvec,
+    mttkrp,
+    nbody,
+    pointwise_conv,
+    tensor_contraction,
+)
+
+
+def _copy_with_fresh_output(nest, arrays):
+    out_name = next(a.name for a in nest.arrays if a.is_output)
+    fresh = {k: v.copy() for k, v in arrays.items()}
+    fresh[out_name] = np.zeros_like(arrays[out_name])
+    return fresh
+
+
+NESTS = [
+    matmul(6, 5, 4),
+    matvec(7, 6),
+    nbody(6, 5),
+    tensor_contraction((3, 4), (5,), (2, 3)),
+    pointwise_conv(2, 3, 4, 3, 2),
+    mttkrp(3, 4, 5, 2),
+    batched_matmul(2, 4, 3, 5),
+]
+
+
+class TestEinsumExecutor:
+    @pytest.mark.parametrize("nest", NESTS, ids=lambda n: n.name)
+    def test_tiled_matches_reference(self, nest):
+        arrays = allocate_arrays(nest, rng=np.random.default_rng(42))
+        expected = execute_reference(nest, _copy_with_fresh_output(nest, arrays))
+        sol = solve_tiling(nest, 24, budget="aggregate")
+        got_arrays = _copy_with_fresh_output(nest, arrays)
+        execute_tiled(nest, got_arrays, sol.tile)
+        out_name = next(a.name for a in nest.arrays if a.is_output)
+        np.testing.assert_allclose(got_arrays[out_name], expected, rtol=1e-10)
+
+    @pytest.mark.parametrize("nest", NESTS, ids=lambda n: n.name)
+    def test_untiled_matches_reference(self, nest):
+        arrays = allocate_arrays(nest, rng=np.random.default_rng(3))
+        expected = execute_reference(nest, _copy_with_fresh_output(nest, arrays))
+        got_arrays = _copy_with_fresh_output(nest, arrays)
+        execute_untiled(nest, got_arrays)
+        out_name = next(a.name for a in nest.arrays if a.is_output)
+        np.testing.assert_allclose(got_arrays[out_name], expected, rtol=1e-10)
+
+    def test_tile_count_and_madds(self):
+        nest = matmul(8, 8, 8)
+        arrays = allocate_arrays(nest)
+        stats = execute_tiled(nest, arrays, TileShape(nest=nest, blocks=(4, 4, 4)))
+        assert stats.tiles_executed == 8
+        assert stats.multiply_adds == 512
+        assert stats.einsum_spec == "ab,bc->ac"
+
+    def test_order_does_not_change_result(self):
+        nest = matmul(6, 6, 6)
+        arrays = allocate_arrays(nest, rng=np.random.default_rng(9))
+        tile = TileShape(nest=nest, blocks=(2, 3, 4))
+        results = []
+        for order in [(0, 1, 2), (2, 1, 0), (1, 2, 0)]:
+            run = _copy_with_fresh_output(nest, arrays)
+            execute_tiled(nest, run, tile, order=order)
+            results.append(run["C"])
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-10)
+        np.testing.assert_allclose(results[0], results[2], rtol=1e-10)
+
+    def test_einsum_spec_examples(self):
+        assert einsum_spec(matmul(2, 2, 2)) == "ab,bc->ac"
+        assert einsum_spec(mttkrp(2, 2, 2, 2)) == "abc,bd,cd->ad"
+        assert einsum_spec(pointwise_conv(2, 2, 2, 2, 2)) == "abde,bc->acde"
+
+    def test_shape_validation(self):
+        nest = matmul(4, 4, 4)
+        arrays = allocate_arrays(nest)
+        arrays["A"] = arrays["A"][:2]
+        with pytest.raises(LoopNestError):
+            execute_untiled(nest, arrays)
+
+    def test_missing_array(self):
+        nest = matmul(4, 4, 4)
+        arrays = allocate_arrays(nest)
+        del arrays["B"]
+        with pytest.raises(LoopNestError):
+            execute_untiled(nest, arrays)
+
+
+class TestAllocate:
+    def test_output_zeroed_inputs_random(self):
+        nest = matmul(4, 5, 6)
+        arrays = allocate_arrays(nest)
+        assert arrays["C"].shape == (4, 6)
+        assert np.all(arrays["C"] == 0)
+        assert arrays["A"].shape == (4, 5)
+        assert not np.all(arrays["A"] == 0)
+
+    def test_deterministic_with_seed(self):
+        nest = matmul(4, 5, 6)
+        a1 = allocate_arrays(nest, rng=np.random.default_rng(5))
+        a2 = allocate_arrays(nest, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a1["A"], a2["A"])
+
+
+class TestSpecialisedKernels:
+    def test_blocked_matmul_matches(self):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((37, 23))
+        B = rng.standard_normal((23, 41))
+        for blocks in [(8, 8, 8), (37, 23, 41), (1, 1, 1), (16, 5, 9)]:
+            np.testing.assert_allclose(
+                blocked_matmul(A, B, *blocks), naive_matmul(A, B), rtol=1e-10
+            )
+
+    def test_blocked_matmul_validation(self):
+        A = np.zeros((4, 5))
+        with pytest.raises(ValueError):
+            blocked_matmul(A, np.zeros((6, 3)), 2, 2, 2)
+        with pytest.raises(ValueError):
+            blocked_matmul(A, np.zeros((5, 3)), 0, 2, 2)
+
+    def test_blocked_nbody_matches(self):
+        rng = np.random.default_rng(1)
+        P = rng.standard_normal(33)
+        Q = rng.standard_normal(29)
+        np.testing.assert_allclose(
+            blocked_nbody(P, Q, 8, 16), naive_nbody(P, Q), rtol=1e-10
+        )
+
+    def test_nbody_custom_interaction(self):
+        P = np.arange(4.0)
+        Q = np.arange(3.0)
+        f = lambda p, q: p * q
+        np.testing.assert_allclose(
+            blocked_nbody(P, Q, 2, 2, interaction=f),
+            naive_nbody(P, Q, interaction=f),
+        )
+
+    def test_blocked_conv_matches(self):
+        rng = np.random.default_rng(2)
+        image = rng.standard_normal((5, 4, 6, 3))  # W H C B
+        filt = rng.standard_normal((7, 6))  # K C
+        np.testing.assert_allclose(
+            blocked_pointwise_conv(image, filt, bc=2, bk=3),
+            naive_pointwise_conv(image, filt),
+            rtol=1e-10,
+        )
+
+    def test_blocked_conv_validation(self):
+        with pytest.raises(ValueError):
+            blocked_pointwise_conv(np.zeros((2, 2, 3, 2)), np.zeros((2, 4)), 1, 1)
+        with pytest.raises(ValueError):
+            blocked_pointwise_conv(np.zeros((2, 2, 3, 2)), np.zeros((2, 3)), 0, 1)

@@ -1,0 +1,124 @@
+"""Tests for the named-LP builder and its dual backends (repro.core.lp)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.fraction_lp import LPError
+from repro.core.lp import LinearProgram
+
+
+def _matmul_tiling_lp() -> LinearProgram:
+    lp = LinearProgram(sense="max")
+    for v in ("l1", "l2", "l3"):
+        lp.add_variable(v, lo=0)
+    lp.add_constraint("C", {"l1": 1, "l3": 1}, "<=", 1)
+    lp.add_constraint("A", {"l1": 1, "l2": 1}, "<=", 1)
+    lp.add_constraint("B", {"l2": 1, "l3": 1}, "<=", 1)
+    lp.set_objective({"l1": 1, "l2": 1, "l3": 1})
+    return lp
+
+
+class TestBuilder:
+    def test_duplicate_variable_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError):
+            lp.add_variable("x")
+
+    def test_unknown_variable_in_constraint(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError):
+            lp.add_constraint("c", {"y": 1}, "<=", 1)
+
+    def test_unknown_variable_in_objective(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError):
+            lp.set_objective({"y": 1})
+
+    def test_bad_relation(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError):
+            lp.add_constraint("c", {"x": 1}, "<", 1)
+
+    def test_bad_backend(self):
+        lp = _matmul_tiling_lp()
+        with pytest.raises(LPError):
+            lp.solve(backend="gurobi")
+
+    def test_pretty_contains_rows(self):
+        text = _matmul_tiling_lp().pretty()
+        assert "max" in text
+        assert "[A]" in text and "[B]" in text and "[C]" in text
+
+
+class TestBackends:
+    def test_exact_matmul(self):
+        report = _matmul_tiling_lp().solve(backend="exact")
+        assert report.is_optimal
+        assert report.objective == F(3, 2)
+        assert report["l1"] == F(1, 2)
+
+    def test_scipy_matmul(self):
+        report = _matmul_tiling_lp().solve(backend="scipy")
+        assert report.is_optimal
+        assert abs(float(report.objective) - 1.5) < 1e-9
+
+    def test_both_backends_agree(self):
+        report = _matmul_tiling_lp().solve(backend="both")
+        assert report.objective == F(3, 2)
+
+    def test_infeasible_reported_by_both(self):
+        lp = LinearProgram()
+        lp.add_variable("x", lo=0)
+        lp.add_constraint("lo", {"x": 1}, ">=", 2)
+        lp.add_constraint("hi", {"x": 1}, "<=", 1)
+        lp.set_objective({"x": 1})
+        assert lp.solve(backend="exact").status == "infeasible"
+        assert lp.solve(backend="scipy").status == "infeasible"
+        assert lp.solve(backend="both").status == "infeasible"
+
+    def test_unbounded_reported_by_both(self):
+        lp = LinearProgram(sense="max")
+        lp.add_variable("x", lo=0)
+        lp.set_objective({"x": 1})
+        assert lp.solve(backend="exact").status == "unbounded"
+        assert lp.solve(backend="scipy").status == "unbounded"
+
+    def test_equality_and_ge_rows(self):
+        lp = LinearProgram(sense="min")
+        lp.add_variable("x", lo=0)
+        lp.add_variable("y", lo=0)
+        lp.add_constraint("sum", {"x": 1, "y": 1}, "==", 4)
+        lp.add_constraint("xmin", {"x": 1}, ">=", 1)
+        lp.set_objective({"x": 2, "y": 1})
+        report = lp.solve(backend="both")
+        assert report.objective == 5
+        assert report["x"] == 1 and report["y"] == 3
+
+    def test_bounded_variables(self):
+        lp = LinearProgram(sense="max")
+        lp.add_variable("x", lo=0, hi=F(5, 2))
+        lp.set_objective({"x": 1})
+        report = lp.solve(backend="both")
+        assert report.objective == F(5, 2)
+
+
+class TestMatrixForm:
+    def test_matrix_shapes(self):
+        c, A_ub, b_ub, A_eq, b_eq, bounds = _matmul_tiling_lp().matrix_form()
+        assert len(c) == 3
+        assert len(A_ub) == 3 and len(b_ub) == 3
+        assert A_eq == [] and b_eq == []
+        assert len(bounds) == 3
+
+    def test_ge_rows_are_negated(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_constraint("c", {"x": 2}, ">=", 3)
+        lp.set_objective({"x": 1})
+        _, A_ub, b_ub, _, _, _ = lp.matrix_form()
+        assert A_ub == [[-2]] and b_ub == [-3]

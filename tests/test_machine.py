@@ -1,0 +1,173 @@
+"""Tests for the machine model and cache policies."""
+
+import pytest
+
+from repro.machine.cache import (
+    DirectMappedCache,
+    FullyAssociativeLRU,
+    simulate_belady,
+)
+from repro.machine.counters import ArrayTraffic, TrafficReport
+from repro.machine.model import MachineModel
+
+
+class TestMachineModel:
+    def test_basic(self):
+        m = MachineModel(cache_words=64, line_words=8, name="toy")
+        assert m.cache_lines == 8
+        assert m.line_of(0) == 0
+        assert m.line_of(7) == 0
+        assert m.line_of(8) == 1
+        assert "toy" in m.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineModel(cache_words=0)
+        with pytest.raises(ValueError):
+            MachineModel(cache_words=8, line_words=0)
+        with pytest.raises(ValueError):
+            MachineModel(cache_words=8, line_words=16)
+        with pytest.raises(ValueError):
+            MachineModel(cache_words=8).line_of(-1)
+
+
+class TestLRU:
+    def test_hits_and_misses(self):
+        c = FullyAssociativeLRU(2)
+        assert not c.access(1)
+        assert not c.access(2)
+        assert c.access(1)  # hit
+        assert not c.access(3)  # evicts 2 (LRU)
+        assert not c.access(2)  # miss again
+        assert c.stats.misses == 4
+        assert c.stats.hits == 1
+
+    def test_lru_order_updates_on_hit(self):
+        c = FullyAssociativeLRU(2)
+        c.access(1)
+        c.access(2)
+        c.access(1)  # 2 becomes LRU
+        c.access(3)  # evicts 2
+        assert c.access(1)  # 1 still resident
+
+    def test_writeback_on_dirty_eviction(self):
+        c = FullyAssociativeLRU(1)
+        c.access(1, is_write=True)
+        c.access(2)  # evicts dirty 1
+        assert c.stats.writebacks == 1
+
+    def test_flush_writes_dirty(self):
+        c = FullyAssociativeLRU(4)
+        c.access(1, is_write=True)
+        c.access(2)
+        c.flush()
+        assert c.stats.writebacks == 1
+        assert c.resident_lines == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = FullyAssociativeLRU(2)
+        c.access(1)
+        c.access(1, is_write=True)
+        c.flush()
+        assert c.stats.writebacks == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeLRU(0)
+
+    def test_miss_rate(self):
+        c = FullyAssociativeLRU(8)
+        for i in range(4):
+            c.access(i)
+        for i in range(4):
+            c.access(i)
+        assert c.stats.miss_rate == 0.5
+
+
+class TestDirectMapped:
+    def test_conflict_misses(self):
+        c = DirectMappedCache(2)
+        c.access(0)
+        c.access(2)  # maps to set 0, evicts 0
+        assert not c.access(0)  # conflict miss despite capacity 2
+        assert c.stats.misses == 3
+
+    def test_lru_beats_direct_on_conflicting_trace(self):
+        trace = [0, 2, 0, 2, 0, 2, 1, 3]
+        lru = FullyAssociativeLRU(4)
+        dm = DirectMappedCache(4)
+        for line in trace:
+            lru.access(line)
+            dm.access(line)
+        assert lru.stats.misses <= dm.stats.misses
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(0)
+
+
+class TestBelady:
+    def test_classic_example(self):
+        # Belady on 1,2,3,1,2,3 with capacity 2: optimal misses = 4.
+        trace = [(1, False), (2, False), (3, False), (1, False), (2, False), (3, False)]
+        stats = simulate_belady(trace, 2)
+        assert stats.misses == 4
+
+    def test_never_worse_than_lru(self):
+        import random
+
+        rng = random.Random(7)
+        trace = [(rng.randrange(12), rng.random() < 0.3) for _ in range(400)]
+        for cap in (1, 2, 4, 8):
+            bel = simulate_belady(trace, cap)
+            lru = FullyAssociativeLRU(cap)
+            for line, w in trace:
+                lru.access(line, is_write=w)
+            lru.flush()
+            assert bel.misses <= lru.stats.misses, cap
+
+    def test_all_fits(self):
+        trace = [(i % 4, False) for i in range(100)]
+        stats = simulate_belady(trace, 4)
+        assert stats.misses == 4
+        assert stats.hits == 96
+
+    def test_dirty_flush_counted(self):
+        stats = simulate_belady([(1, True)], 4)
+        assert stats.writebacks == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_belady([], 0)
+
+
+class TestTrafficReport:
+    def _report(self):
+        return TrafficReport(
+            nest_name="toy",
+            per_array=(
+                ArrayTraffic("A", loads=100, stores=0),
+                ArrayTraffic("C", loads=50, stores=25),
+            ),
+            source="analytic",
+        )
+
+    def test_totals(self):
+        r = self._report()
+        assert r.loads == 150
+        assert r.stores == 25
+        assert r.total_words == 175
+        assert r.array("A").total == 100
+
+    def test_ratio(self):
+        r = self._report()
+        assert r.ratio_to(175) == 1.0
+        with pytest.raises(ValueError):
+            r.ratio_to(0)
+
+    def test_unknown_array(self):
+        with pytest.raises(KeyError):
+            self._report().array("Z")
+
+    def test_summary(self):
+        assert "toy[analytic]" in self._report().summary()

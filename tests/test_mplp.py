@@ -1,0 +1,142 @@
+"""Tests for the multiparametric piecewise-linear value function (§7)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.bounds import tile_exponent
+from repro.core.mplp import parametric_tile_exponent
+from repro.library.problems import matmul, matvec, mttkrp, nbody, tensor_contraction
+
+
+def _piece_set(pvf):
+    return {(p.constant, p.coeffs) for p in pvf.pieces}
+
+
+class TestMatmulClosedForm:
+    """§6.1 / §7: matmul's exact piece list."""
+
+    def test_pieces(self):
+        pvf = parametric_tile_exponent(matmul(8, 8, 8))
+        expected = {
+            (F(3, 2), (F(0), F(0), F(0))),
+            (F(1), (F(1), F(0), F(0))),
+            (F(1), (F(0), F(1), F(0))),
+            (F(1), (F(0), F(0), F(1))),
+            (F(0), (F(1), F(1), F(1))),
+        }
+        assert _piece_set(pvf) == expected
+
+    def test_dominated_pairs_pruned(self):
+        # beta1+beta2 (zeta=(1,1,0)) is dual-infeasible, and pieces like
+        # constant 2 (s=(1,1,0)) are dominated by 3/2; neither survives.
+        pvf = parametric_tile_exponent(matmul(8, 8, 8))
+        constants = [p.constant for p in pvf.pieces if all(c == 0 for c in p.coeffs)]
+        assert constants == [F(3, 2)]
+
+    def test_evaluation_regimes(self):
+        pvf = parametric_tile_exponent(matmul(8, 8, 8))
+        assert pvf.evaluate([1, 1, 1]) == F(3, 2)
+        assert pvf.evaluate([1, 1, F(1, 4)]) == F(5, 4)
+        assert pvf.evaluate([F(1, 8), 1, F(1, 4)]) == F(9, 8)
+        assert pvf.evaluate([F(1, 8), F(1, 8), F(1, 8)]) == F(3, 8)
+
+    def test_argmin_identifies_regime(self):
+        pvf = parametric_tile_exponent(matmul(8, 8, 8))
+        piece = pvf.argmin([1, 1, F(1, 4)])
+        assert piece.constant == 1 and piece.coeffs == (0, 0, 1)
+
+    def test_communication_pieces_are_6_1_form(self):
+        # g = 1 + sum(beta) - f: pieces must include sum(beta) - 1/2
+        # (the L1L2L3/sqrt(M) term) and beta1+beta2 (the L1L2 term).
+        pvf = parametric_tile_exponent(matmul(8, 8, 8))
+        comm = {(p.constant, p.coeffs) for p in pvf.communication_pieces()}
+        assert (F(-1, 2), (F(1), F(1), F(1))) in comm
+        assert (F(0), (F(1), F(1), F(0))) in comm
+        assert (F(1), (F(0), F(0), F(0))) in comm  # the M term (everything fits)
+
+
+class TestNbodyClosedForm:
+    def test_pieces_match_6_3(self):
+        # M^f = min(L1 L2, L1 M, L2 M, M^2).
+        pvf = parametric_tile_exponent(nbody(4, 4))
+        expected = {
+            (F(2), (F(0), F(0))),
+            (F(1), (F(1), F(0))),
+            (F(1), (F(0), F(1))),
+            (F(0), (F(1), F(1))),
+        }
+        assert _piece_set(pvf) == expected
+
+
+class TestMatvec:
+    def test_pieces(self):
+        # Tile bounded by A's footprint only: f = min(1, b1+b2).
+        pvf = parametric_tile_exponent(matvec(4, 4))
+        expected = {
+            (F(1), (F(0), F(0))),
+            (F(0), (F(1), F(1))),
+        }
+        assert _piece_set(pvf) == expected
+
+
+class TestConsistencyWithLP:
+    @pytest.mark.parametrize(
+        "nest",
+        [
+            matmul(8, 8, 8),
+            nbody(4, 4),
+            mttkrp(4, 4, 4, 4),
+            tensor_contraction((4, 4), (4,), (4, 4)),
+        ],
+        ids=lambda n: n.name,
+    )
+    def test_evaluate_equals_tile_exponent(self, nest):
+        # The piecewise function evaluated at concrete betas must equal
+        # the tiling-LP optimum at those betas, for many beta choices.
+        pvf = parametric_tile_exponent(nest)
+        M = 2**12
+        grids = [
+            [F(e, 12) for e in exps]
+            for exps in [
+                (12,) * nest.depth,
+                (3,) * nest.depth,
+                tuple(range(2, 2 + nest.depth)),
+                (24, 1) * (nest.depth // 2) + (6,) * (nest.depth % 2),
+            ]
+        ]
+        for betas in grids:
+            lp_val = tile_exponent(nest, M, betas=betas)
+            assert pvf.evaluate(betas) == lp_val, betas
+
+    def test_unpruned_superset(self):
+        full = parametric_tile_exponent(matmul(8, 8, 8), prune=False)
+        pruned = parametric_tile_exponent(matmul(8, 8, 8), prune=True)
+        assert _piece_set(pruned) <= _piece_set(full)
+        assert len(full.pieces) > len(pruned.pieces)
+        # Pruning never changes values.
+        for betas in ([1, 1, 1], [F(1, 3), F(2, 3), F(1, 5)]):
+            assert full.evaluate(betas) == pruned.evaluate(betas)
+
+
+class TestRegions:
+    def test_region_inequalities(self):
+        pvf = parametric_tile_exponent(matmul(8, 8, 8))
+        piece = next(p for p in pvf.pieces if p.coeffs == (0, 0, 1))
+        region = pvf.region_inequalities(piece)
+        # In the region of 1+beta3, the inequality vs 3/2 reads
+        # 1/2 - beta3 >= 0, i.e. constant 1/2, coeffs (0,0,-1).
+        assert (F(1, 2), (F(0), F(0), F(-1))) in region
+
+    def test_render_mentions_pieces(self):
+        text = parametric_tile_exponent(matmul(8, 8, 8)).render()
+        assert "3/2" in text and "min(" in text
+
+    def test_evaluate_validates_length(self):
+        pvf = parametric_tile_exponent(matmul(8, 8, 8))
+        with pytest.raises(ValueError):
+            pvf.pieces[0].evaluate([1, 1])
+
+    def test_tile_size(self):
+        pvf = parametric_tile_exponent(matmul(8, 8, 8))
+        assert pvf.tile_size(2**16, [1, 1, 1]) == float(2**24)

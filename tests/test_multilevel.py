@@ -1,0 +1,52 @@
+"""Tests for multi-level trace simulation (repro.simulate.multilevel)."""
+
+import pytest
+
+from repro.core.hierarchy import MemoryHierarchy, solve_hierarchical_tiling
+from repro.library.problems import matmul, matvec
+from repro.simulate.multilevel import (
+    simulate_hierarchical_tiling_trace,
+    simulate_hierarchy_trace,
+)
+
+H = MemoryHierarchy(capacities=(48, 192, 768))
+
+
+class TestStackProperty:
+    def test_traffic_monotone_in_capacity(self):
+        # LRU inclusion/stack property: larger caches never miss more.
+        nest = matmul(16, 16, 16)
+        rep = simulate_hierarchy_trace(nest, H, tile=None, schedule="untiled")
+        words = [b.words for b in rep.boundaries]
+        assert words[0] >= words[1] >= words[2]
+
+    def test_bounds_attached_per_level(self):
+        nest = matmul(16, 16, 16)
+        rep = simulate_hierarchy_trace(nest, H)
+        for b in rep.boundaries:
+            assert b.lower_bound > 0
+            assert b.ratio == b.words / b.lower_bound
+
+    def test_summary(self):
+        nest = matvec(32, 32)
+        rep = simulate_hierarchy_trace(nest, H, schedule="untiled")
+        text = rep.summary()
+        assert "untiled" in text and "M=48" in text
+
+
+class TestNestedTilingOnHierarchy:
+    def test_every_boundary_within_constant(self):
+        nest = matmul(24, 24, 24)
+        ht = solve_hierarchical_tiling(nest, H, budget="aggregate")
+        rep = simulate_hierarchical_tiling_trace(ht)
+        for b in rep.boundaries:
+            assert b.words >= b.lower_bound * 0.999  # bound validity
+            assert b.ratio <= 24, b  # attainability with model constants
+
+    def test_nested_beats_untiled_at_inner_levels(self):
+        nest = matmul(24, 24, 24)
+        ht = solve_hierarchical_tiling(nest, H, budget="aggregate")
+        tiled = simulate_hierarchical_tiling_trace(ht)
+        untiled = simulate_hierarchy_trace(nest, H, tile=None, schedule="untiled")
+        # The innermost boundary is where blocking matters most.
+        assert tiled.boundaries[0].words <= untiled.boundaries[0].words

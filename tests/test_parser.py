@@ -1,0 +1,105 @@
+"""Tests for the textual front-end (repro.core.parser)."""
+
+import pytest
+
+from repro.core.parser import ParseError, parse_nest
+from repro.library.problems import matmul, pointwise_conv
+
+
+class TestHappyPath:
+    def test_matmul(self):
+        nest = parse_nest(
+            "C[i,k] += A[i,j] * B[j,k]", bounds={"i": 4, "j": 5, "k": 6}, name="mm"
+        )
+        assert nest.loops == ("i", "k", "j")  # first-appearance order
+        assert nest.bounds == (4, 6, 5)
+        assert nest.array("C").is_output
+        assert not nest.array("A").is_output
+
+    def test_explicit_loop_order_matches_catalog(self):
+        nest = parse_nest(
+            "C[x1,x3] += A[x1,x2] * B[x2,x3]",
+            bounds={"x1": 4, "x2": 5, "x3": 6},
+            name="matmul",
+            loop_order=["x1", "x2", "x3"],
+        )
+        reference = matmul(4, 5, 6)
+        assert nest.loops == reference.loops
+        assert nest.bounds == reference.bounds
+        assert [a.support for a in nest.arrays] == [a.support for a in reference.arrays]
+
+    def test_pointwise_conv_paper_listing(self):
+        # Paper eq. (6.5): Out(k,h,w,b) += Image(w,h,c,b) * Filter(k,c)
+        nest = parse_nest(
+            "Out[k,h,w,b] += Image[w,h,c,b] * Filter[k,c]",
+            bounds={"b": 2, "c": 3, "k": 4, "w": 5, "h": 6},
+            name="pointwise_conv",
+            loop_order=["b", "c", "k", "w", "h"],
+        )
+        reference = pointwise_conv(2, 3, 4, 5, 6)
+        assert [a.support for a in nest.arrays] == [a.support for a in reference.arrays]
+
+    def test_plain_assignment(self):
+        nest = parse_nest("y[i] = A[i,j] * x[j]", bounds={"i": 3, "j": 4})
+        assert nest.array("y").is_output
+        assert nest.depth == 2
+
+    def test_scalar_output(self):
+        nest = parse_nest("s[] += u[i] * v[i]", bounds={"i": 9})
+        assert nest.array("s").support == ()
+
+    def test_repeated_identical_access_collapses(self):
+        nest = parse_nest("y[i] += A[i,j] * A[i,j]", bounds={"i": 3, "j": 4})
+        assert nest.num_arrays == 2
+
+    def test_additive_rhs(self):
+        nest = parse_nest("z[i] = u[i] + v[i]", bounds={"i": 5})
+        assert nest.num_arrays == 3
+
+
+class TestErrors:
+    def test_no_equals(self):
+        with pytest.raises(ParseError):
+            parse_nest("C[i,j]", bounds={"i": 2, "j": 2})
+
+    def test_empty_rhs(self):
+        with pytest.raises(ParseError):
+            parse_nest("C[i,j] += ", bounds={"i": 2, "j": 2})
+
+    def test_affine_index_rejected(self):
+        with pytest.raises(ParseError, match="projective"):
+            parse_nest("C[i] += A[i+1]", bounds={"i": 4})
+
+    def test_strided_index_rejected(self):
+        with pytest.raises(ParseError, match="projective"):
+            parse_nest("C[i] += A[2i]", bounds={"i": 4})
+
+    def test_repeated_index_in_access(self):
+        with pytest.raises(ParseError, match="repeats"):
+            parse_nest("C[i] += A[i,i]", bounds={"i": 4})
+
+    def test_conflicting_supports_same_array(self):
+        with pytest.raises(ParseError, match="distinct names"):
+            parse_nest("C[i] += A[i,j] * A[j,i]", bounds={"i": 4, "j": 4})
+
+    def test_missing_bounds(self):
+        with pytest.raises(ParseError, match="bounds"):
+            parse_nest("C[i,k] += A[i,j] * B[j,k]", bounds={"i": 4, "j": 5})
+
+    def test_multi_access_lhs(self):
+        with pytest.raises(ParseError):
+            parse_nest("C[i] D[i] += A[i]", bounds={"i": 4})
+
+    def test_garbage_between_accesses(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            parse_nest("C[i] += A[i] foo B[i]", bounds={"i": 4})
+
+    def test_bad_loop_order(self):
+        with pytest.raises(ParseError, match="loop_order"):
+            parse_nest(
+                "C[i] += A[i,j]", bounds={"i": 2, "j": 2}, loop_order=["i", "k"]
+            )
+
+    def test_bad_trailing_tokens(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_nest("C[i] += A[i] extra", bounds={"i": 4})

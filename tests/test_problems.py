@@ -1,0 +1,82 @@
+"""Tests for the problem catalog (paper §6 examples and extensions)."""
+
+import pytest
+
+from repro.core.loopnest import LoopNest
+from repro.library.problems import (
+    CATALOG_BUILDERS,
+    catalog,
+    matmul,
+    mttkrp,
+    nbody,
+    pointwise_conv,
+    tensor_contraction,
+)
+
+
+class TestCatalog:
+    def test_all_problems_instantiate(self):
+        problems = catalog()
+        assert set(problems) == set(CATALOG_BUILDERS)
+        for name, nest in problems.items():
+            assert isinstance(nest, LoopNest), name
+
+    def test_overrides(self):
+        problems = catalog({"matmul": (3, 4, 5)})
+        assert problems["matmul"].bounds == (3, 4, 5)
+
+    def test_every_loop_covered(self):
+        # The LoopNest invariant, double-checked across the catalog.
+        for nest in catalog().values():
+            covered = set()
+            for arr in nest.arrays:
+                covered.update(arr.support)
+            assert covered == set(range(nest.depth)), nest.name
+
+    def test_single_output_everywhere(self):
+        for nest in catalog().values():
+            assert sum(a.is_output for a in nest.arrays) == 1, nest.name
+
+
+class TestSpecificShapes:
+    def test_matmul_structure(self):
+        mm = matmul(4, 5, 6)
+        assert mm.array("C").support == (0, 2)
+        assert mm.array("A").support == (0, 1)
+        assert mm.array("B").support == (1, 2)
+
+    def test_pointwise_conv_paper_eq_6_5(self):
+        # Out(k,h,w,b) += Image(w,h,c,b) * Filter(k,c), loops (b,c,k,w,h).
+        pc = pointwise_conv(2, 3, 4, 5, 6)
+        assert pc.bounds == (2, 3, 4, 5, 6)
+        assert pc.array("Out").support == (0, 2, 3, 4)  # b, k, w, h
+        assert pc.array("Image").support == (0, 1, 3, 4)  # b, c, w, h
+        assert pc.array("Filter").support == (1, 2)  # c, k
+
+    def test_contraction_groups(self):
+        nest = tensor_contraction((2, 3), (4,), (5, 6), name="tc")
+        assert nest.depth == 5
+        assert nest.array("A1").support == (0, 1, 3, 4)
+        assert nest.array("A2").support == (0, 1, 2)
+        assert nest.array("A3").support == (2, 3, 4)
+
+    def test_contraction_empty_group(self):
+        # Empty shared group = tensor outer product.
+        nest = tensor_contraction((2, 2), (), (3,))
+        assert nest.array("A2").support == (0, 1)
+        assert nest.array("A3").support == (2,)
+
+    def test_contraction_needs_loops(self):
+        with pytest.raises(ValueError):
+            tensor_contraction((), (), ())
+
+    def test_nbody_structure(self):
+        nb = nbody(4, 5)
+        assert nb.array("F").is_output
+        assert nb.array("F").support == (0,)
+        assert nb.array("Q").support == (1,)
+
+    def test_mttkrp_structure(self):
+        m = mttkrp(2, 3, 4, 5)
+        assert m.array("T").support == (0, 1, 2)
+        assert m.array("A").support == (0, 3)

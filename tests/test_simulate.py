@@ -1,0 +1,251 @@
+"""Tests for the analytic executor and the trace-driven validator."""
+
+import pytest
+
+from repro.core.bounds import communication_lower_bound
+from repro.core.tiling import TileShape, solve_tiling
+from repro.library.problems import matmul, matvec, nbody, pointwise_conv
+from repro.machine.model import MachineModel
+from repro.simulate.executor import (
+    best_order_traffic,
+    simulate_tiled_traffic,
+    simulate_untiled_traffic,
+)
+from repro.simulate.footprint import array_tile_loads, validate_order, working_set_words
+from repro.simulate.trace import AddressMap, generate_trace, trace_length
+from repro.simulate.trace_sim import run_trace_simulation
+
+
+class TestFootprintFormulas:
+    def test_no_reuse_factorisation(self):
+        nest = matmul(10, 9, 8)
+        tile = TileShape(nest=nest, blocks=(3, 3, 3))
+        # A (supp 0,1): covered = 10*9, outside = ceil(8/3) = 3 grid cells.
+        assert array_tile_loads(nest, tile, 1, reuse=False) == 90 * 3
+
+    def test_no_reuse_equals_sum_over_tiles(self):
+        # Cross-check the closed form against explicit tile enumeration.
+        nest = matmul(5, 4, 7)
+        tile = TileShape(nest=nest, blocks=(2, 3, 4))
+        from itertools import product
+
+        for j, arr in enumerate(nest.arrays):
+            total = 0
+            for starts in product(
+                *(range(0, L, b) for L, b in zip(nest.bounds, tile.blocks))
+            ):
+                extents = [
+                    min(b, L - s) for s, b, L in zip(starts, tile.blocks, nest.bounds)
+                ]
+                fp = 1
+                for i in arr.support:
+                    fp *= extents[i]
+                total += fp
+            assert array_tile_loads(nest, tile, j, reuse=False) == total, arr.name
+
+    def test_reuse_drops_inner_nonsupport_dims(self):
+        nest = matmul(8, 8, 8)
+        tile = TileShape(nest=nest, blocks=(4, 4, 4))
+        # Order (x1, x2, x3): A (supp x1,x2) has innermost supp dim x2;
+        # x3 is inside it -> A loaded once per (x1,x2) tile: 64 words.
+        assert array_tile_loads(nest, tile, 1, order=(0, 1, 2), reuse=True) == 64
+        # C (supp x1,x3) has innermost supp x3; x2 is outside-of-x3?
+        # pos(x2)=1 < pos(x3)=2 -> x2 multiplies: 64 * 2 = 128.
+        assert array_tile_loads(nest, tile, 0, order=(0, 1, 2), reuse=True) == 128
+
+    def test_reuse_order_sensitivity(self):
+        nest = matmul(8, 8, 8)
+        tile = TileShape(nest=nest, blocks=(4, 4, 4))
+        # Putting x2 innermost makes A reload along nothing extra but C
+        # reload along x2? No: C's supp is (x1,x3); with x2 innermost,
+        # C is reused across x2 -> loads drop to 64.
+        assert array_tile_loads(nest, tile, 0, order=(0, 2, 1), reuse=True) == 64
+
+    def test_scalar_array(self):
+        from repro.library.problems import dot_product
+
+        nest = dot_product(16)
+        tile = TileShape(nest=nest, blocks=(4,))
+        assert array_tile_loads(nest, tile, 0, reuse=True) == 1
+
+    def test_working_set(self):
+        nest = matmul(8, 8, 8)
+        tile = TileShape(nest=nest, blocks=(2, 4, 8))
+        assert working_set_words(nest, tile) == 16 + 8 + 32
+
+    def test_validate_order(self):
+        nest = matmul(4, 4, 4)
+        assert validate_order(nest, None) == (0, 1, 2)
+        with pytest.raises(ValueError):
+            validate_order(nest, (0, 0, 1))
+
+
+class TestAnalyticExecutor:
+    def test_classic_naive_matmul_traffic(self):
+        # Untiled ijk matmul: A loaded L1 L2, B loaded L1 L2 L3, C touched
+        # L1 L2 L3 times (loads) + stores.
+        nest = matmul(16, 16, 16)
+        rep = simulate_untiled_traffic(nest, count_output_writes=False)
+        assert rep.array("A").loads == 16 * 16
+        assert rep.array("B").loads == 16**3
+        assert rep.array("C").loads == 16**3
+
+    def test_tiled_beats_naive(self):
+        nest = matmul(64, 64, 64)
+        M = 2**10
+        machine = MachineModel(cache_words=M)
+        sol = solve_tiling(nest, M, budget="aggregate")
+        tiled = simulate_tiled_traffic(nest, sol.tile, machine=machine)
+        naive = simulate_untiled_traffic(nest, machine=machine)
+        assert tiled.total_words < naive.total_words / 4
+
+    def test_tiled_within_constant_of_lower_bound(self):
+        # E11 core assertion: LP tiling traffic <= c * lower bound with a
+        # modest model constant (aggregate budget costs ~n, write
+        # counting ~2, reuse slack ~2).
+        M = 2**12
+        machine = MachineModel(cache_words=M)
+        for nest in [
+            matmul(128, 128, 128),
+            matmul(256, 256, 8),
+            matvec(512, 512),
+            nbody(512, 512),
+            pointwise_conv(8, 16, 32, 16, 16),
+        ]:
+            sol = solve_tiling(nest, M, budget="aggregate")
+            rep = best_order_traffic(nest, sol.tile, machine=machine)
+            lb = communication_lower_bound(nest, M)
+            assert rep.ratio_to(lb.value) <= 16, (nest.name, rep.summary(), lb.summary())
+
+    def test_infeasible_tile_falls_back_to_no_reuse(self):
+        nest = matmul(64, 64, 64)
+        tile = TileShape(nest=nest, blocks=(64, 64, 64))
+        machine = MachineModel(cache_words=64)  # way too small
+        rep = simulate_tiled_traffic(nest, tile, machine=machine, reuse=True)
+        assert rep.meta["reuse"] is False
+        assert rep.meta["requested_reuse"] is True
+
+    def test_best_order_no_worse_than_default(self):
+        nest = matmul(32, 32, 32)
+        tile = TileShape(nest=nest, blocks=(8, 8, 8))
+        default = simulate_tiled_traffic(nest, tile)
+        best = best_order_traffic(nest, tile)
+        assert best.total_words <= default.total_words
+
+    def test_output_write_accounting(self):
+        nest = matmul(16, 16, 16)
+        tile = TileShape(nest=nest, blocks=(4, 4, 4))
+        with_writes = simulate_tiled_traffic(nest, tile, count_output_writes=True)
+        without = simulate_tiled_traffic(nest, tile, count_output_writes=False)
+        assert with_writes.stores > 0
+        assert without.stores == 0
+        assert with_writes.loads == without.loads
+
+
+class TestTraceGeneration:
+    def test_trace_length(self):
+        nest = matmul(3, 4, 5)
+        assert trace_length(nest) == 3 * 4 * 5 * 3
+        assert len(list(generate_trace(nest))) == trace_length(nest)
+
+    def test_every_point_touched_once_per_array(self):
+        nest = matmul(3, 3, 3)
+        tile = TileShape(nest=nest, blocks=(2, 2, 2))
+        from collections import Counter
+
+        counts = Counter()
+        for acc in generate_trace(nest, tile=tile):
+            counts[acc.array] += 1
+        assert counts == {0: 27, 1: 27, 2: 27}
+
+    def test_outputs_are_writes(self):
+        nest = matmul(2, 2, 2)
+        for acc in generate_trace(nest):
+            assert acc.is_write == (acc.array == 0)
+
+    def test_address_map_bijective(self):
+        nest = matmul(3, 4, 5)
+        amap = AddressMap(nest)
+        seen = set()
+        for acc in generate_trace(nest):
+            addr = amap.address(acc)
+            assert 0 <= addr < amap.total_words
+            seen.add((acc.array, acc.element))
+            assert amap.array_of(addr) == acc.array
+        # All distinct elements mapped.
+        assert amap.total_words == 3 * 5 + 3 * 4 + 4 * 5
+
+    def test_address_validation(self):
+        nest = matmul(3, 4, 5)
+        amap = AddressMap(nest)
+        from repro.simulate.trace import Access
+
+        with pytest.raises(ValueError):
+            amap.address(Access(array=0, element=(0,), is_write=False))
+        with pytest.raises(ValueError):
+            amap.address(Access(array=0, element=(0, 99), is_write=False))
+
+    def test_trace_guard(self):
+        with pytest.raises(ValueError):
+            next(generate_trace(matmul(300, 300, 300)))
+
+
+class TestTraceSimulation:
+    def test_lru_between_belady_and_naive(self):
+        nest = matmul(12, 12, 12)
+        M = 96
+        machine = MachineModel(cache_words=M)
+        sol = solve_tiling(nest, M, budget="aggregate")
+        lru = run_trace_simulation(nest, machine, tile=sol.tile)
+        bel = run_trace_simulation(nest, machine, tile=sol.tile, policy="belady")
+        assert bel.total_words <= lru.total_words
+
+    def test_tiling_beats_untiled_under_lru(self):
+        nest = matmul(16, 16, 16)
+        M = 128
+        machine = MachineModel(cache_words=M)
+        sol = solve_tiling(nest, M, budget="aggregate")
+        tiled = run_trace_simulation(nest, machine, tile=sol.tile)
+        naive = run_trace_simulation(nest, machine, tile=None)
+        assert tiled.total_words < naive.total_words
+
+    def test_lru_within_constant_of_analytic(self):
+        nest = matmul(16, 16, 16)
+        M = 128
+        machine = MachineModel(cache_words=M)
+        sol = solve_tiling(nest, M, budget="aggregate")
+        ana = simulate_tiled_traffic(nest, sol.tile, machine=machine)
+        lru = run_trace_simulation(nest, machine, tile=sol.tile)
+        assert lru.total_words <= 3 * ana.total_words
+        assert lru.total_words >= ana.total_words / 3
+
+    def test_traffic_at_least_lower_bound(self):
+        # The model lower bound must hold for every simulated policy.
+        nest = matmul(12, 12, 12)
+        M = 64
+        machine = MachineModel(cache_words=M)
+        lb = communication_lower_bound(nest, M)
+        for policy in ("lru", "belady"):
+            rep = run_trace_simulation(nest, machine, policy=policy)
+            assert rep.total_words >= lb.value * 0.999, policy
+
+    def test_direct_mapped_never_beats_lru_much(self):
+        nest = matmul(8, 8, 8)
+        machine = MachineModel(cache_words=64)
+        sol = solve_tiling(nest, 64, budget="aggregate")
+        lru = run_trace_simulation(nest, machine, tile=sol.tile, policy="lru")
+        dm = run_trace_simulation(nest, machine, tile=sol.tile, policy="direct")
+        assert dm.total_words >= lru.total_words * 0.9
+
+    def test_line_size_effect(self):
+        # Larger lines with unit-stride access reduce miss count.
+        nest = matvec(64, 64)
+        m1 = MachineModel(cache_words=256, line_words=1)
+        m8 = MachineModel(cache_words=256, line_words=8)
+        r1 = run_trace_simulation(nest, m1)
+        r8 = run_trace_simulation(nest, m8)
+        assert r8.meta["misses"] < r1.meta["misses"]
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            run_trace_simulation(matmul(2, 2, 2), MachineModel(cache_words=8), policy="rand")

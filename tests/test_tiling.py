@@ -1,0 +1,151 @@
+"""Tests for the tiling LP and integer tile repair (§5)."""
+
+from fractions import Fraction as F
+from math import prod
+
+import pytest
+
+from repro.core.tiling import TileShape, build_tiling_lp, solve_tiling
+from repro.library.problems import (
+    matmul,
+    matvec,
+    mttkrp,
+    nbody,
+    pointwise_conv,
+    tensor_contraction,
+)
+
+
+class TestTileShape:
+    def test_volume_and_footprints(self):
+        mm = matmul(8, 8, 8)
+        t = TileShape(nest=mm, blocks=(2, 4, 8))
+        assert t.volume == 64
+        assert t.footprint(0) == 16  # C: b1*b3
+        assert t.footprint(1) == 8  # A: b1*b2
+        assert t.footprint(2) == 32  # B: b2*b3
+        assert t.total_footprint() == 56
+
+    def test_feasibility_budgets(self):
+        mm = matmul(8, 8, 8)
+        t = TileShape(nest=mm, blocks=(2, 4, 8))
+        assert t.is_feasible(32, budget="per-array")
+        assert not t.is_feasible(31, budget="per-array")
+        assert t.is_feasible(56, budget="aggregate")
+        assert not t.is_feasible(55, budget="aggregate")
+        with pytest.raises(ValueError):
+            t.is_feasible(32, budget="weird")
+
+    def test_block_bounds_validation(self):
+        mm = matmul(8, 8, 8)
+        with pytest.raises(ValueError):
+            TileShape(nest=mm, blocks=(0, 1, 1))
+        with pytest.raises(ValueError):
+            TileShape(nest=mm, blocks=(9, 1, 1))
+        with pytest.raises(ValueError):
+            TileShape(nest=mm, blocks=(1, 1))
+
+    def test_grid(self):
+        mm = matmul(10, 8, 8)
+        t = TileShape(nest=mm, blocks=(3, 4, 8))
+        assert t.grid_extents() == (4, 2, 1)
+        assert t.num_tiles == 8
+
+
+class TestTilingLP:
+    M = 2**16
+
+    def test_matmul_cube(self):
+        sol = solve_tiling(matmul(2**10, 2**10, 2**10), self.M)
+        assert sol.exponent == F(3, 2)
+        assert sol.lambdas == (F(1, 2), F(1, 2), F(1, 2))
+        assert sol.tile.blocks == (256, 256, 256)
+
+    def test_matmul_small_l3_paper_tiles(self):
+        # §6.1: for beta3 <= 1/2 the optimum is 1 + beta3 and both
+        # (M/L3, L3, L3) and (sqrt M, sqrt M, L3) shapes attain it.
+        nest = matmul(2**12, 2**12, 2**4)
+        sol = solve_tiling(nest, self.M)
+        assert sol.exponent == F(5, 4)
+        t = sol.tile
+        assert t.is_feasible(self.M, "per-array")
+        # The integer tile attains the bound up to rounding: volume within
+        # a factor 8 (=2^d) of M^(5/4).
+        assert t.volume >= self.M ** 1.25 / 8
+
+    def test_matvec_tile(self):
+        nest = matvec(2**12, 2**12)
+        sol = solve_tiling(nest, self.M)
+        # k = 1: tile with b1*b2 <= M.
+        assert sol.exponent == 1
+        assert sol.tile.footprint(1) <= self.M
+
+    def test_whole_problem_fits(self):
+        nest = nbody(2**4, 2**4)
+        sol = solve_tiling(nest, self.M)
+        assert sol.tile.blocks == (16, 16)
+        assert sol.tile.num_tiles == 1
+
+    def test_blocks_never_exceed_bounds(self):
+        for nest in [
+            matmul(100, 3, 7),
+            pointwise_conv(3, 5, 17, 9, 11),
+            mttkrp(33, 5, 44, 7),
+        ]:
+            sol = solve_tiling(nest, 2**10)
+            for b, L in zip(sol.tile.blocks, nest.bounds):
+                assert 1 <= b <= L
+
+    def test_integer_tile_always_feasible(self):
+        for M in (7, 64, 1000, 2**14):
+            for nest in [
+                matmul(50, 60, 70),
+                nbody(1000, 3),
+                tensor_contraction((9, 9), (5,), (11,)),
+            ]:
+                sol = solve_tiling(nest, M)
+                assert sol.tile.is_feasible(M, "per-array"), (nest.name, M)
+
+    def test_aggregate_budget(self):
+        nest = matmul(2**10, 2**10, 2**10)
+        sol = solve_tiling(nest, self.M, budget="aggregate")
+        assert sol.tile.total_footprint() <= self.M
+
+    def test_grow_repair_beats_naive_floor(self):
+        # With M = 10 and matmul, floors of M^lambda lose a lot; the
+        # repair must recover a substantially larger feasible tile.
+        nest = matmul(100, 100, 100)
+        sol = solve_tiling(nest, 10)
+        floored = prod(max(1, int(f)) for f in sol.fractional_blocks)
+        assert sol.tile.volume >= floored
+
+    def test_cache_of_one(self):
+        sol = solve_tiling(matmul(4, 4, 4), 1)
+        assert sol.tile.blocks == (1, 1, 1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            solve_tiling(matmul(4, 4, 4), 0)
+        with pytest.raises(ValueError):
+            solve_tiling(matmul(4, 4, 4), 16, budget="bogus")
+        with pytest.raises(ValueError):
+            build_tiling_lp(matmul(4, 4, 4), 16, betas=[1, 1])
+
+
+class TestLPStructure:
+    def test_rows_match_arrays(self):
+        lp = build_tiling_lp(matmul(4, 4, 4), 16)
+        names = [c.name for c in lp.constraints]
+        assert names == ["cap[C]", "cap[A]", "cap[B]"]
+
+    def test_scalar_array_skipped(self):
+        from repro.library.problems import dot_product
+
+        lp = build_tiling_lp(dot_product(16), 4)
+        # Scalar output contributes no capacity row.
+        assert [c.name for c in lp.constraints] == ["cap[u]", "cap[v]"]
+
+    def test_upper_bounds_are_betas(self):
+        nest = matmul(2**4, 2**8, 2**2)
+        lp = build_tiling_lp(nest, 2**16)
+        assert [lp.bounds[v][1] for v in lp.variables] == [F(1, 4), F(1, 2), F(1, 8)]

@@ -1,0 +1,119 @@
+"""Tests for the independent audit layer (repro.core.verify)."""
+
+from fractions import Fraction as F
+
+import pytest
+
+import repro
+from repro.core.tiling import TileShape
+from repro.core.verify import check_dual_certificate, check_tile, verify_analysis
+from repro.library.problems import matmul, nbody
+
+
+class TestCheckTile:
+    def test_feasible_tile_passes(self):
+        nest = matmul(64, 64, 64)
+        tile = TileShape(nest=nest, blocks=(8, 8, 8))
+        res = check_tile(nest, tile, 64, F(3, 2))
+        assert res.ok
+        assert res.volume == 512
+        assert res.utilisation == 1.0
+
+    def test_budget_violation_reported(self):
+        nest = matmul(64, 64, 64)
+        tile = TileShape(nest=nest, blocks=(16, 16, 16))
+        res = check_tile(nest, tile, 64, F(3, 2))
+        assert not res.feasible
+        assert any("footprint" in v for v in res.violations)
+
+    def test_volume_exceeding_claim_reported(self):
+        nest = matmul(64, 64, 64)
+        tile = TileShape(nest=nest, blocks=(8, 8, 8))
+        res = check_tile(nest, tile, 64, F(1))  # claim tile <= M^1 = 64
+        assert res.feasible  # footprints fine
+        assert any("exceeds claimed bound" in v for v in res.violations)
+        assert not res.ok
+
+    def test_aggregate_budget(self):
+        nest = matmul(64, 64, 64)
+        tile = TileShape(nest=nest, blocks=(8, 8, 8))
+        assert not check_tile(nest, tile, 64, F(3, 2), budget="aggregate").feasible
+        assert check_tile(nest, tile, 200, F(3, 2), budget="aggregate").feasible
+
+    def test_bad_budget(self):
+        nest = matmul(4, 4, 4)
+        with pytest.raises(ValueError):
+            check_tile(nest, TileShape(nest=nest, blocks=(1, 1, 1)), 4, F(1), budget="x")
+
+
+class TestCheckDualCertificate:
+    def test_valid_matmul_certificate(self):
+        nest = matmul(64, 64, 64)
+        betas = [F(1), F(1), F(1)]
+        res = check_dual_certificate(nest, betas, zeta=[0, 0, 0], s=[F(1, 2)] * 3)
+        assert res.ok
+        assert res.certified_exponent == F(3, 2)
+
+    def test_beta_weighted_certificate(self):
+        # The small-L3 certificate: zeta = (0,0,1), s = (0,1,0) certifies
+        # 1 + beta3.
+        nest = matmul(64, 64, 64)
+        res = check_dual_certificate(
+            nest, [F(1), F(1), F(1, 4)], zeta=[0, 0, 1], s=[0, 1, 0]
+        )
+        assert res.ok
+        assert res.certified_exponent == F(5, 4)
+
+    def test_covering_violation_detected(self):
+        nest = matmul(64, 64, 64)
+        res = check_dual_certificate(nest, [1, 1, 1], zeta=[0, 0, 0], s=[F(1, 2), F(1, 2), 0])
+        assert not res.ok
+        assert any("covering row" in v for v in res.violations)
+
+    def test_negative_multiplier_detected(self):
+        nest = matmul(64, 64, 64)
+        res = check_dual_certificate(nest, [1, 1, 1], zeta=[-1, 0, 0], s=[1, 1, 1])
+        assert not res.ok
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            check_dual_certificate(matmul(4, 4, 4), [1, 1], zeta=[0, 0, 0], s=[0, 0, 0])
+
+
+class TestVerifyAnalysis:
+    def test_clean_analysis_passes(self):
+        for nest in [matmul(2**10, 2**10, 2**4), nbody(2**8, 2**8)]:
+            analysis = repro.analyze(nest, cache_words=2**12)
+            assert verify_analysis(analysis) == []
+
+    def test_catalog_sweep_passes(self):
+        from repro.library.problems import catalog
+
+        for name, nest in catalog().items():
+            analysis = repro.analyze(nest, cache_words=2**10)
+            problems = verify_analysis(analysis)
+            assert problems == [], (name, problems)
+
+    def test_tampered_tile_detected(self):
+        import dataclasses
+
+        nest = matmul(2**8, 2**8, 2**8)
+        analysis = repro.analyze(nest, cache_words=2**8)
+        bad_tile = TileShape(nest=nest, blocks=(64, 64, 64))  # footprint 4096 > 256
+        tampered = dataclasses.replace(
+            analysis, tiling=dataclasses.replace(analysis.tiling, tile=bad_tile)
+        )
+        problems = verify_analysis(tampered)
+        assert any("tile:" in p for p in problems)
+
+    def test_tampered_certificate_detected(self):
+        import dataclasses
+
+        nest = matmul(2**8, 2**8, 2**8)
+        analysis = repro.analyze(nest, cache_words=2**8)
+        bad_dual = dataclasses.replace(analysis.certificate.dual, s=(F(0), F(0), F(0)))
+        tampered = dataclasses.replace(
+            analysis, certificate=dataclasses.replace(analysis.certificate, dual=bad_dual)
+        )
+        problems = verify_analysis(tampered)
+        assert any("certificate" in p for p in problems)
