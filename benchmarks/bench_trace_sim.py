@@ -6,7 +6,17 @@ simulations on small instances and shows (a) the analytic count is a
 constant-factor model of LRU reality, (b) LP tilings beat untiled
 execution on a real cache too, and (c) policy quality ordering
 Belady <= LRU <= direct-mapped holds.
+
+It also measures the batched-engine speedup over the per-access
+reference path on a >= 1M-access instance and emits the result as
+machine-readable ``benchmarks/results/BENCH_trace_sim.json`` (ops/sec
+before vs after, plus the one-pass miss-curve throughput) so future PRs
+can track the perf trajectory.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -14,7 +24,9 @@ from repro.core.bounds import communication_lower_bound
 from repro.core.tiling import solve_tiling
 from repro.library.problems import matmul, matvec, nbody
 from repro.machine.model import MachineModel
+from repro.machine.native import native_available
 from repro.simulate.executor import simulate_tiled_traffic
+from repro.simulate.multilevel import nest_miss_curve
 from repro.simulate.trace_sim import run_trace_simulation
 
 CASES = {
@@ -71,6 +83,76 @@ def test_e15_direct_mapped_conflicts(benchmark, table):
     t.add("lru", lru.total_words)
     t.add("direct-mapped", dm.total_words)
     assert dm.total_words >= lru.total_words
+
+
+def test_e15_batched_throughput_json(table):
+    """Reference vs batched engine on a >= 1M-access instance.
+
+    Timed manually (one run each — the reference path costs seconds) and
+    recorded as BENCH_trace_sim.json.  The hard assertion is a
+    conservative floor; the JSON carries the measured ratio (an order of
+    magnitude or two depending on native-kernel availability).
+    """
+    nest = matmul(72, 72, 72)  # 373,248 points x 3 arrays = 1,119,744 accesses
+    M = 512
+    machine = MachineModel(cache_words=M)
+    sol = solve_tiling(nest, M, budget="aggregate")
+
+    t0 = time.perf_counter()
+    ref = run_trace_simulation(nest, machine, tile=sol.tile, engine="reference")
+    t_ref = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = run_trace_simulation(nest, machine, tile=sol.tile)
+    t_fast = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    curve = nest_miss_curve(nest, tile=sol.tile)
+    t_curve = time.perf_counter() - t0
+
+    accesses = ref.meta["accesses"]
+    assert accesses >= 1_000_000
+    # bit-identical engines
+    assert fast.per_array == ref.per_array
+    assert fast.meta["misses"] == ref.meta["misses"] == curve.misses_at(machine.cache_lines)
+    assert fast.meta["writebacks"] == ref.meta["writebacks"]
+
+    speedup = t_ref / t_fast
+    payload = {
+        "experiment": "trace_sim_throughput",
+        "instance": nest.describe(),
+        "tile_blocks": list(sol.tile.blocks),
+        "cache_words": M,
+        "accesses": int(accesses),
+        "native_kernel": native_available(),
+        "before": {
+            "engine": "reference",
+            "seconds": round(t_ref, 4),
+            "ops_per_sec": round(accesses / t_ref),
+        },
+        "after": {
+            "engine": "batched",
+            "seconds": round(t_fast, 4),
+            "ops_per_sec": round(accesses / t_fast),
+        },
+        "speedup": round(speedup, 2),
+        "miss_curve": {
+            "seconds": round(t_curve, 4),
+            "ops_per_sec": round(accesses / t_curve),
+            "capacities_covered": int(curve.distinct_lines) + 1,
+        },
+    }
+    out = Path(__file__).parent / "results" / "BENCH_trace_sim.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    t = table("e15_throughput", ["engine", "seconds", "ops/sec"])
+    t.add("reference (before)", f"{t_ref:.3f}", f"{accesses / t_ref:.3g}")
+    t.add("batched (after)", f"{t_fast:.3f}", f"{accesses / t_fast:.3g}")
+    t.add("miss-curve (all capacities)", f"{t_curve:.3f}", f"{accesses / t_curve:.3g}")
+    t.add("speedup", f"{speedup:.1f}x", "")
+
+    assert speedup >= 5.0, payload
 
 
 def test_e15_line_size_effect(benchmark, table):

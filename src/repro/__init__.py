@@ -56,10 +56,12 @@ from .core import (
     tile_exponent,
 )
 from .library import catalog
-from .machine import MachineModel, TrafficReport
+from .machine import MachineModel, MissCurve, TrafficReport, miss_curve
 from .parallel import distributed_lower_bound, optimal_grid, simulate_grid
 from .simulate import (
     best_order_traffic,
+    generate_trace_batched,
+    nest_miss_curve,
     run_trace_simulation,
     simulate_tiled_traffic,
     simulate_untiled_traffic,
@@ -136,6 +138,10 @@ __all__ = [
     "catalog",
     "MachineModel",
     "TrafficReport",
+    "MissCurve",
+    "miss_curve",
+    "nest_miss_curve",
+    "generate_trace_batched",
     "simulate_tiled_traffic",
     "simulate_untiled_traffic",
     "best_order_traffic",

@@ -4,8 +4,10 @@ Two oracles, used by the property-based test-suite and by the E9/E11
 benchmarks as ground truth:
 
 * :func:`best_rectangle` — the largest *integer rectangle* tile that
-  fits the memory budget, by full enumeration of side lengths.  The
-  LP's fractional optimum ``M**k_hat`` must upper-bound it, and the
+  fits the memory budget, by exhaustive search of side lengths with
+  monotone footprint pruning (growing a side never shrinks a
+  footprint, so infeasible partial assignments cut whole subtrees).
+  The LP's fractional optimum ``M**k_hat`` must upper-bound it, and the
   library's rounded tile must match it up to the rounding slack.
 * :func:`best_subset` — the largest *arbitrary subset* tile (any set of
   iteration points, not necessarily a rectangle) by enumeration of all
@@ -17,12 +19,11 @@ benchmarks as ground truth:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations, product
+from itertools import combinations
 from math import prod
 from typing import Iterable
 
 from .loopnest import LoopNest
-from .tiling import TileShape
 
 __all__ = ["BruteForceResult", "best_rectangle", "best_subset", "max_subset_of_size"]
 
@@ -39,22 +40,54 @@ class BruteForceResult:
 def best_rectangle(
     nest: LoopNest, cache_words: int, budget: str = "per-array"
 ) -> BruteForceResult:
-    """Largest feasible integer rectangle by full enumeration.
+    """Largest feasible integer rectangle by pruned exhaustive search.
 
-    Cost is ``prod_i L_i`` side combinations; guarded to small nests.
+    Depth-first over side lengths in the same lexicographic order as
+    naive enumeration (so ties resolve identically), carrying each
+    array's partial footprint incrementally.  Undecided sides sit at
+    their minimum (1), making partial footprints lower bounds; since
+    growing any side only grows footprints, a partial assignment that
+    already busts the budget prunes its whole subtree, and within one
+    dimension the first infeasible side length ends the scan.
     """
     if prod(nest.bounds) > 4_000_000:
         raise ValueError("instance too large for exhaustive rectangle search")
+    if budget not in ("per-array", "aggregate"):
+        raise ValueError(f"unknown budget {budget!r}")
+    per_array = budget == "per-array"
+    d = nest.depth
+    n = nest.num_arrays
+    touching = [
+        [j for j in range(n) if i in nest.arrays[j].support] for i in range(d)
+    ]
     best_volume = 0
     best_blocks: tuple[int, ...] | None = None
-    for blocks in product(*(range(1, L + 1) for L in nest.bounds)):
-        shape = TileShape(nest=nest, blocks=blocks)
-        if not shape.is_feasible(cache_words, budget=budget):
-            continue
-        if shape.volume > best_volume:
-            best_volume = shape.volume
-            best_blocks = blocks
-    if best_blocks is None:  # pragma: no cover - the 1x...x1 tile is always feasible
+    blocks = [1] * d
+
+    def descend(dim: int, footprints: list[int], volume: int) -> None:
+        nonlocal best_volume, best_blocks
+        if dim == d:
+            # pruning kept every partial feasible, so this tile is feasible
+            if volume > best_volume:
+                best_volume = volume
+                best_blocks = tuple(blocks)
+            return
+        for side in range(1, nest.bounds[dim] + 1):
+            trial = footprints.copy()
+            for j in touching[dim]:
+                trial[j] = footprints[j] * side
+            if per_array:
+                if any(trial[j] > cache_words for j in touching[dim]):
+                    break  # larger sides only grow footprints
+            elif sum(trial) > cache_words:
+                break
+            blocks[dim] = side
+            descend(dim + 1, trial, volume * side)
+
+    descend(0, [1] * n, 1)
+    if best_blocks is None:
+        # Aggregate budgets below n words reject even the unit tile (one
+        # resident word per array); per-array budgets never land here.
         raise AssertionError("no feasible rectangle found (even the unit tile?)")
     return BruteForceResult(volume=best_volume, blocks=best_blocks, points=None)
 

@@ -71,10 +71,23 @@ class TileShape:
 
     def footprint(self, j: int) -> int:
         """``|phi_j(tile)| = prod_{i in supp(phi_j)} b_i`` (paper §3)."""
-        return prod(self.blocks[i] for i in self.nest.arrays[j].support)
+        return self.footprints()[j]
 
     def footprints(self) -> tuple[int, ...]:
-        return tuple(self.footprint(j) for j in range(self.nest.num_arrays))
+        """Per-array footprints, computed once per (frozen) shape.
+
+        Feasibility probes evaluate footprints repeatedly (binary
+        searches in :func:`solve_tiling`, enumeration oracles), so the
+        tuple is memoised on first use — the dataclass is frozen, so the
+        value can never go stale.
+        """
+        cached = self.__dict__.get("_footprints")
+        if cached is None:
+            cached = tuple(
+                prod(self.blocks[i] for i in arr.support) for arr in self.nest.arrays
+            )
+            object.__setattr__(self, "_footprints", cached)
+        return cached
 
     def total_footprint(self) -> int:
         return sum(self.footprints())
@@ -172,14 +185,33 @@ def _max_block(
     cache_words: int,
     budget: str,
 ) -> int:
-    """Largest feasible value for ``blocks[i]`` holding the others fixed."""
-    lo, hi = blocks[i], nest.bounds[i]
+    """Largest feasible value for ``blocks[i]`` holding the others fixed.
 
-    def ok(value: int) -> bool:
-        trial = blocks.copy()
-        trial[i] = value
-        shape = TileShape(nest=nest, blocks=tuple(trial))
-        return shape.is_feasible(cache_words, budget)
+    Footprints are linear in the probed side, so each probe is an O(n)
+    multiply against per-array partial products (all other sides fixed)
+    instead of a fresh :class:`TileShape` product evaluation.
+    """
+    lo, hi = blocks[i], nest.bounds[i]
+    partial = [
+        prod(blocks[k] for k in arr.support if k != i) for arr in nest.arrays
+    ]
+    scaled = [i in arr.support for arr in nest.arrays]
+
+    if budget == "per-array":
+
+        def ok(value: int) -> bool:
+            return all(
+                p * (value if s else 1) <= cache_words
+                for p, s in zip(partial, scaled)
+            )
+
+    else:  # aggregate
+
+        def ok(value: int) -> bool:
+            return (
+                sum(p * (value if s else 1) for p, s in zip(partial, scaled))
+                <= cache_words
+            )
 
     if not ok(lo):  # pragma: no cover - callers start from a feasible point
         raise AssertionError("starting block infeasible")

@@ -1,8 +1,18 @@
 """Two-level machine model and cache policies (the paper's cost model)."""
 
-from .cache import CacheStats, DirectMappedCache, FullyAssociativeLRU, simulate_belady
+from .cache import (
+    BatchLRU,
+    CacheStats,
+    DirectMappedCache,
+    FullyAssociativeLRU,
+    MissCurve,
+    miss_curve,
+    simulate_belady,
+)
 from .counters import ArrayTraffic, TrafficReport
 from .model import MachineModel
+from .native import native_available
+from .stackdist import stack_distances, write_interval_maxima
 
 __all__ = [
     "MachineModel",
@@ -10,6 +20,12 @@ __all__ = [
     "FullyAssociativeLRU",
     "DirectMappedCache",
     "simulate_belady",
+    "BatchLRU",
+    "MissCurve",
+    "miss_curve",
+    "stack_distances",
+    "write_interval_maxima",
+    "native_available",
     "ArrayTraffic",
     "TrafficReport",
 ]

@@ -1,0 +1,133 @@
+/* Native kernels for the batched trace-simulation engine.
+ *
+ * Compiled on demand by repro.machine.native (gcc -O2 -shared -fPIC) and
+ * loaded through ctypes; every entry point has a pure-Python/numpy fallback,
+ * so this file is an accelerator, never a requirement.
+ *
+ * Two kernels:
+ *
+ *   lru_process / lru_flush — single-capacity fully-associative LRU over
+ *     line ids.  Lines are dense ids < num_lines, so residency lookup is a
+ *     direct-indexed slot array; recency is an intrusive doubly-linked list
+ *     threaded through fixed node arrays (no allocation per access).  State
+ *     persists across calls so callers can stream the trace in chunks.
+ *
+ *   reuse_distances — exact LRU stack distances (Olken's algorithm) via a
+ *     Fenwick tree over last-access positions: dist[t] = number of distinct
+ *     *other* lines touched since the previous access to lines[t], or -1
+ *     for a cold (first) access.  One O(log n) query + two O(log n) updates
+ *     per access; the caller turns the distances into the full miss-rate
+ *     curve (misses at capacity C = cold + #{dist >= C}).
+ */
+
+#include <stdint.h>
+
+/* state layout: [0]=fill [1]=head(MRU) [2]=tail(LRU) [3]=hits [4]=misses
+ * [5]=writebacks.  head/tail are -1 while the cache is empty. */
+
+void lru_process(int64_t *state, int64_t capacity, int64_t *slot,
+                 int64_t *node_line, int64_t *node_prev, int64_t *node_next,
+                 uint8_t *node_dirty, const int64_t *lines,
+                 const uint8_t *writes, int64_t n, uint8_t *miss_out)
+{
+    int64_t fill = state[0], head = state[1], tail = state[2];
+    int64_t hits = state[3], misses = state[4], writebacks = state[5];
+
+    for (int64_t t = 0; t < n; t++) {
+        int64_t line = lines[t];
+        uint8_t w = writes[t];
+        int64_t node = slot[line];
+        if (node >= 0) {
+            hits++;
+            miss_out[t] = 0;
+            node_dirty[node] |= w;
+            if (node != head) { /* unlink, splice at head */
+                int64_t p = node_prev[node], nx = node_next[node];
+                node_next[p] = nx;
+                if (nx >= 0)
+                    node_prev[nx] = p;
+                else
+                    tail = p;
+                node_prev[node] = -1;
+                node_next[node] = head;
+                node_prev[head] = node;
+                head = node;
+            }
+            continue;
+        }
+        misses++;
+        miss_out[t] = 1;
+        if (fill < capacity) {
+            node = fill++;
+        } else { /* evict LRU tail */
+            node = tail;
+            if (node_dirty[node])
+                writebacks++;
+            slot[node_line[node]] = -1;
+            tail = node_prev[node];
+            if (tail >= 0)
+                node_next[tail] = -1;
+            else
+                head = -1; /* evicted the only resident line */
+        }
+        node_line[node] = line;
+        node_dirty[node] = w;
+        node_prev[node] = -1;
+        node_next[node] = head;
+        if (head >= 0)
+            node_prev[head] = node;
+        else
+            tail = node;
+        head = node;
+        slot[line] = node;
+    }
+    state[0] = fill;
+    state[1] = head;
+    state[2] = tail;
+    state[3] = hits;
+    state[4] = misses;
+    state[5] = writebacks;
+}
+
+/* End-of-run accounting: write back every resident dirty line. */
+void lru_flush(int64_t *state, int64_t *slot, int64_t *node_line,
+               uint8_t *node_dirty)
+{
+    int64_t fill = state[0];
+    for (int64_t k = 0; k < fill; k++) {
+        if (node_dirty[k])
+            state[5]++;
+        node_dirty[k] = 0;
+        slot[node_line[k]] = -1;
+    }
+    state[0] = 0;
+    state[1] = -1;
+    state[2] = -1;
+}
+
+/* prev[t] = position of the previous access to lines[t], or -1 if cold
+ * (precomputed by the caller).  bit is a zeroed Fenwick array of n+1
+ * int32 counters; dist receives the stack distances (-1 for cold). */
+void reuse_distances(const int64_t *prev, int64_t n, int32_t *bit,
+                     int64_t *dist)
+{
+    int64_t active = 0; /* lines seen so far == set bits in the tree */
+    for (int64_t t = 0; t < n; t++) {
+        int64_t p = prev[t];
+        if (p < 0) {
+            dist[t] = -1;
+            active++;
+        } else {
+            /* distinct other lines since p == active last-access marks
+             * strictly after position p */
+            int64_t before = 0;
+            for (int64_t i = p + 1; i > 0; i -= i & (-i))
+                before += bit[i];
+            dist[t] = active - before;
+            for (int64_t i = p + 1; i <= n; i += i & (-i))
+                bit[i]--;
+        }
+        for (int64_t i = t + 1; i <= n; i += i & (-i))
+            bit[i]++;
+    }
+}

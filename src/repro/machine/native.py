@@ -1,0 +1,109 @@
+"""On-demand compilation and loading of the native simulation kernels.
+
+The batched trace engine (:mod:`repro.simulate.trace_sim`) and the
+stack-distance miss-curve (:mod:`repro.machine.stackdist`) have hot inner
+loops that are sequential by nature (LRU recency updates, Fenwick-tree
+walks) and therefore cannot be vectorised with numpy alone.  This module
+compiles ``_lru_kernel.c`` into a shared library next to the package the
+first time it is needed — plain ``cc -O2 -shared -fPIC``, no build system,
+no third-party dependency — and exposes the entry points through ctypes.
+
+Everything degrades gracefully: if no C compiler is available, compilation
+fails, or ``REPRO_NO_NATIVE`` is set in the environment, :func:`get_kernel`
+returns ``None`` and callers fall back to the pure-Python/numpy
+implementations.  The cross-check test-suite exercises both paths.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+__all__ = ["get_kernel", "native_available"]
+
+_SOURCE = Path(__file__).with_name("_lru_kernel.c")
+_SONAME = f"_lru_kernel-{sys.implementation.cache_tag}.so"
+
+# tri-state cache: unset / kernel / None (= unavailable)
+_KERNEL: "ctypes.CDLL | None" = None
+_RESOLVED = False
+
+
+def _compile() -> Path | None:
+    """Build the shared library next to the source; return its path or None."""
+    so_path = _SOURCE.with_name(_SONAME)
+    try:
+        if so_path.exists() and so_path.stat().st_mtime >= _SOURCE.stat().st_mtime:
+            return so_path
+    except OSError:
+        return None
+    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if compiler is None:
+        return None
+    # Compile to a temp file and rename atomically so concurrent test
+    # processes never load a half-written library.
+    tmp = None
+    try:
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(so_path.parent))
+        os.close(fd)
+        cmd = [compiler, "-O2", "-shared", "-fPIC", "-o", tmp, str(_SOURCE)]
+        proc = subprocess.run(cmd, capture_output=True, timeout=120)
+        if proc.returncode != 0:
+            os.unlink(tmp)
+            return None
+        os.replace(tmp, so_path)
+        return so_path
+    except (OSError, subprocess.SubprocessError):
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return None
+
+
+def _load() -> "ctypes.CDLL | None":
+    so_path = _compile()
+    if so_path is None:
+        return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    i32p = ctypes.POINTER(ctypes.c_int32)
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    try:
+        lib.lru_process.argtypes = [
+            i64p, ctypes.c_int64, i64p, i64p, i64p, i64p, u8p,
+            i64p, u8p, ctypes.c_int64, u8p,
+        ]
+        lib.lru_process.restype = None
+        lib.lru_flush.argtypes = [i64p, i64p, i64p, u8p]
+        lib.lru_flush.restype = None
+        lib.reuse_distances.argtypes = [i64p, ctypes.c_int64, i32p, i64p]
+        lib.reuse_distances.restype = None
+    except AttributeError:
+        return None
+    return lib
+
+
+def get_kernel() -> "ctypes.CDLL | None":
+    """The loaded kernel library, or None when unavailable/disabled."""
+    global _KERNEL, _RESOLVED
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return None
+    if not _RESOLVED:
+        _KERNEL = _load()
+        _RESOLVED = True
+    return _KERNEL
+
+
+def native_available() -> bool:
+    """Whether the C kernels can be used in this environment."""
+    return get_kernel() is not None

@@ -2,10 +2,19 @@
 
 from .executor import best_order_traffic, simulate_tiled_traffic, simulate_untiled_traffic
 from .footprint import array_tile_loads, working_set_words
-from .trace import Access, AddressMap, generate_trace, trace_length
+from .trace import (
+    MAX_TRACE_ACCESSES,
+    Access,
+    AddressMap,
+    TraceBatch,
+    generate_trace,
+    generate_trace_batched,
+    trace_length,
+)
 from .multilevel import (
     BoundaryTraffic,
     MultiLevelReport,
+    nest_miss_curve,
     simulate_hierarchical_tiling_trace,
     simulate_hierarchy_trace,
 )
@@ -19,11 +28,15 @@ __all__ = [
     "working_set_words",
     "Access",
     "AddressMap",
+    "TraceBatch",
     "generate_trace",
+    "generate_trace_batched",
     "trace_length",
+    "MAX_TRACE_ACCESSES",
     "run_trace_simulation",
     "BoundaryTraffic",
     "MultiLevelReport",
+    "nest_miss_curve",
     "simulate_hierarchy_trace",
     "simulate_hierarchical_tiling_trace",
 ]

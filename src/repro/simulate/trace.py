@@ -1,31 +1,62 @@
 """Word-level address-trace generation for tiled loop nests.
 
 The trace-driven validator needs the actual sequence of array-element
-touches a tiled execution performs.  :func:`generate_trace` walks the
-tile grid in a given loop order, walks each tile's points, and emits
-one access per array reference per iteration point (reads for inputs,
-read-modify-write for outputs — i.e. an output access is a write that
-also needs the line resident, which is how write-allocate caches treat
-``+=``).
+touches a tiled execution performs.  Two generators produce the *same*
+stream:
 
-Traces are word-granular; :func:`linearize` maps an array element to a
-flat address in a global address space with per-array bases, row-major
-within each array (matching how the numpy kernels lay memory out).
-Intended for *small* instances — the trace has
-``num_operations * num_arrays`` entries.
+* :func:`generate_trace` — the reference oracle: walks the tile grid in
+  a given loop order, walks each tile's points, and emits one
+  :class:`Access` per array reference per iteration point (reads for
+  inputs, read-modify-write for outputs — i.e. an output access is a
+  write that also needs the line resident, which is how write-allocate
+  caches treat ``+=``).  One Python object per access; kept for
+  cross-checking and tiny instances.
+* :func:`generate_trace_batched` — the production path: yields
+  :class:`TraceBatch` chunks of numpy arrays ``(addresses, array_ids,
+  is_write)``.  Addresses come from per-array strided arithmetic
+  (``base + strides @ point``) instead of per-word Python loops; when
+  every block divides its loop bound the whole execution collapses to
+  mixed-radix decoding of a global access index (tile digits then point
+  digits), vectorising across tile boundaries.  Ragged edge tiles fall
+  back to per-tile vectorisation with chunk buffering.  Chunks always
+  hold whole iteration points, so ``array_ids`` within a chunk is the
+  periodic pattern ``0..n-1`` and consumers may reshape per point.
+
+Traces are word-granular; :class:`AddressMap` maps an array element to
+a flat address in a global address space with per-array bases,
+row-major within each array (matching how the numpy kernels lay memory
+out).  The length guard :data:`MAX_TRACE_ACCESSES` (80M accesses, 10x
+the pre-batched limit) bounds memory and runtime of downstream
+simulators; use the analytic executor beyond it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import product
 from math import prod
-from typing import Iterator, Sequence
+from typing import Iterator, NamedTuple, Sequence
+
+import numpy as np
 
 from ..core.loopnest import LoopNest
 from ..core.tiling import TileShape
 from .footprint import validate_order
 
-__all__ = ["Access", "AddressMap", "generate_trace", "trace_length"]
+__all__ = [
+    "Access",
+    "AddressMap",
+    "TraceBatch",
+    "generate_trace",
+    "generate_trace_batched",
+    "trace_length",
+    "MAX_TRACE_ACCESSES",
+]
+
+#: Hard guard on ``num_operations * num_arrays`` for trace generation.
+#: The batched engine sustains tens of millions of accesses per second,
+#: so 80M accesses simulate in seconds (the old per-Access limit was 8M).
+MAX_TRACE_ACCESSES = 80_000_000
 
 
 @dataclass(frozen=True)
@@ -35,6 +66,20 @@ class Access:
     array: int
     element: tuple[int, ...]
     is_write: bool
+
+
+class TraceBatch(NamedTuple):
+    """One chunk of the batched access stream (parallel 1-D arrays).
+
+    ``addresses`` are flat word addresses (``AddressMap`` space),
+    ``array_ids`` the owning array index per access, ``is_write`` the
+    write flag per access.  Length is a multiple of the nest's array
+    count: chunks never split an iteration point.
+    """
+
+    addresses: np.ndarray
+    array_ids: np.ndarray
+    is_write: np.ndarray
 
 
 class AddressMap:
@@ -51,6 +96,26 @@ class AddressMap:
             self._bases.append(base)
             base += prod(dims) if dims else 1
         self.total_words = base
+
+    @property
+    def bases(self) -> tuple[int, ...]:
+        """Per-array base addresses."""
+        return tuple(self._bases)
+
+    def stride_matrix(self) -> np.ndarray:
+        """``(n, d)`` int64 matrix S with ``address_j(x) = base_j + S[j] @ x``.
+
+        Row-major strides over each array's support dims, zero elsewhere
+        (a projective access ignores non-support coordinates).
+        """
+        nest = self.nest
+        strides = np.zeros((nest.num_arrays, nest.depth), dtype=np.int64)
+        for j, arr in enumerate(nest.arrays):
+            step = 1
+            for i in reversed(arr.support):
+                strides[j, i] = step
+                step *= nest.bounds[i]
+        return strides
 
     def address(self, access: Access) -> int:
         dims = self._dims[access.array]
@@ -75,7 +140,7 @@ class AddressMap:
 
 
 def trace_length(nest: LoopNest) -> int:
-    """Number of accesses :func:`generate_trace` will emit."""
+    """Number of accesses either generator will emit."""
     return nest.num_operations * nest.num_arrays
 
 
@@ -88,7 +153,7 @@ def generate_trace(
     tile: TileShape | None = None,
     order: Sequence[int] | None = None,
 ) -> Iterator[Access]:
-    """Yield the access stream of a tiled execution.
+    """Yield the access stream of a tiled execution (reference oracle).
 
     ``tile=None`` means the untiled (single-tile-per-point) execution in
     plain lexicographic order ``order``.  Within a tile, points are
@@ -97,7 +162,7 @@ def generate_trace(
     """
     order = validate_order(nest, order)
     d = nest.depth
-    if nest.num_operations * nest.num_arrays > 8_000_000:
+    if trace_length(nest) > MAX_TRACE_ACCESSES:
         raise ValueError("trace too long; use the analytic executor for large nests")
     blocks = tile.blocks if tile is not None else tuple(1 for _ in range(d))
     per_dim_ranges = [_tile_ranges(nest.bounds[i], blocks[i]) for i in range(d)]
@@ -126,3 +191,111 @@ def generate_trace(
         for pt in walk_points(0, ranges):
             for j, arr in enumerate(nest.arrays):
                 yield Access(array=j, element=arr.project(pt), is_write=arr.is_output)
+
+
+def _place_values(radices_by_dim: Sequence[int], order: Sequence[int]) -> list[int]:
+    """Per-dim place value of a mixed-radix number enumerated in ``order``.
+
+    ``order[0]`` is the outermost digit; the place value of dim ``i`` is
+    the product of the radices of all dims inner to it.
+    """
+    pv = [1] * len(order)
+    acc = 1
+    for p in range(len(order) - 1, -1, -1):
+        i = order[p]
+        pv[i] = acc
+        acc *= radices_by_dim[i]
+    return pv
+
+
+def generate_trace_batched(
+    nest: LoopNest,
+    tile: TileShape | None = None,
+    order: Sequence[int] | None = None,
+    chunk: int = 1 << 20,
+    address_map: AddressMap | None = None,
+) -> Iterator[TraceBatch]:
+    """Yield the access stream of a tiled execution as numpy chunks.
+
+    Bit-identical to :func:`generate_trace` (same addresses in the same
+    sequence), but addresses are computed with strided arithmetic on
+    whole index ranges.  ``chunk`` caps the accesses per yielded batch
+    (rounded to whole iteration points; a batch may run slightly longer
+    than ``chunk`` when buffering ragged edge tiles).
+    """
+    order = validate_order(nest, order)
+    d, n = nest.depth, nest.num_arrays
+    if trace_length(nest) > MAX_TRACE_ACCESSES:
+        raise ValueError("trace too long; use the analytic executor for large nests")
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    amap = address_map if address_map is not None else AddressMap(nest)
+    strides = amap.stride_matrix()
+    bases = np.asarray(amap.bases, dtype=np.int64)
+    write_pattern = np.fromiter((a.is_output for a in nest.arrays), dtype=bool, count=n)
+    id_pattern = np.arange(n, dtype=np.int64)
+    blocks = tile.blocks if tile is not None else nest.bounds
+    points_per_chunk = max(1, chunk // n)
+
+    def emit(coords: np.ndarray) -> TraceBatch:
+        """``coords`` is (d, m); interleave per-point array accesses."""
+        m = coords.shape[1]
+        addrs = bases[:, None] + strides @ coords  # (n, m)
+        return TraceBatch(
+            addresses=addrs.T.reshape(-1),  # point-major, arrays in nest order
+            array_ids=np.tile(id_pattern, m),
+            is_write=np.tile(write_pattern, m),
+        )
+
+    if all(L % b == 0 for L, b in zip(nest.bounds, blocks)):
+        # Uniform grid: every tile has the same shape, so the k-th access
+        # point of the whole execution decodes as (tile digits, point
+        # digits) of one global index — vectorised across tile boundaries.
+        grid = [L // b for L, b in zip(nest.bounds, blocks)]
+        tile_pv = _place_values(grid, order)
+        point_pv = _place_values(blocks, order)
+        volume = prod(blocks)
+        total_points = nest.num_operations
+        for g0 in range(0, total_points, points_per_chunk):
+            g = np.arange(g0, min(g0 + points_per_chunk, total_points), dtype=np.int64)
+            tile_rank = g // volume
+            point_rank = g - tile_rank * volume
+            coords = np.empty((d, len(g)), dtype=np.int64)
+            for i in range(d):
+                q = (tile_rank // tile_pv[i]) % grid[i]
+                r = (point_rank // point_pv[i]) % blocks[i]
+                coords[i] = q * blocks[i] + r
+            yield emit(coords)
+        return
+
+    # Ragged grid: walk tiles in order-major sequence; vectorise points
+    # within each tile and buffer tiles up to the chunk size.
+    per_dim_ranges = [_tile_ranges(nest.bounds[i], blocks[i]) for i in range(d)]
+    buffered: list[np.ndarray] = []
+    buffered_points = 0
+
+    def flush() -> TraceBatch:
+        nonlocal buffered, buffered_points
+        coords = buffered[0] if len(buffered) == 1 else np.concatenate(buffered, axis=1)
+        buffered, buffered_points = [], 0
+        return emit(coords)
+
+    for tile_choice in product(*(per_dim_ranges[i] for i in order)):
+        ranges = [None] * d
+        for p, rng in enumerate(tile_choice):
+            ranges[order[p]] = rng
+        extents = [len(ranges[i]) for i in range(d)]
+        starts = [ranges[i].start for i in range(d)]
+        volume = prod(extents)
+        pv = _place_values(extents, order)
+        for g0 in range(0, volume, points_per_chunk):
+            g = np.arange(g0, min(g0 + points_per_chunk, volume), dtype=np.int64)
+            coords = np.empty((d, len(g)), dtype=np.int64)
+            for i in range(d):
+                coords[i] = starts[i] + (g // pv[i]) % extents[i]
+            buffered.append(coords)
+            buffered_points += len(g)
+            if buffered_points >= points_per_chunk:
+                yield flush()
+    if buffered_points:
+        yield flush()

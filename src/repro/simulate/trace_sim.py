@@ -1,33 +1,51 @@
 """Trace-driven cache simulation: the model's cost, realised.
 
-Feeds the word-accurate access stream of :mod:`repro.simulate.trace`
-through the replacement policies of :mod:`repro.machine.cache` and
-reports per-array traffic.  This closes the loop between the paper's
-abstract tile-counting argument and an actual cache: on small
-instances, the LP tiling's LRU traffic must land within a small
-constant of the analytic count and of the communication lower bound
-(benchmark E15).
+Feeds the access stream of :mod:`repro.simulate.trace` through the
+replacement policies of :mod:`repro.machine.cache` and reports per-array
+traffic.  This closes the loop between the paper's abstract tile-counting
+argument and an actual cache: on small instances, the LP tiling's LRU
+traffic must land within a small constant of the analytic count and of
+the communication lower bound (benchmark E15).
+
+Two engines produce identical reports:
+
+* ``engine="batched"`` (default) — streams :class:`TraceBatch` chunks
+  from the vectorised generator into :class:`repro.machine.cache.BatchLRU`
+  (native kernel when available); per-array attribution uses the chunk
+  miss masks (chunks hold whole iteration points, so reshaping a mask to
+  ``(points, n_arrays)`` aligns misses with the owning array).  One to
+  two orders of magnitude faster than the reference.
+* ``engine="reference"`` — the original per-:class:`Access` path, kept
+  as the cross-check oracle and as the "before" baseline of the
+  ``bench_trace_sim`` throughput benchmark.
+
+Belady and direct-mapped policies keep their per-access cores (Belady
+needs future knowledge; direct-mapped is a negative control) but are fed
+by the batched generator unless ``engine="reference"``.
 """
 
 from __future__ import annotations
 
 from typing import Literal, Sequence
 
+import numpy as np
+
 from ..core.loopnest import LoopNest
 from ..core.tiling import TileShape
 from ..machine.cache import (
+    BatchLRU,
     CacheStats,
     DirectMappedCache,
     FullyAssociativeLRU,
-    simulate_belady,
 )
 from ..machine.counters import ArrayTraffic, TrafficReport
 from ..machine.model import MachineModel
-from .trace import Access, AddressMap, generate_trace
+from .trace import AddressMap, generate_trace, generate_trace_batched
 
 __all__ = ["run_trace_simulation"]
 
 Policy = Literal["lru", "belady", "direct"]
+Engine = Literal["batched", "reference"]
 
 
 def run_trace_simulation(
@@ -36,6 +54,9 @@ def run_trace_simulation(
     tile: TileShape | None = None,
     order: Sequence[int] | None = None,
     policy: Policy = "lru",
+    engine: Engine = "batched",
+    chunk: int = 1 << 20,
+    use_native: bool | None = None,
 ) -> TrafficReport:
     """Simulate the tiled execution's trace on a cache; count words moved.
 
@@ -43,48 +64,58 @@ def run_trace_simulation(
     missed line (line size 1 keeps attribution exact; with longer lines
     a line never spans arrays because bases are not aligned — we simply
     attribute by the accessed array).  Write-backs are charged to the
-    array that dirtied the line.
+    array that last dirtied the line, apportioned by largest remainder
+    so per-array stores always conserve the aggregate.
+
+    ``engine="batched"`` (default) uses the vectorised generator and the
+    chunked LRU engine; ``engine="reference"`` replays the original
+    per-access path (the two are bit-identical — the cross-check suite
+    enforces it).  ``use_native`` forces the native kernel on/off for
+    the batched LRU path (None = auto).
     """
+    if policy not in ("lru", "belady", "direct"):
+        raise ValueError(f"unknown policy {policy!r}")
+    if engine not in ("batched", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
     amap = AddressMap(nest)
     lw = machine.line_words
-
-    accesses: list[tuple[int, int, bool]] = []  # (line, array, is_write)
-    for acc in generate_trace(nest, tile=tile, order=order):
-        addr = amap.address(acc)
-        accesses.append((addr // lw, acc.array, acc.is_write))
-
     n_arrays = nest.num_arrays
     loads = [0] * n_arrays
     stores = [0] * n_arrays
 
-    if policy == "belady":
-        # Belady core gives aggregate stats; attribute misses by replay:
-        # the optimal schedule is deterministic, so we re-run the same
-        # algorithm inline here with attribution.
-        stats = _belady_attributed(accesses, machine.cache_lines, loads, stores, lw)
-    elif policy in ("lru", "direct"):
-        cache = (
-            FullyAssociativeLRU(machine.cache_lines)
-            if policy == "lru"
-            else DirectMappedCache(machine.cache_lines)
+    if policy == "lru" and engine == "batched":
+        stats, dirty_owner, miss_by_array = _lru_batched(
+            nest, amap, machine, tile, order, chunk, use_native
         )
-        dirty_owner: dict[int, int] = {}
-        for line, array, is_write in accesses:
-            hit = cache.access(line, is_write=is_write)
-            if not hit:
-                loads[array] += lw
-            if is_write:
-                dirty_owner[line] = array
-        before = cache.stats.writebacks
-        cache.flush()
-        # Attribute write-backs to the last writer of each line; the
-        # per-line owner map makes this exact for line size 1 and a
-        # sound approximation otherwise.
-        total_wb = cache.stats.writebacks
-        _attribute_writebacks(total_wb, dirty_owner, stores, lw, nest)
-        stats = cache.stats
+        for j in range(n_arrays):
+            loads[j] = int(miss_by_array[j]) * lw
+        _attribute_writebacks(stats.writebacks, dirty_owner, stores, lw, nest)
     else:
-        raise ValueError(f"unknown policy {policy!r}")
+        accesses = _collect_accesses(nest, amap, lw, tile, order, engine, chunk)
+        if policy == "belady":
+            # Belady core gives aggregate stats; attribute misses by replay:
+            # the optimal schedule is deterministic, so we re-run the same
+            # algorithm inline here with attribution.
+            stats = _belady_attributed(accesses, machine.cache_lines, loads, stores, lw)
+        else:
+            cache = (
+                FullyAssociativeLRU(machine.cache_lines)
+                if policy == "lru"
+                else DirectMappedCache(machine.cache_lines)
+            )
+            dirty_owner: dict[int, int] = {}
+            for line, array, is_write in accesses:
+                hit = cache.access(line, is_write=is_write)
+                if not hit:
+                    loads[array] += lw
+                if is_write:
+                    dirty_owner[line] = array
+            cache.flush()
+            # Attribute write-backs to the last writer of each line; the
+            # per-line owner map makes this exact for line size 1 and a
+            # sound approximation otherwise.
+            _attribute_writebacks(cache.stats.writebacks, dirty_owner, stores, lw, nest)
+            stats = cache.stats
 
     per_array = tuple(
         ArrayTraffic(name=arr.name, loads=loads[j], stores=stores[j])
@@ -99,12 +130,73 @@ def run_trace_simulation(
             "order": tuple(order) if order is not None else None,
             "line_words": lw,
             "cache_words": machine.cache_words,
+            "engine": engine,
             "accesses": stats.accesses,
             "hits": stats.hits,
             "misses": stats.misses,
             "writebacks": stats.writebacks,
         },
     )
+
+
+def _lru_batched(
+    nest: LoopNest,
+    amap: AddressMap,
+    machine: MachineModel,
+    tile: TileShape | None,
+    order: Sequence[int] | None,
+    chunk: int,
+    use_native: bool | None,
+) -> tuple[CacheStats, dict[int, int], np.ndarray]:
+    """Streamed batched LRU: stats, last-writer map, per-array miss counts."""
+    lw = machine.line_words
+    n = nest.num_arrays
+    num_lines = -(-amap.total_words // lw)
+    cache = BatchLRU(machine.cache_lines, num_lines, use_native=use_native)
+    miss_by_array = np.zeros(n, dtype=np.int64)
+    dirty_owner: dict[int, int] = {}
+    out_cols = [j for j, arr in enumerate(nest.arrays) if arr.is_output]
+    out_ids = np.asarray(out_cols, dtype=np.int64)
+    for batch in generate_trace_batched(nest, tile=tile, order=order, chunk=chunk):
+        lines = batch.addresses // lw if lw > 1 else batch.addresses
+        miss = cache.process(lines, batch.is_write)
+        points = len(lines) // n
+        miss_by_array += miss.reshape(points, n).sum(axis=0)
+        if out_cols:
+            # Within a point, outputs are written in nest order, so the
+            # row-major ravel below is time-ordered; the first occurrence
+            # in the reversed stream is each line's last writer.
+            written = lines.reshape(points, n)[:, out_cols]
+            flat = written.reshape(-1)[::-1]
+            writers = np.tile(out_ids, points)[::-1]
+            uniq, first = np.unique(flat, return_index=True)
+            dirty_owner.update(zip(uniq.tolist(), writers[first].tolist()))
+    cache.flush()
+    return cache.stats, dirty_owner, miss_by_array
+
+
+def _collect_accesses(
+    nest: LoopNest,
+    amap: AddressMap,
+    lw: int,
+    tile: TileShape | None,
+    order: Sequence[int] | None,
+    engine: Engine,
+    chunk: int,
+) -> list[tuple[int, int, bool]]:
+    """Materialise the ``(line, array, is_write)`` list for per-access cores."""
+    if engine == "reference":
+        return [
+            (amap.address(acc) // lw, acc.array, acc.is_write)
+            for acc in generate_trace(nest, tile=tile, order=order)
+        ]
+    accesses: list[tuple[int, int, bool]] = []
+    for batch in generate_trace_batched(nest, tile=tile, order=order, chunk=chunk):
+        lines = batch.addresses // lw if lw > 1 else batch.addresses
+        accesses.extend(
+            zip(lines.tolist(), batch.array_ids.tolist(), batch.is_write.tolist())
+        )
+    return accesses
 
 
 def _attribute_writebacks(
@@ -119,17 +211,26 @@ def _attribute_writebacks(
     Every write-back comes from a line some output array dirtied; with
     a single output (the common case) attribution is exact.  With
     several outputs we charge each owner proportionally to the dirty
-    lines it owns — aggregate totals stay exact either way.
+    lines it owns, apportioning by largest remainder so the per-array
+    integer shares always sum to the exact aggregate total.
     """
     if total_writebacks == 0 or not dirty_owner:
         return
-    owners = list(dirty_owner.values())
     counts = [0] * nest.num_arrays
-    for owner in owners:
+    for owner in dirty_owner.values():
         counts[owner] += 1
-    scale = total_writebacks / len(owners)
+    total_count = len(dirty_owner)
+    shares = [0] * nest.num_arrays
+    remainders = []
     for j in range(nest.num_arrays):
-        stores[j] += round(counts[j] * scale) * line_words
+        numerator = counts[j] * total_writebacks
+        shares[j] = numerator // total_count
+        remainders.append((-(numerator % total_count), j))
+    leftover = total_writebacks - sum(shares)
+    for _, j in sorted(remainders)[:leftover]:
+        shares[j] += 1
+    for j in range(nest.num_arrays):
+        stores[j] += shares[j] * line_words
 
 
 def _belady_attributed(

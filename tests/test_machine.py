@@ -1,10 +1,14 @@
 """Tests for the machine model and cache policies."""
 
+import numpy as np
 import pytest
 
 from repro.machine.cache import (
+    BatchLRU,
     DirectMappedCache,
     FullyAssociativeLRU,
+    MissCurve,
+    miss_curve,
     simulate_belady,
 )
 from repro.machine.counters import ArrayTraffic, TrafficReport
@@ -139,6 +143,86 @@ class TestBelady:
     def test_validation(self):
         with pytest.raises(ValueError):
             simulate_belady([], 0)
+
+
+class TestBatchLRU:
+    def test_matches_per_access_policy(self):
+        lines = np.array([1, 2, 1, 3, 2, 1], dtype=np.int64)
+        writes = np.array([True, False, False, False, False, True])
+        batch = BatchLRU(2, 4)
+        miss = batch.process(lines, writes)
+        batch.flush()
+        ref = FullyAssociativeLRU(2)
+        ref_miss = [not ref.access(int(l), is_write=bool(w)) for l, w in zip(lines, writes)]
+        ref.flush()
+        assert miss.tolist() == ref_miss
+        assert (batch.stats.hits, batch.stats.misses, batch.stats.writebacks) == (
+            ref.stats.hits,
+            ref.stats.misses,
+            ref.stats.writebacks,
+        )
+
+    def test_state_persists_across_chunks(self):
+        batch = BatchLRU(2, 4)
+        batch.process(np.array([1, 2]), np.zeros(2, dtype=bool))
+        miss = batch.process(np.array([1, 3, 2]), np.zeros(3, dtype=bool))
+        # 1 still resident from the first chunk; 3 evicts 2; 2 misses again
+        assert miss.tolist() == [False, True, True]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchLRU(0, 4)
+        with pytest.raises(ValueError):
+            BatchLRU(2, 0)
+        with pytest.raises(ValueError):
+            BatchLRU(2, 4).process(np.array([1, 2]), np.array([False]))
+
+
+class TestMissCurve:
+    def test_cyclic_trace_all_capacities(self):
+        # 1,2,3 repeated: LRU thrashes below capacity 3, then all-hit.
+        pairs = [(k % 3, False) for k in range(30)]
+        curve = miss_curve(pairs)
+        assert curve.misses_at(1) == 30
+        assert curve.misses_at(2) == 30
+        assert curve.misses_at(3) == 3
+        assert curve.misses_at(100) == 3
+        assert curve.hits_at(3) == 27
+
+    def test_writebacks_across_capacities(self):
+        # write 0, evict it under small caches, rewrite: two write-backs
+        # at capacity 1, one (the final flush) once 0 stays resident.
+        pairs = [(0, True), (1, False), (0, True)]
+        curve = miss_curve(pairs)
+        assert curve.writebacks_at(1) == 2
+        assert curve.writebacks_at(2) == 1
+        assert curve.stats_at(2).writebacks == 1
+
+    def test_empty_trace(self):
+        curve = miss_curve([])
+        assert curve.accesses == 0
+        assert curve.misses_at(4) == 0
+        assert curve.writebacks_at(4) == 0
+
+    def test_capacity_validation(self):
+        curve = miss_curve([(1, False)])
+        with pytest.raises(ValueError):
+            curve.misses_at(0)
+        with pytest.raises(ValueError):
+            curve.sweep([0, 1])
+
+    def test_sweep_default_range(self):
+        curve = miss_curve([(k % 4, False) for k in range(12)])
+        caps, misses, writebacks = curve.sweep()
+        assert caps.tolist() == [1, 2, 3, 4, 5]
+        assert misses[-1] == curve.cold_misses == 4
+        assert writebacks.tolist() == [0, 0, 0, 0, 0]
+
+    def test_is_dataclass_surface(self):
+        curve = miss_curve([(1, True), (2, False)])
+        assert isinstance(curve, MissCurve)
+        assert curve.distinct_lines == 2
+        assert curve.cold_misses == 2
 
 
 class TestTrafficReport:
