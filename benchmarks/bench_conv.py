@@ -2,19 +2,19 @@
 
 The paper's motivation: CNN layers have *small* channel counts, so the
 classical lower bound is loose and the classical tiling infeasible.
-This bench sweeps MobileNet-style pointwise-convolution layers, derives
-the arbitrary-bound tiling, and compares its simulated traffic against
-the clamped classical (sqrt-M cube) tiling and the lower bound.
+This bench sweeps MobileNet-style pointwise-convolution layers through
+the plan service (every layer shares one canonical structure, so the
+whole sweep costs one multiparametric solve), and compares each plan's
+simulated traffic against the clamped classical (sqrt-M cube) tiling
+and the lower bound.
 """
-
-from fractions import Fraction as F
 
 import pytest
 
-from repro.core.bounds import communication_lower_bound
-from repro.core.tiling import TileShape, solve_tiling
+from repro.core.tiling import TileShape
 from repro.library.problems import pointwise_conv
 from repro.machine.model import MachineModel
+from repro.plan import Planner, plan_batch
 from repro.simulate.executor import best_order_traffic
 
 M = 2**15
@@ -30,6 +30,21 @@ LAYERS = [
     (8, 16, 8, 56, 56),  # tiny channels: the classical bound's worst case
 ]
 
+#: One plan cache for the whole module: the layer sweep is the
+#: structure-sharing showcase (5 layers, 1 canonical structure).
+PLANNER = Planner()
+PLANS = {
+    layer: plan
+    for layer, plan in zip(
+        LAYERS,
+        plan_batch(
+            [(pointwise_conv(*layer), M, "aggregate") for layer in LAYERS],
+            planner=PLANNER,
+            max_workers=0,
+        ),
+    )
+}
+
 
 def _clamped_classical_tile(nest, cache_words):
     """The §3 tiling with the small-bound fix applied naively (clamp to L).
@@ -40,32 +55,44 @@ def _clamped_classical_tile(nest, cache_words):
     """
     from math import floor
 
-    d = nest.depth
     side = max(1, floor(cache_words ** (1.0 / 3.0)))
     blocks = tuple(min(side, L) for L in nest.bounds)
     return TileShape(nest=nest, blocks=blocks)
 
 
-@pytest.mark.parametrize("layer", LAYERS, ids=lambda l: "x".join(map(str, l)))
+def test_e7_layer_sweep_shares_one_structure(table):
+    """The rewired ad-hoc loop: plan_batch served 5 layers, 1 LP solve."""
+    stats = PLANNER.stats.as_dict()
+    t = table("e7_conv_sharing", ["quantity", "value"])
+    t.add("layers planned", len(LAYERS))
+    t.add("structure solves", stats["structure_solves"])
+    t.add("canonical key", next(iter(PLANS.values())).canonical_key)
+    assert stats["structure_solves"] == 1
+    assert len({plan.canonical_key for plan in PLANS.values()}) == 1
+
+
+@pytest.mark.parametrize("layer", LAYERS, ids=lambda layer: "x".join(map(str, layer)))
 def test_e7_conv_tiling_beats_classical(benchmark, table, layer):
-    nest = pointwise_conv(*layer)
+    nest = PLANS[layer].nest
     machine = MachineModel(cache_words=M)
 
     def pipeline():
-        sol = solve_tiling(nest, M, budget="aggregate")
-        lb = communication_lower_bound(nest, M)
-        opt = best_order_traffic(nest, sol.tile, machine=machine)
-        classical = best_order_traffic(nest, _clamped_classical_tile(nest, M), machine=machine)
-        return sol, lb, opt, classical
+        plan = PLANNER.plan(nest, M, budget="aggregate")
+        opt = best_order_traffic(nest, plan.tile, machine=machine)
+        classical = best_order_traffic(
+            nest, _clamped_classical_tile(nest, M), machine=machine
+        )
+        return plan, opt, classical
 
-    sol, lb, opt, classical = benchmark(pipeline)
+    plan, opt, classical = benchmark(pipeline)
+    lb = plan.lower_bound
     t = table(
         "e7_conv_" + "x".join(map(str, layer)),
         ["quantity", "value"],
     )
     t.add("layer (B,C,K,W,H)", layer)
-    t.add("k_hat", sol.exponent)
-    t.add("tile", sol.tile.blocks)
+    t.add("k_hat", plan.exponent)
+    t.add("tile", plan.tile.blocks)
     t.add("lower bound (words)", f"{lb.value:.6g}")
     t.add("LP tiling traffic", opt.total_words)
     t.add("clamped-classical traffic", classical.total_words)
@@ -83,7 +110,7 @@ def test_e7_small_channel_bound_correction(benchmark, table):
     the arbitrary-bound machinery recovers the read-everything floor."""
     nest = pointwise_conv(8, 4, 512, 56, 56)  # C = 4
 
-    lb = benchmark(lambda: communication_lower_bound(nest, M))
+    lb = benchmark(lambda: PLANNER.plan(nest, M).lower_bound)
     classical = nest.num_operations / M**0.5
 
     t = table("e7_small_channel", ["quantity", "value"])

@@ -7,8 +7,6 @@ exact rational arithmetic, and times the certificate pipeline.
 
 import random
 
-import pytest
-
 from repro.core.duality import theorem3_certificate
 from repro.core.loopnest import ArrayRef, LoopNest
 from repro.library.problems import catalog

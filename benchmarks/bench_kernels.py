@@ -11,7 +11,7 @@ tiled executor's overhead stays bounded.
 import numpy as np
 import pytest
 
-from repro.core.tiling import TileShape, solve_tiling
+from repro.core.tiling import solve_tiling
 from repro.kernels.einsum_exec import execute_tiled, execute_untiled
 from repro.kernels.naive import allocate_arrays
 from repro.kernels.tiled import (

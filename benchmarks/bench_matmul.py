@@ -12,7 +12,6 @@ from repro.core.alpha_family import optimal_tile_family
 from repro.core.bounds import (
     communication_lower_bound,
     subset_exponent_literal,
-    tile_exponent,
 )
 from repro.core.closed_forms import matmul_comm_lower_bound
 from repro.core.hbl import solve_hbl
@@ -61,7 +60,15 @@ def test_e2_small_l3_lower_bound(benchmark, table):
 
 @pytest.mark.parametrize(
     "L3_exp,expected_k",
-    [(16, F(3, 2)), (10, F(3, 2)), (8, F(3, 2)), (6, F(11, 8)), (4, F(5, 4)), (1, F(17, 16)), (0, F(1))],
+    [
+        (16, F(3, 2)),
+        (10, F(3, 2)),
+        (8, F(3, 2)),
+        (6, F(11, 8)),
+        (4, F(5, 4)),
+        (1, F(17, 16)),
+        (0, F(1)),
+    ],
 )
 def test_e3_tiling_regimes(benchmark, table, L3_exp, expected_k):
     """E3: LP (6.3) case split at beta3 = 1/2: k = min(3/2, 1 + beta3)."""

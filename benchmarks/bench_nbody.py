@@ -1,7 +1,5 @@
 """E8: §6.3 n-body pairwise interactions — tile sizes, traffic, caveat."""
 
-from fractions import Fraction as F
-
 import pytest
 
 from repro.core.bounds import communication_lower_bound, tile_exponent

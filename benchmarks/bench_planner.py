@@ -1,0 +1,195 @@
+"""E17: the plan cache — structure sharing turns solves into lookups.
+
+The service claim of the plan subsystem: a warm cache answers
+structurally-shared queries (same projection pattern, arbitrary bounds
+and cache sizes) an order of magnitude faster than per-query LP solves,
+*exactly* (every warm answer is certified by the strong-duality guard).
+
+This bench builds a compiler-shaped workload — >= 120 queries across a
+handful of canonical structures, mixed bounds and cache sizes — and
+measures:
+
+* cold: per-query ``solve_tiling`` (what the pre-plan code paths did),
+* cold+bound: ``solve_tiling`` + ``communication_lower_bound`` (the
+  true per-query cost of what a plan contains),
+* warm: ``plan_batch`` against a pre-warmed :class:`repro.plan.Planner`,
+
+and emits ``benchmarks/results/BENCH_planner.json`` with the measured
+ratios plus cache-effectiveness counters and the persistence (solve
+vs load) comparison, so future PRs can track the service's trajectory.
+"""
+
+import json
+import random
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from repro.core.bounds import communication_lower_bound
+from repro.core.tiling import solve_tiling
+from repro.library.problems import (
+    fully_connected,
+    matmul,
+    mttkrp,
+    nbody,
+    pointwise_conv,
+    syrk,
+)
+from repro.plan import Planner, PlanRequest, plan_batch
+
+RESULTS = Path(__file__).parent / "results"
+
+_POW2 = [16, 64, 256, 1024, 4096]
+_ODD = [12, 100, 500, 3000]
+
+
+def _workload(rng: random.Random, count: int) -> list[PlanRequest]:
+    """A compiler-batch-shaped query mix over five canonical structures."""
+
+    def size() -> int:
+        return rng.choice(_POW2 if rng.random() < 0.7 else _ODD)
+
+    makers = [
+        lambda: matmul(size(), size(), size()),
+        lambda: syrk(size(), size()),
+        lambda: fully_connected(size(), size(), size()),
+        lambda: mttkrp(size(), size(), size(), rng.choice([8, 16, 32])),
+        lambda: pointwise_conv(rng.choice([4, 8]), size(), size(), 28, 28),
+        lambda: nbody(size(), size()),
+    ]
+    out = []
+    for idx in range(count):
+        nest = makers[idx % len(makers)]()
+        out.append(PlanRequest(nest=nest, cache_words=rng.choice([2**12, 2**14, 2**16])))
+    return out
+
+
+def test_e17_warm_cache_speedup_json(table, smoke):
+    rng = random.Random("bench-planner")
+    n_queries = 12 if smoke else 120
+    requests = _workload(rng, n_queries)
+
+    planner = Planner()
+    plan_batch(requests, planner=planner, max_workers=0)  # warm the cache
+    warm_stats_before = dict(planner.stats.as_dict())
+
+    t0 = time.perf_counter()
+    plans = plan_batch(requests, planner=planner, max_workers=0)
+    t_warm = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cold = [solve_tiling(r.nest, r.cache_words, budget=r.budget) for r in requests]
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for r in requests:
+        solve_tiling(r.nest, r.cache_words, budget=r.budget)
+        communication_lower_bound(r.nest, r.cache_words)
+    t_cold_bound = time.perf_counter() - t0
+
+    # Exactness before speed: every warm plan matches the cold solve.
+    for plan, sol in zip(plans, cold):
+        assert plan.exponent == sol.exponent
+        assert plan.tile.is_feasible(plan.cache_words, plan.budget)
+        assert sum(plan.lambdas, Fraction(0)) == plan.exponent
+
+    stats = planner.stats.as_dict()
+    structures = len(planner.cached_keys())
+    speedup = t_cold / t_warm
+    speedup_with_bound = t_cold_bound / t_warm
+
+    t = table("e17_planner", ["quantity", "value"])
+    t.add("queries", n_queries)
+    t.add("distinct structures", structures)
+    t.add("cold solve_tiling", f"{t_cold * 1000 / n_queries:.3f} ms/query")
+    t.add("cold + lower bound", f"{t_cold_bound * 1000 / n_queries:.3f} ms/query")
+    t.add("warm plan_batch", f"{t_warm * 1000 / n_queries:.3f} ms/query")
+    t.add("speedup vs solve_tiling", f"{speedup:.1f}x")
+    t.add("speedup vs solve+bound", f"{speedup_with_bound:.1f}x")
+
+    if not smoke:
+        payload = {
+            "experiment": "planner_warm_cache",
+            "queries": n_queries,
+            "distinct_structures": structures,
+            "cold": {
+                "what": "per-query solve_tiling",
+                "seconds": round(t_cold, 4),
+                "ms_per_query": round(t_cold * 1000 / n_queries, 4),
+            },
+            "cold_with_bound": {
+                "what": "per-query solve_tiling + communication_lower_bound",
+                "seconds": round(t_cold_bound, 4),
+                "ms_per_query": round(t_cold_bound * 1000 / n_queries, 4),
+            },
+            "warm": {
+                "what": "plan_batch on a warm Planner (tile + exponent + bound)",
+                "seconds": round(t_warm, 4),
+                "ms_per_query": round(t_warm * 1000 / n_queries, 4),
+            },
+            "speedup_vs_solve_tiling": round(speedup, 2),
+            "speedup_vs_solve_plus_bound": round(speedup_with_bound, 2),
+            "warm_batch_stats": {
+                k: stats[k] - warm_stats_before[k] for k in stats
+            },
+            "planner_stats_total": stats,
+        }
+        RESULTS.mkdir(exist_ok=True)
+        (RESULTS / "BENCH_planner.json").write_text(json.dumps(payload, indent=2) + "\n")
+        assert n_queries >= 100
+        assert speedup >= 10.0, payload
+        # The warm batch re-solved nothing.
+        assert stats["structure_solves"] == warm_stats_before["structure_solves"]
+
+
+def test_e17_structure_sharing_across_disguises(table, smoke):
+    """matmul/syrk/fully_connected (and any loop order) share one entry."""
+    planner = Planner()
+    rng = random.Random("share")
+    queries = 6 if smoke else 30
+    for _ in range(queries):
+        base = rng.choice([matmul(64, 64, 64), syrk(64, 64), fully_connected(64, 64, 64)])
+        order = list(range(base.depth))
+        rng.shuffle(order)
+        nest = base.permuted(order).with_bounds(
+            [rng.choice([16, 256, 2048]) for _ in range(base.depth)]
+        )
+        plan = planner.plan(nest, 2**14)
+        assert plan.exponent == solve_tiling(nest, 2**14).exponent
+    stats = planner.stats.as_dict()
+    t = table("e17_sharing", ["quantity", "value"])
+    t.add("queries", queries)
+    t.add("structure solves", stats["structure_solves"])
+    t.add("structure hits", stats["structure_hits"])
+    assert stats["structure_solves"] == 1
+    assert stats["structure_hits"] == queries - 1
+
+
+def test_e17_persistence_solve_vs_load(table, smoke, tmp_path):
+    """JSON persistence: reloading beats re-solving by orders of magnitude."""
+    path = tmp_path / "plans.json"
+    structures = [matmul(4, 4, 4), mttkrp(4, 4, 4, 4), pointwise_conv(2, 2, 2, 2, 2)]
+    if smoke:
+        structures = structures[:1]
+
+    first = Planner(cache_path=path)
+    t0 = time.perf_counter()
+    for nest in structures:
+        first.plan(nest, 2**12)
+    t_solve = time.perf_counter() - t0
+    first.save()
+
+    t0 = time.perf_counter()
+    second = Planner(cache_path=path)
+    t_load = time.perf_counter() - t0
+    assert sorted(second.cached_keys()) == sorted(first.cached_keys())
+    for nest in structures:
+        assert second.plan(nest, 2**12).exponent == first.plan(nest, 2**12).exponent
+    assert second.stats.structure_solves == 0
+
+    t = table("e17_persistence", ["quantity", "value"])
+    t.add("structures", len(structures))
+    t.add("cold multiparametric solves", f"{t_solve:.3f} s")
+    t.add("load from JSON", f"{t_load:.4f} s")
+    if not smoke:
+        assert t_load < t_solve

@@ -16,6 +16,31 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="import/API smoke mode: disable pytest-benchmark timing loops and "
+        "let heavy benches shrink their instances and skip timing assertions",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--smoke"):
+        # One plain run per test, no calibration loops: CI catches
+        # import/API rot in seconds without timing noise.
+        config.option.benchmark_disable = True
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """Whether --smoke was given; heavy benches consult this to shrink
+    instances and to skip speedup floors (timing is meaningless under
+    smoke) while still exercising every code path."""
+    return request.config.getoption("--smoke")
+
+
 class Table:
     """Tiny fixed-width table writer for experiment outputs."""
 
@@ -31,7 +56,9 @@ class Table:
 
     def render(self) -> str:
         widths = [
-            max(len(self.columns[i]), *(len(r[i]) for r in self.rows)) if self.rows else len(self.columns[i])
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
             for i in range(len(self.columns))
         ]
         def fmt(row):

@@ -5,9 +5,11 @@ The paper's machine-learning motivation: CNN pointwise (1x1) layers
 have small channel counts, so classical communication bounds are loose
 and classical tilings are infeasible.  This example walks the pointwise
 layers of a MobileNet-v1-shaped network, derives the communication-
-optimal tiling for each, verifies it against the §6.5 contraction
-closed form, and compares simulated traffic against the clamped
-classical tiling a non-bound-aware compiler would emit.
+optimal tiling for each through the plan service (all eight layers
+share one canonical structure, so the whole network costs a single
+multiparametric solve), verifies each plan against the §6.5
+contraction closed form, and compares simulated traffic against the
+clamped classical tiling a non-bound-aware compiler would emit.
 
 Run:  python examples/conv_mobilenet.py
 """
@@ -35,15 +37,27 @@ LAYERS = [
 
 machine = repro.MachineModel(cache_words=M)
 
+# One plan_batch call replaces the per-layer solver loop: the planner
+# canonicalizes each layer, sees one shared structure, runs the
+# multiparametric LP once, and serves all eight layers from the cache.
+planner = repro.Planner()
+plans = repro.plan_batch(
+    [(pointwise_conv(BATCH, cin, cout, hw, hw), M, "aggregate") for cin, cout, hw in LAYERS],
+    planner=planner,
+)
+assert planner.stats.structure_solves == 1  # eight layers, one LP structure
+
 print(f"MobileNet pointwise layers, batch={BATCH}, M={M} words")
-header = f"{'layer':>14} {'k_hat':>8} {'tile (b,c,k,w,h)':>22} {'LP words':>12} {'classic words':>14} {'saving':>7}"
+print(f"plan cache: {planner.stats.structure_solves} structure solve for {len(LAYERS)} layers "
+      f"(key {plans[0].canonical_key})")
+header = (f"{'layer':>14} {'k_hat':>8} {'tile (b,c,k,w,h)':>22} "
+          f"{'LP words':>12} {'classic words':>14} {'saving':>7}")
 print(header)
 print("-" * len(header))
 
 total_lp = total_classic = 0
-for cin, cout, hw in LAYERS:
-    nest = pointwise_conv(BATCH, cin, cout, hw, hw)
-    sol = repro.solve_tiling(nest, M, budget="aggregate")
+for (cin, cout, hw), sol in zip(LAYERS, plans):
+    nest = sol.nest
 
     # §6.2: the contraction closed form must agree with the LP.
     closed = contraction_tile_exponent(

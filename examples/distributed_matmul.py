@@ -14,12 +14,8 @@ a large matmul, comparing:
 Run:  python examples/distributed_matmul.py
 """
 
-from math import prod
-
-import repro
 from repro.library.problems import matmul
 from repro.parallel import (
-    distributed_lower_bound,
     lp_grid,
     one_dimensional_split,
     optimal_grid,

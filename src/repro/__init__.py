@@ -25,39 +25,42 @@ from dataclasses import dataclass
 
 from .core import (
     AffinePiece,
-    HierarchicalTiling,
-    MemoryHierarchy,
-    best_integer_tile,
-    solve_hierarchical_tiling,
-    verify_analysis,
     ArrayRef,
     CommunicationLowerBound,
     HBLSolution,
+    HierarchicalTiling,
     LinearProgram,
     LoopNest,
     LoopNestError,
+    MemoryHierarchy,
     OptimalTileFamily,
     ParseError,
     PiecewiseValueFunction,
     Theorem3Certificate,
     TileShape,
     TilingSolution,
+    best_integer_tile,
     best_rectangle,
     best_subset,
+    canonical_key,
+    canonicalize,
     communication_lower_bound,
     optimal_tile_family,
     parametric_tile_exponent,
     parse_nest,
     solve_hbl,
+    solve_hierarchical_tiling,
     solve_tiling,
     subset_exponent,
     subset_scan,
     theorem3_certificate,
     tile_exponent,
+    verify_analysis,
 )
 from .library import catalog
 from .machine import MachineModel, MissCurve, TrafficReport, miss_curve
 from .parallel import distributed_lower_bound, optimal_grid, simulate_grid
+from .plan import Planner, PlanRequest, TilePlan, plan_batch, sweep_requests
 from .simulate import (
     best_order_traffic,
     generate_trace_batched,
@@ -67,7 +70,7 @@ from .simulate import (
     simulate_untiled_traffic,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 @dataclass(frozen=True)
@@ -149,4 +152,11 @@ __all__ = [
     "optimal_grid",
     "simulate_grid",
     "distributed_lower_bound",
+    "canonicalize",
+    "canonical_key",
+    "Planner",
+    "PlanRequest",
+    "TilePlan",
+    "plan_batch",
+    "sweep_requests",
 ]

@@ -13,19 +13,31 @@ Analyse a catalog problem and print the piecewise closed form::
 Simulate the derived tiling's traffic against the lower bound::
 
     repro-tile --problem nbody --sizes 4096,4096 -M 4096 --simulate
+
+Serve a batch of queries through the plan cache (one JSON line each)::
+
+    repro-tile --batch requests.json --plan-cache plans.json
+
+Sweep a problem over size and cache grids (``:`` separates choices)::
+
+    repro-tile --problem matmul --sizes 256:4096,512,16:64 -M 4096:65536 --sweep
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
+import json
 import sys
 from typing import Sequence
 
 from . import analyze
+from .core.loopnest import LoopNest, LoopNestError
 from .core.mplp import parametric_tile_exponent
 from .core.parser import ParseError, parse_nest
-from .library.problems import CATALOG_BUILDERS
+from .library.problems import CATALOG_BUILDERS, build_problem
 from .machine.model import MachineModel
+from .plan import Planner, PlanRequest, plan_batch
 from .simulate.executor import best_order_traffic, simulate_untiled_traffic
 
 __all__ = ["main", "build_arg_parser"]
@@ -43,7 +55,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--bounds",
-        help="comma-separated loop bounds, e.g. i=1024,j=1024,k=16",
+        help="comma-separated loop bounds, e.g. i=1024,j=1024,k=16 "
+        "(with --sweep, each value may be a :-separated list)",
     )
     parser.add_argument(
         "--problem",
@@ -51,14 +64,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="use a catalog problem instead of a statement",
     )
     parser.add_argument(
-        "--sizes", help="comma-separated sizes for the catalog problem"
+        "--sizes",
+        help="comma-separated sizes for the catalog problem "
+        "(with --sweep, each size may be a :-separated list)",
     )
     parser.add_argument(
         "-M",
         "--cache-words",
-        type=int,
-        required=True,
-        help="fast-memory capacity in words",
+        help="fast-memory capacity in words (with --sweep, a :-separated list)",
     )
     parser.add_argument(
         "--budget",
@@ -76,6 +89,28 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also simulate tiled vs untiled traffic in the machine model",
     )
+    batch = parser.add_argument_group("batch planning (JSON-lines output)")
+    batch.add_argument(
+        "--batch",
+        metavar="FILE",
+        help="serve a JSON file of plan requests through the plan cache",
+    )
+    batch.add_argument(
+        "--sweep",
+        action="store_true",
+        help="cross-product the :-separated --sizes/--bounds and -M lists",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for cold structure solves (default: auto; 0 = serial)",
+    )
+    batch.add_argument(
+        "--plan-cache",
+        metavar="FILE",
+        help="persistent JSON plan cache to load before and save after the run",
+    )
     return parser
 
 
@@ -92,17 +127,126 @@ def _parse_bounds(blob: str) -> dict[str, int]:
     return out
 
 
+def _parse_choices(blob: str, what: str) -> list[int]:
+    """A ``:``-separated list of positive integers (sweep axes)."""
+    try:
+        values = [int(v) for v in blob.split(":")]
+    except ValueError:
+        raise ParseError(f"bad {what} value {blob!r}; expected ints separated by ':'") from None
+    if not values:
+        raise ParseError(f"empty {what} list")
+    return values
+
+
+def _single_cache_words(args, parser: argparse.ArgumentParser) -> int:
+    if args.cache_words is None:
+        parser.error("-M/--cache-words is required")
+    try:
+        return int(args.cache_words)
+    except ValueError:
+        parser.error(f"bad -M value {args.cache_words!r}")
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _batch_requests_from_file(path: str) -> list[PlanRequest]:
+    """Parse a request file: a JSON list (or ``{"requests": [...]}``)."""
+    with open(path) as handle:
+        blob = json.load(handle)
+    if isinstance(blob, dict):
+        blob = blob.get("requests")
+    if not isinstance(blob, list):
+        raise ParseError(f"{path}: expected a JSON list of requests")
+    requests = []
+    for idx, entry in enumerate(blob):
+        if not isinstance(entry, dict):
+            raise ParseError(f"{path}[{idx}]: expected an object")
+        try:
+            cache_words = int(entry["cache_words"])
+        except KeyError:
+            raise ParseError(f"{path}[{idx}]: missing 'cache_words'") from None
+        budget = entry.get("budget", "per-array")
+        if "problem" in entry:
+            try:
+                nest = build_problem(entry["problem"], entry.get("sizes"))
+            except (KeyError, TypeError) as exc:
+                raise ParseError(f"{path}[{idx}]: {exc}") from None
+        elif "statement" in entry:
+            bounds = entry.get("bounds")
+            if not isinstance(bounds, dict):
+                raise ParseError(f"{path}[{idx}]: statement requests need a 'bounds' object")
+            nest = parse_nest(
+                entry["statement"],
+                {k: int(v) for k, v in bounds.items()},
+                name=entry.get("name", f"request{idx}"),
+            )
+        else:
+            raise ParseError(f"{path}[{idx}]: need 'problem' or 'statement'")
+        requests.append(PlanRequest(nest=nest, cache_words=cache_words, budget=budget))
+    return requests
+
+
+def _sweep_requests_from_args(args, parser: argparse.ArgumentParser) -> list[PlanRequest]:
+    if args.cache_words is None:
+        parser.error("-M/--cache-words is required with --sweep")
+    cache_sizes = _parse_choices(args.cache_words, "-M")
+    nests: list[LoopNest] = []
+    if args.problem:
+        if not args.sizes:
+            parser.error("--sweep needs explicit --sizes axes")
+        axes = [_parse_choices(axis, "--sizes") for axis in args.sizes.split(",")]
+        for sizes in itertools.product(*axes):
+            nests.append(build_problem(args.problem, sizes))
+    elif args.statement:
+        if not args.bounds:
+            parser.error("--bounds is required with a statement")
+        bound_axes: dict[str, list[int]] = {}
+        for piece in args.bounds.split(","):
+            if "=" not in piece:
+                raise ParseError(f"bad bounds entry {piece!r}; expected name=values")
+            name, _, value = piece.partition("=")
+            bound_axes[name.strip()] = _parse_choices(value, "--bounds")
+        for combo in itertools.product(*bound_axes.values()):
+            nests.append(parse_nest(args.statement, dict(zip(bound_axes, combo))))
+    else:
+        parser.error("--sweep needs a statement or --problem")
+    return [
+        PlanRequest(nest=nest, cache_words=m, budget=args.budget)
+        for nest in nests
+        for m in cache_sizes
+    ]
+
+
+def _run_batch(requests: Sequence[PlanRequest], args) -> int:
+    planner = Planner(cache_path=args.plan_cache)
+    plans = plan_batch(requests, planner=planner, max_workers=args.workers)
+    for plan in plans:
+        print(json.dumps(plan.to_json()))
+    if args.plan_cache:
+        planner.save()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 
     try:
+        if args.batch:
+            if args.statement or args.problem or args.sweep:
+                parser.error("--batch takes its queries from the file; "
+                             "drop the statement/--problem/--sweep arguments")
+            return _run_batch(_batch_requests_from_file(args.batch), args)
+        if args.sweep:
+            return _run_batch(_sweep_requests_from_args(args, parser), args)
+    except (ParseError, LoopNestError, OSError, json.JSONDecodeError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cache_words = _single_cache_words(args, parser)
+    try:
         if args.problem:
-            builder, default_sizes = CATALOG_BUILDERS[args.problem]
-            sizes = (
-                tuple(int(s) for s in args.sizes.split(",")) if args.sizes else default_sizes
-            )
-            nest = builder(*sizes)
+            sizes = tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None
+            nest = build_problem(args.problem, sizes)
         elif args.statement:
             if not args.bounds:
                 parser.error("--bounds is required with a statement")
@@ -117,14 +261,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: bad --sizes for problem: {exc}", file=sys.stderr)
         return 2
 
-    analysis = analyze(nest, args.cache_words, budget=args.budget)
+    analysis = analyze(nest, cache_words, budget=args.budget)
     print(analysis.summary())
 
     if args.piecewise:
         print(parametric_tile_exponent(nest).render())
 
     if args.simulate:
-        machine = MachineModel(cache_words=args.cache_words)
+        machine = MachineModel(cache_words=cache_words)
         tiled = best_order_traffic(nest, analysis.tiling.tile, machine=machine)
         naive = simulate_untiled_traffic(nest, machine=machine)
         bound = analysis.lower_bound.value

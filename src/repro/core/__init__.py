@@ -4,14 +4,23 @@ from .alpha_family import OptimalTileFamily, optimal_tile_family
 from .bounds import (
     CommunicationLowerBound,
     communication_lower_bound,
+    lower_bound_from_k_hat,
     subset_exponent,
     subset_exponent_literal,
     subset_scan,
     tile_exponent,
 )
 from .bruteforce import best_rectangle, best_subset
+from .canonical import (
+    CanonicalForm,
+    Canonicalization,
+    CanonicalizationError,
+    canonical_key,
+    canonicalize,
+)
 from .duality import Theorem3Certificate, build_dual_lp, theorem3_certificate
 from .fraction_lp import LPError, LPSolution, solve_lp
+from .hbl import HBLSolution, build_hbl_lp, solve_hbl
 from .hierarchy import (
     HierarchicalTiling,
     LevelTiling,
@@ -19,12 +28,11 @@ from .hierarchy import (
     solve_hierarchical_tiling,
 )
 from .integer import best_integer_tile, coordinate_descent_tile, multi_seed_tile
-from .hbl import HBLSolution, build_hbl_lp, solve_hbl
 from .loopnest import ArrayRef, LoopNest, LoopNestError
 from .lp import Constraint, LinearProgram, SolveReport
 from .mplp import AffinePiece, PiecewiseValueFunction, parametric_tile_exponent
 from .parser import ParseError, parse_nest
-from .tiling import TileShape, TilingSolution, build_tiling_lp, solve_tiling
+from .tiling import TileShape, TilingSolution, build_tiling_lp, integer_repair, solve_tiling
 from .verify import check_dual_certificate, check_tile, verify_analysis
 
 __all__ = [
@@ -44,6 +52,12 @@ __all__ = [
     "solve_hbl",
     "CommunicationLowerBound",
     "communication_lower_bound",
+    "lower_bound_from_k_hat",
+    "CanonicalForm",
+    "Canonicalization",
+    "CanonicalizationError",
+    "canonicalize",
+    "canonical_key",
     "subset_exponent",
     "subset_exponent_literal",
     "subset_scan",
@@ -51,6 +65,7 @@ __all__ = [
     "TileShape",
     "TilingSolution",
     "build_tiling_lp",
+    "integer_repair",
     "solve_tiling",
     "Theorem3Certificate",
     "build_dual_lp",

@@ -27,7 +27,7 @@ from typing import Sequence
 from ..util.linalg import SingularMatrixError, solve_square
 from ..util.rationals import pow_fraction
 from .loopnest import LoopNest
-from .tiling import TileShape, build_tiling_lp, lvar
+from .tiling import TileShape, build_tiling_lp
 
 __all__ = ["OptimalTileFamily", "optimal_tile_family"]
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from ..util.rationals import pow_fraction
 from ..util.subsets import all_subsets
@@ -45,6 +45,7 @@ __all__ = [
     "tile_exponent",
     "CommunicationLowerBound",
     "communication_lower_bound",
+    "lower_bound_from_k_hat",
 ]
 
 
@@ -222,16 +223,16 @@ class CommunicationLowerBound:
         )
 
 
-def communication_lower_bound(
-    nest: LoopNest,
-    cache_words: int,
-    betas: Sequence[Fraction] | None = None,
-    backend: str = "exact",
+def lower_bound_from_k_hat(
+    nest: LoopNest, cache_words: int, k_hat: Fraction
 ) -> CommunicationLowerBound:
-    """Compute the full arbitrary-bound lower bound for ``nest``."""
-    if cache_words < 1:
-        raise ValueError("cache_words must be >= 1")
-    k_hat = tile_exponent(nest, cache_words, betas=betas, backend=backend)
+    """Assemble the full lower bound from a known optimal exponent.
+
+    Pure arithmetic — no LP solve.  Used by
+    :func:`communication_lower_bound` after its LP solve, and by the
+    plan cache (:mod:`repro.plan`), which obtains ``k_hat`` from a
+    cached multiparametric value function instead.
+    """
     tile_size = pow_fraction(cache_words, k_hat)
     ops = nest.num_operations
     hbl_words = ops * pow_fraction(cache_words, Fraction(1) - k_hat)
@@ -246,3 +247,16 @@ def communication_lower_bound(
         hong_kung_words=hong_kung,
         footprint_words=nest.total_footprint(),
     )
+
+
+def communication_lower_bound(
+    nest: LoopNest,
+    cache_words: int,
+    betas: Sequence[Fraction] | None = None,
+    backend: str = "exact",
+) -> CommunicationLowerBound:
+    """Compute the full arbitrary-bound lower bound for ``nest``."""
+    if cache_words < 1:
+        raise ValueError("cache_words must be >= 1")
+    k_hat = tile_exponent(nest, cache_words, betas=betas, backend=backend)
+    return lower_bound_from_k_hat(nest, cache_words, k_hat)

@@ -1,0 +1,242 @@
+"""Bounds-independent canonical form of a projective loop nest (plan keying).
+
+The LP machinery of the paper — the HBL LP (§3), the tiling LP (5.1),
+and its multiparametric value function (§7) — depends only on the nest's
+*projection pattern*: the 0/1 support matrix, up to renaming of loops
+(columns) and arrays (rows).  Loop bounds enter solely through the
+parameter vector ``beta_i = log_M L_i``.  This is the invariant
+[CDK+13]/[DR16] exploit, and it is exactly what a plan cache should key
+on: structurally identical queries (a 512x512x64 matmul, a transposed
+4096x16x4096 matmul, a fully-connected layer) must share one solve.
+
+:func:`canonicalize` reduces a :class:`LoopNest` to a
+:class:`CanonicalForm` — a renaming-invariant normal form of the
+support matrix (rows sorted, columns ordered canonically) — plus the
+loop/array orders that realise it, so parametric answers computed on
+the canonical structure can be mapped back to the query nest.
+
+Algorithm: iterative signature refinement (Weisfeiler–Lehman style on
+the loop/array incidence bigraph) partitions the loops into ordered
+cells — the cell order is itself structure-derived, hence invariant —
+and the lexicographically least matrix is then taken over the
+permutations that respect the cells.  For every realistic nest the
+cells are near-singletons and the search is a handful of candidates;
+a cap guards against pathological fully-symmetric structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations, product
+from math import factorial, prod
+
+from .loopnest import ArrayRef, LoopNest, LoopNestError
+
+__all__ = [
+    "CanonicalForm",
+    "Canonicalization",
+    "CanonicalizationError",
+    "canonicalize",
+    "canonical_key",
+]
+
+#: Upper bound on within-cell permutations the exact search will try.
+#: ``prod(|cell|!)`` exceeds this only for near-fully-symmetric patterns
+#: far outside the catalog; those fall back to refinement order (still
+#: deterministic, possibly not permutation-minimal).
+SEARCH_CAP = 40_320  # 8!
+
+
+class CanonicalizationError(LoopNestError):
+    """Raised for inputs that cannot be canonicalized."""
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A projection pattern in normal form.
+
+    ``rows`` is the sorted multiset of array supports expressed in
+    canonical loop positions — the nest's support matrix with columns
+    permuted to the lexicographic minimum and rows sorted.  Two nests
+    have equal forms iff their patterns differ only by loop/array
+    renaming (bounds and output flags are deliberately excluded: neither
+    enters LP (5.1) or its dual).
+    """
+
+    depth: int
+    rows: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise CanonicalizationError("depth must be nonnegative")
+        for row in self.rows:
+            if list(row) != sorted(set(row)):
+                raise CanonicalizationError(f"row {row} must be strictly increasing")
+            if row and not 0 <= row[0] <= row[-1] < self.depth:
+                raise CanonicalizationError(f"row {row} out of range for depth {self.depth}")
+        if list(self.rows) != sorted(self.rows):
+            raise CanonicalizationError("rows must be sorted")
+
+    @property
+    def num_arrays(self) -> int:
+        return len(self.rows)
+
+    def key(self) -> str:
+        """Stable string form, usable as a JSON cache key.
+
+        Example: matmul (any bounds, any names) -> ``"d3:0.1|0.2|1.2"``.
+        """
+        body = "|".join(".".join(str(i) for i in row) for row in self.rows)
+        return f"d{self.depth}:{body}"
+
+    @classmethod
+    def from_key(cls, key: str) -> CanonicalForm:
+        """Inverse of :meth:`key`."""
+        try:
+            head, _, body = key.partition(":")
+            depth = int(head.removeprefix("d"))
+            rows = tuple(
+                tuple(int(p) for p in chunk.split(".") if p != "")
+                for chunk in body.split("|")
+            )
+        except ValueError as exc:
+            raise CanonicalizationError(f"malformed canonical key {key!r}") from exc
+        return cls(depth=depth, rows=rows)
+
+    def to_nest(self, bounds: tuple[int, ...] | None = None, name: str = "canonical") -> LoopNest:
+        """Materialise a :class:`LoopNest` with generic names.
+
+        The default bounds are all 2 — callers doing structure-only work
+        (mpLP, dual-vertex enumeration) ignore them.
+        """
+        if bounds is None:
+            bounds = tuple(2 for _ in range(self.depth))
+        return LoopNest(
+            name=name,
+            loops=tuple(f"x{i}" for i in range(self.depth)),
+            bounds=bounds,
+            arrays=tuple(ArrayRef(name=f"A{j}", support=row) for j, row in enumerate(self.rows)),
+        )
+
+
+@dataclass(frozen=True)
+class Canonicalization:
+    """A canonical form plus the witness renaming.
+
+    ``loop_order[k]`` is the original loop position sitting at canonical
+    position ``k``; ``array_order[r]`` is the original array index of
+    canonical row ``r``.  ``exact`` records whether the lexicographic
+    minimum was certified (False only past :data:`SEARCH_CAP`).
+    """
+
+    form: CanonicalForm
+    loop_order: tuple[int, ...]
+    array_order: tuple[int, ...]
+    exact: bool
+
+    def to_canonical(self, per_loop: tuple) -> tuple:
+        """Reorder a per-original-loop vector into canonical positions."""
+        return tuple(per_loop[i] for i in self.loop_order)
+
+    def from_canonical(self, per_canonical: tuple) -> tuple:
+        """Reorder a per-canonical-position vector back to original loops."""
+        out = [None] * len(self.loop_order)
+        for k, i in enumerate(self.loop_order):
+            out[i] = per_canonical[k]
+        return tuple(out)
+
+
+def _refine_cells(supports: list[frozenset[int]], depth: int) -> list[list[int]]:
+    """Partition loop positions into ordered cells by iterated signatures.
+
+    The initial signature of a loop is the sorted multiset of sizes of
+    the rows containing it; refinement folds in the neighbours'
+    signatures until the partition stabilises.  Signatures are built
+    from structure only, so the resulting ordered partition is invariant
+    under loop/array renaming.
+    """
+    sig: list[tuple] = [
+        tuple(sorted(len(row) for row in supports if i in row)) for i in range(depth)
+    ]
+    for _ in range(depth):
+        ranks = {s: r for r, s in enumerate(sorted(set(sig)))}
+        ranked = [ranks[s] for s in sig]
+        new_sig = [
+            (
+                ranked[i],
+                tuple(
+                    sorted(
+                        tuple(sorted(ranked[j] for j in row if j != i))
+                        for row in supports
+                        if i in row
+                    )
+                ),
+            )
+            for i in range(depth)
+        ]
+        if len(set(new_sig)) == len(set(sig)) and all(
+            (sig[i] == sig[j]) == (new_sig[i] == new_sig[j])
+            for i in range(depth)
+            for j in range(i + 1, depth)
+        ):
+            break
+        sig = new_sig
+    cells: dict[tuple, list[int]] = {}
+    for i in range(depth):
+        cells.setdefault(sig[i], []).append(i)
+    return [cells[s] for s in sorted(cells)]
+
+
+def _rows_for_order(
+    supports: list[frozenset[int]], order: tuple[int, ...]
+) -> tuple[tuple[tuple[int, ...], ...], tuple[int, ...]]:
+    """Rows (sorted) and the witnessing array order for a loop order."""
+    inverse = [0] * len(order)
+    for new_pos, old_pos in enumerate(order):
+        inverse[old_pos] = new_pos
+    mapped = [(tuple(sorted(inverse[i] for i in sup)), j) for j, sup in enumerate(supports)]
+    mapped.sort()
+    return tuple(row for row, _ in mapped), tuple(j for _, j in mapped)
+
+
+def canonicalize(nest: LoopNest) -> Canonicalization:
+    """Compute the canonical form of ``nest``'s projection pattern.
+
+    Invariant under loop permutation/renaming, array permutation/
+    renaming, bound changes, and output-flag changes; structurally
+    distinct patterns yield distinct forms (the form itself is a valid
+    pattern, so equality of forms is equality of patterns).
+    """
+    supports = [frozenset(arr.support) for arr in nest.arrays]
+    depth = nest.depth
+    cells = _refine_cells(supports, depth)
+    n_candidates = prod(factorial(len(c)) for c in cells)
+    exact = n_candidates <= SEARCH_CAP
+    if exact:
+        candidates = (
+            tuple(i for cell in perm for i in cell)
+            for perm in product(*(permutations(cell) for cell in cells))
+        )
+    else:
+        # Fully-symmetric pattern past the cap: refinement order only
+        # (deterministic, but not guaranteed minimal across renamings).
+        candidates = iter([tuple(i for cell in cells for i in cell)])
+    best_rows = None
+    best_order = None
+    best_arrays = None
+    for order in candidates:
+        rows, array_order = _rows_for_order(supports, order)
+        if best_rows is None or rows < best_rows:
+            best_rows, best_order, best_arrays = rows, order, array_order
+    assert best_rows is not None and best_order is not None and best_arrays is not None
+    return Canonicalization(
+        form=CanonicalForm(depth=depth, rows=best_rows),
+        loop_order=best_order,
+        array_order=best_arrays,
+        exact=exact,
+    )
+
+
+def canonical_key(nest: LoopNest) -> str:
+    """Shorthand for ``canonicalize(nest).form.key()``."""
+    return canonicalize(nest).form.key()

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 
@@ -88,7 +88,9 @@ class LinearProgram:
         )
         return name
 
-    def add_constraint(self, name: str, coeffs: Mapping[str, object], relation: str, rhs) -> Constraint:
+    def add_constraint(
+        self, name: str, coeffs: Mapping[str, object], relation: str, rhs
+    ) -> Constraint:
         unknown = [v for v in coeffs if v not in self.bounds]
         if unknown:
             raise LPError(f"constraint {name!r} references unknown variables {unknown}")
@@ -176,7 +178,10 @@ class LinearProgram:
             b_ub=np.array([float(v) for v in b_ub]) if b_ub else None,
             A_eq=np.array([[float(v) for v in r] for r in A_eq]) if A_eq else None,
             b_eq=np.array([float(v) for v in b_eq]) if b_eq else None,
-            bounds=[(None if lo is None else float(lo), None if hi is None else float(hi)) for lo, hi in bnds],
+            bounds=[
+                (None if lo is None else float(lo), None if hi is None else float(hi))
+                for lo, hi in bnds
+            ],
             method="highs",
         )
         if res.status == 2:
@@ -219,5 +224,8 @@ class LinearProgram:
             lines.append(f"  [{con.name}] {terms} {con.relation} {con.rhs}")
         for v in self.variables:
             lo, hi = self.bounds[v]
-            lines.append(f"  {lo if lo is not None else '-inf'} <= {v} <= {hi if hi is not None else 'inf'}")
+            lines.append(
+                f"  {lo if lo is not None else '-inf'} <= {v} "
+                f"<= {hi if hi is not None else 'inf'}"
+            )
         return "\n".join(lines)

@@ -93,6 +93,21 @@ class PiecewiseValueFunction:
         """The (first) piece attaining the minimum at ``beta``."""
         return min(self.pieces, key=lambda p: p.evaluate(betas))
 
+    def evaluate_with_piece(self, betas: Sequence[Fraction]) -> tuple[Fraction, int]:
+        """``(f(beta), index of the attaining piece)`` in one pass.
+
+        The plan cache keys its per-piece primal maps on the returned
+        index, so both values are needed together on every lookup.
+        """
+        best_value: Fraction | None = None
+        best_idx = 0
+        for idx, piece in enumerate(self.pieces):
+            value = piece.evaluate(betas)
+            if best_value is None or value < best_value:
+                best_value, best_idx = value, idx
+        assert best_value is not None
+        return best_value, best_idx
+
     def tile_size(self, cache_words: int, betas: Sequence[Fraction]) -> float:
         """``M**f(beta)``: the optimal tile cardinality."""
         return pow_fraction(cache_words, self.evaluate(betas))
@@ -116,7 +131,9 @@ class PiecewiseValueFunction:
             )
         return tuple(out)
 
-    def region_inequalities(self, piece: AffinePiece) -> list[tuple[Fraction, tuple[Fraction, ...]]]:
+    def region_inequalities(
+        self, piece: AffinePiece
+    ) -> list[tuple[Fraction, tuple[Fraction, ...]]]:
         """The polyhedral region where ``piece`` is minimal.
 
         Returns inequalities ``const + <coeffs, beta> >= 0`` (one per

@@ -33,7 +33,14 @@ from ..util.rationals import pow_fraction
 from .loopnest import LoopNest
 from .lp import LinearProgram
 
-__all__ = ["TileShape", "TilingSolution", "build_tiling_lp", "solve_tiling", "lvar"]
+__all__ = [
+    "TileShape",
+    "TilingSolution",
+    "build_tiling_lp",
+    "integer_repair",
+    "solve_tiling",
+    "lvar",
+]
 
 #: Memory-budget conventions (see DESIGN.md §5).
 #: "per-array"  — each array's tile footprint <= M (the paper's model);
@@ -224,6 +231,35 @@ def _max_block(
     return lo
 
 
+def integer_repair(
+    nest: LoopNest,
+    fractional: Sequence[float],
+    cache_words: int,
+    budget: str = "per-array",
+) -> TileShape:
+    """Round-and-grow an LP-optimal fractional tile into a feasible integer one.
+
+    Floor each side (always feasible: flooring only shrinks footprints),
+    then grow each side to the largest value that keeps the tile within
+    budget, iterating to a fixpoint.  Shared by :func:`solve_tiling` and
+    the plan cache (:mod:`repro.plan`), which substitutes cached
+    parametric exponents instead of re-solving the LP.
+    """
+    blocks = [
+        max(1, min(L, math.floor(f + 1e-12)))
+        for f, L in zip(fractional, nest.bounds)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(nest.depth):
+            best = _max_block(nest, blocks, i, cache_words, budget)
+            if best > blocks[i]:
+                blocks[i] = best
+                changed = True
+    return TileShape(nest=nest, blocks=tuple(blocks))
+
+
 def solve_tiling(
     nest: LoopNest,
     cache_words: int,
@@ -275,22 +311,7 @@ def solve_tiling(
         raise RuntimeError(f"tiling LP unexpectedly {report.status}")
     lambdas = tuple(report.values[lvar(i, nest)] for i in range(nest.depth))
     fractional = tuple(pow_fraction(effective_m, lam) for lam in lambdas)
-    blocks = [
-        max(1, min(L, math.floor(f + 1e-12)))
-        for f, L in zip(fractional, nest.bounds)
-    ]
-    # Round-and-grow repair: flooring is always feasible; grow each side
-    # to the largest value that keeps the tile within budget.  Two full
-    # passes suffice in practice; we iterate to a fixpoint regardless.
-    changed = True
-    while changed:
-        changed = False
-        for i in range(nest.depth):
-            best = _max_block(nest, blocks, i, cache_words, budget)
-            if best > blocks[i]:
-                blocks[i] = best
-                changed = True
-    tile = TileShape(nest=nest, blocks=tuple(blocks))
+    tile = integer_repair(nest, fractional, cache_words, budget)
     return TilingSolution(
         nest=nest,
         cache_words=cache_words,

@@ -29,7 +29,13 @@ from ..util.rationals import pow_fraction
 from .loopnest import LoopNest
 from .tiling import BUDGETS, TileShape
 
-__all__ = ["TileCheck", "CertificateCheck", "check_tile", "check_dual_certificate", "verify_analysis"]
+__all__ = [
+    "TileCheck",
+    "CertificateCheck",
+    "check_tile",
+    "check_dual_certificate",
+    "verify_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -137,7 +143,9 @@ def check_dual_certificate(
                 f"covering row for loop {nest.loops[i]}: {row} < 1 (certificate invalid)"
             )
     if violations:
-        return CertificateCheck(dual_feasible=False, certified_exponent=None, violations=tuple(violations))
+        return CertificateCheck(
+            dual_feasible=False, certified_exponent=None, violations=tuple(violations)
+        )
     certified = sum((b * z for b, z in zip(betas, zeta)), start=Fraction(0)) + sum(
         s, start=Fraction(0)
     )

@@ -62,7 +62,9 @@ def blocked_matmul(A: np.ndarray, B: np.ndarray, b1: int, b2: int, b3: int) -> n
 
 
 def naive_nbody(
-    P: np.ndarray, Q: np.ndarray, interaction: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
+    P: np.ndarray,
+    Q: np.ndarray,
+    interaction: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
 ) -> np.ndarray:
     """All-pairs interaction F[i] = sum_j f(P[i], Q[j]) in one broadcast."""
     f = interaction or _default_interaction

@@ -32,6 +32,7 @@ __all__ = [
     "tucker_core",
     "attention_scores",
     "catalog",
+    "build_problem",
     "CATALOG_BUILDERS",
 ]
 
@@ -137,7 +138,9 @@ def tensor_contraction(
     if d == 0:
         raise ValueError("contraction needs at least one loop")
     loops = tuple(
-        [f"l{i+1}" for i in range(j)] + [f"s{i+1}" for i in range(mid)] + [f"r{i+1}" for i in range(r)]
+        [f"l{i+1}" for i in range(j)]
+        + [f"s{i+1}" for i in range(mid)]
+        + [f"r{i+1}" for i in range(r)]
     )
     sup_left = tuple(range(j))
     sup_shared = tuple(range(j, j + mid))
@@ -330,6 +333,23 @@ CATALOG_BUILDERS: dict[str, tuple] = {
     "tucker_core": (tucker_core, (64, 64, 64, 8, 8, 8)),
     "attention_scores": (attention_scores, (8, 12, 512, 512, 64)),
 }
+
+
+def build_problem(name: str, sizes: Sequence | None = None) -> LoopNest:
+    """Instantiate catalog problem ``name`` with ``sizes`` (or its defaults).
+
+    The single entry point the CLI and the batch-request parser share;
+    raises ``KeyError`` for unknown names and ``TypeError`` when
+    ``sizes`` has the wrong arity for the constructor.
+    """
+    try:
+        builder, default_sizes = CATALOG_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown problem {name!r}; choices: {', '.join(sorted(CATALOG_BUILDERS))}"
+        ) from None
+    args = tuple(sizes) if sizes else default_sizes
+    return builder(*args)
 
 
 def catalog(overrides: Mapping[str, Sequence] | None = None) -> dict[str, LoopNest]:

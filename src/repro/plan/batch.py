@@ -1,0 +1,114 @@
+"""Parallel sweep engine: ordered batch planning over request lists.
+
+The expensive, parallelisable unit of work is the *structure solve*
+(multiparametric LP per canonical form, §7) — seconds for deep nests —
+while per-query evaluation against a warm cache is tens of
+microseconds.  :func:`plan_batch` therefore fans the distinct missing
+structures out to worker processes, installs the returned piece sets
+into the shared :class:`~repro.plan.planner.Planner`, and then serves
+every request in order from the warm cache in the parent process.
+
+Results are returned in request order, so callers can zip them back
+against their inputs (the batch CLI emits them as JSON lines the same
+way).
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from ..core.canonical import CanonicalForm
+from ..core.loopnest import LoopNest
+from ..core.mplp import parametric_tile_exponent
+from .planner import Planner, PlanRequest, TilePlan, _piece_to_json
+
+__all__ = ["plan_batch", "sweep_requests"]
+
+
+def _solve_structure(key: str) -> tuple[str, list[dict]]:
+    """Worker entry point: one multiparametric solve per canonical key.
+
+    Only strings and JSON-able dicts cross the process boundary, so the
+    pool works under any start method (fork or spawn).
+    """
+    form = CanonicalForm.from_key(key)
+    pvf = parametric_tile_exponent(form.to_nest())
+    return key, [_piece_to_json(p) for p in pvf.pieces]
+
+
+def _as_request(item: PlanRequest | tuple) -> PlanRequest:
+    if isinstance(item, PlanRequest):
+        return item
+    if isinstance(item, LoopNest):
+        raise TypeError("a bare LoopNest has no cache size; pass (nest, cache_words)")
+    nest, cache_words, *rest = item
+    if len(rest) > 1:
+        raise TypeError(f"bad request tuple of length {2 + len(rest)}")
+    return PlanRequest(nest=nest, cache_words=cache_words, budget=rest[0] if rest else "per-array")
+
+
+def plan_batch(
+    requests: Iterable[PlanRequest | tuple],
+    planner: Planner | None = None,
+    max_workers: int | None = None,
+    include_bound: bool = True,
+) -> list[TilePlan]:
+    """Serve a batch of plan queries, in request order.
+
+    Parameters
+    ----------
+    requests:
+        :class:`PlanRequest` objects, or ``(nest, cache_words)`` /
+        ``(nest, cache_words, budget)`` tuples.
+    planner:
+        The cache to use (and warm).  A fresh private
+        :class:`Planner` is created when omitted.
+    max_workers:
+        Worker processes for missing-structure solves.  ``0`` or ``1``
+        disables the pool; ``None`` lets the executor pick.  The pool is
+        only spun up when at least two distinct structures are missing —
+        otherwise fork/pool overhead cannot pay for itself.
+    """
+    reqs = [_as_request(item) for item in requests]
+    if planner is None:
+        planner = Planner()
+    missing: list[str] = []
+    seen: set[str] = set()
+    for req in reqs:
+        key = planner.canonicalization(req.nest).form.key()
+        if key not in seen and not planner.has_structure(key):
+            seen.add(key)
+            missing.append(key)
+    if len(missing) >= 2 and max_workers not in (0, 1):
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                for key, pieces in pool.map(_solve_structure, missing):
+                    planner.install_structure(key, pieces)
+        except (OSError, RuntimeError):
+            # No usable process pool (restricted sandbox, missing
+            # semaphores, ...): the serial path below fills the cache.
+            pass
+    return [planner.plan_request(req, include_bound=include_bound) for req in reqs]
+
+
+def sweep_requests(
+    builder,
+    size_axes: Sequence[Sequence[int]],
+    cache_sizes: Sequence[int],
+    budget: str = "per-array",
+) -> list[PlanRequest]:
+    """Cartesian-product request list: ``sizes x cache sizes``.
+
+    ``builder`` is a catalog-style constructor (``matmul``, ``nbody``,
+    ...); ``size_axes`` gives the candidate values per constructor
+    argument.  Ordering is row-major with cache size innermost, matching
+    the ``--sweep`` CLI.
+    """
+    out = []
+    for sizes in itertools.product(*size_axes):
+        nest = builder(*sizes)
+        for m in cache_sizes:
+            out.append(PlanRequest(nest=nest, cache_words=int(m), budget=budget))
+    return out

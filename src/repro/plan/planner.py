@@ -1,0 +1,601 @@
+"""The plan cache: canonical structure -> parametric exponents, exactly.
+
+Design
+------
+``solve_tiling`` spends essentially all of its time in the exact
+rational simplex.  But the LP's *structure* (LP 5.1) depends only on
+the nest's projection pattern; the bounds and cache size enter through
+``beta_i = log_M L_i``.  The paper's §7 observation — the optimum is a
+piecewise-linear function ``f(beta)``, the lower envelope of one affine
+piece per vertex of the beta-independent dual polyhedron — makes the
+expensive part *cacheable*: solve the multiparametric LP once per
+canonical structure, then answer every query on that structure by
+evaluating finitely many affine pieces.
+
+Recovering the *primal* solution (the ``lambda_i`` the integer tile is
+built from) reuses a second multiparametric fact: within one piece's
+critical region the optimal vertex is an affine function of ``beta``.
+The planner derives that affine map lazily — from the tight-constraint
+set of one exact LP solve the first time a piece is hit — and guards
+every reuse with an exact feasibility + strong-duality check (primal
+feasible and objective equal to the dual value certifies optimality).
+A failed guard falls back to the exact LP, so warm answers are *always*
+certified optimal; the guard never trusts the cache.
+
+Everything is exact Fraction arithmetic except a float pre-pass that
+shortlists candidate minimal pieces (error ~1e-13 against a 1e-7
+acceptance margin, then settled exactly).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..core.bounds import CommunicationLowerBound, lower_bound_from_k_hat
+from ..core.canonical import CanonicalForm, Canonicalization, canonicalize
+from ..core.loopnest import LoopNest
+from ..core.mplp import AffinePiece, PiecewiseValueFunction, parametric_tile_exponent
+from ..core.tiling import (
+    BUDGETS,
+    TileShape,
+    TilingSolution,
+    build_tiling_lp,
+    integer_repair,
+    lvar,
+)
+from ..util.rationals import log_ratio, pow_fraction
+
+__all__ = ["PlanRequest", "TilePlan", "Planner", "PlannerStats"]
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+#: The mpLP prune (:func:`repro.core.mplp.parametric_tile_exponent`)
+#: certifies the piece set only on ``beta_i <= 64`` — i.e. every bound
+#: up to ``M**64``.  Queries beyond that (practically unreachable) skip
+#: the cache and solve the LP directly.
+_BETA_CAP = Fraction(64)
+
+#: Float shortlist margin: piece values are O(100) at most, so float
+#: evaluation error is ~1e-12; any piece within this margin of the float
+#: minimum is re-evaluated exactly.
+_FLOAT_MARGIN = 1e-7
+
+#: Optimal-basis maps remembered per piece (multiple bases meet inside
+#: one critical region's closure; a short MRU list absorbs the churn).
+_MAPS_PER_PIECE = 8
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One query: a nest, a cache size, and a budget convention."""
+
+    nest: LoopNest
+    cache_words: int
+    budget: str = "per-array"
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """A served plan: optimal tile + exponent + lower bound + provenance.
+
+    ``exponent``/``lambdas`` match :class:`~repro.core.tiling.TilingSolution`
+    semantics exactly (w.r.t. the effective cache when
+    ``budget="aggregate"``); when the LP has multiple optimal vertices
+    the plan may pick a different one than the simplex would, but the
+    exponent and the guard-certified optimality are identical.
+    """
+
+    nest: LoopNest
+    cache_words: int
+    budget: str
+    canonical_key: str
+    exponent: Fraction
+    lambdas: tuple[Fraction, ...]
+    fractional_blocks: tuple[float, ...]
+    tile: TileShape
+    lower_bound: CommunicationLowerBound | None
+    cache_hit: bool
+
+    def tiling_solution(self) -> TilingSolution:
+        """Adapter to the :func:`solve_tiling` result type."""
+        return TilingSolution(
+            nest=self.nest,
+            cache_words=self.cache_words,
+            budget=self.budget,
+            lambdas=self.lambdas,
+            exponent=self.exponent,
+            fractional_blocks=self.fractional_blocks,
+            tile=self.tile,
+        )
+
+    def to_json(self) -> dict:
+        """JSON-line payload for the batch CLI."""
+        out: dict = {
+            "name": self.nest.name,
+            "loops": list(self.nest.loops),
+            "bounds": list(self.nest.bounds),
+            "cache_words": self.cache_words,
+            "budget": self.budget,
+            "canonical_key": self.canonical_key,
+            "k_hat": str(self.exponent),
+            "k_hat_float": float(self.exponent),
+            "tile": list(self.tile.blocks),
+            "tile_volume": self.tile.volume,
+            "num_tiles": self.tile.num_tiles,
+            "cache_hit": self.cache_hit,
+        }
+        if self.lower_bound is not None:
+            out["lower_bound_words"] = self.lower_bound.value
+            out["lower_bound_k_hat"] = str(self.lower_bound.k_hat)
+        return out
+
+
+@dataclass
+class PlannerStats:
+    """Counters exposed for benchmarks and cache-effectiveness tests."""
+
+    queries: int = 0
+    structure_hits: int = 0
+    structure_solves: int = 0
+    primal_map_hits: int = 0
+    primal_lp_solves: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _PrimalMap:
+    """``lambda(beta) = constant + matrix @ beta`` (exact, canonical order)."""
+
+    constant: tuple[Fraction, ...]
+    matrix: tuple[tuple[Fraction, ...], ...]
+
+    def apply(self, betas: Sequence[Fraction]) -> tuple[Fraction, ...]:
+        return tuple(
+            c + sum((m * b for m, b in zip(row, betas) if m), start=_ZERO)
+            for c, row in zip(self.constant, self.matrix)
+        )
+
+
+@dataclass
+class _StructurePlan:
+    """Everything cached for one canonical structure."""
+
+    form: CanonicalForm
+    pvf: PiecewiseValueFunction
+    float_pieces: list[tuple[float, tuple[float, ...]]] = field(default_factory=list)
+    #: piece index -> candidate primal maps, most recently successful
+    #: first.  A piece can meet several optimal bases across its region
+    #: (and on region boundaries), so a short list beats a single slot.
+    primal_maps: dict[int, list[_PrimalMap]] = field(default_factory=dict)
+    nest: LoopNest = None  # canonical nest (generic names, dummy bounds)
+
+    def __post_init__(self) -> None:
+        if self.nest is None:
+            self.nest = self.form.to_nest()
+        self.float_pieces = [
+            (float(p.constant), tuple(float(c) for c in p.coeffs))
+            for p in self.pvf.pieces
+        ]
+
+
+def _piece_to_json(piece: AffinePiece) -> dict:
+    return {
+        "c": str(piece.constant),
+        "zeta": [str(z) for z in piece.source_zeta],
+        "s": [str(s) for s in piece.source_s],
+    }
+
+
+def _piece_from_json(blob: dict) -> AffinePiece:
+    zeta = tuple(Fraction(z) for z in blob["zeta"])
+    return AffinePiece(
+        constant=Fraction(blob["c"]),
+        coeffs=zeta,
+        source_zeta=zeta,
+        source_s=tuple(Fraction(s) for s in blob["s"]),
+    )
+
+
+def _solve_affine_system(
+    a_rows: list[list[Fraction]],
+    b_rows: list[list[Fraction]],
+    n_unknowns: int,
+) -> list[list[Fraction]] | None:
+    """Solve ``A x = B(beta)`` for affine unknowns by Gauss-Jordan.
+
+    ``b_rows[i]`` is the affine vector ``(const, coeff_beta_0, ...)`` of
+    equation i's right-hand side.  Returns one affine vector per
+    unknown, or None when the system does not determine all unknowns
+    (degenerate optimum that is not a simple vertex — callers then skip
+    map caching and keep using the exact LP).
+    """
+    m = len(a_rows)
+    a = [row[:] for row in a_rows]
+    b = [row[:] for row in b_rows]
+    for col in range(n_unknowns):
+        pivot_row = next((i for i in range(col, m) if a[i][col] != 0), None)
+        if pivot_row is None:
+            return None
+        a[col], a[pivot_row] = a[pivot_row], a[col]
+        b[col], b[pivot_row] = b[pivot_row], b[col]
+        pivot = a[col][col]
+        if pivot != 1:
+            a[col] = [v / pivot for v in a[col]]
+            b[col] = [v / pivot for v in b[col]]
+        for i in range(m):
+            if i != col and a[i][col] != 0:
+                factor = a[i][col]
+                a[i] = [v - factor * w for v, w in zip(a[i], a[col])]
+                b[i] = [v - factor * w for v, w in zip(b[i], b[col])]
+    return b[:n_unknowns]
+
+
+def _derive_primal_map(
+    rows: Sequence[tuple[int, ...]],
+    depth: int,
+    lambdas: Sequence[Fraction],
+    betas: Sequence[Fraction],
+) -> _PrimalMap | None:
+    """Affine map reproducing the vertex ``lambdas`` from its tight set.
+
+    Classifies each coordinate as pinned-at-zero, pinned-at-beta, or
+    free; free coordinates are solved from the tight array constraints.
+    The map is only a *candidate* — every later application is verified
+    exactly before use.
+    """
+    at_zero = [lambdas[i] == 0 for i in range(depth)]
+    at_beta = [not at_zero[i] and lambdas[i] == betas[i] for i in range(depth)]
+    free = [i for i in range(depth) if not at_zero[i] and not at_beta[i]]
+    constant = [_ZERO] * depth
+    matrix = [[_ZERO] * depth for _ in range(depth)]
+    for i in range(depth):
+        if at_beta[i]:
+            matrix[i][i] = _ONE
+    if free:
+        tight = [row for row in rows if row and sum((lambdas[i] for i in row), start=_ZERO) == 1]
+        a_rows = [[_ONE if i in row else _ZERO for i in free] for row in tight]
+        b_rows = []
+        for row in tight:
+            affine = [_ONE] + [_ZERO] * depth
+            for i in row:
+                if at_beta[i]:
+                    affine[1 + i] -= _ONE
+            b_rows.append(affine)
+        solved = _solve_affine_system(a_rows, b_rows, len(free))
+        if solved is None:
+            return None
+        for pos, i in enumerate(free):
+            constant[i] = solved[pos][0]
+            matrix[i] = solved[pos][1:]
+    return _PrimalMap(constant=tuple(constant), matrix=tuple(tuple(r) for r in matrix))
+
+
+class Planner:
+    """LRU-cached, optionally persistent, exact tiling-plan service.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of canonical structures kept in memory (least
+        recently used evicted first).
+    cache_path:
+        Optional JSON file.  When given and present, structures are
+        loaded eagerly on construction; :meth:`save` writes the current
+        cache back (primal maps are derived data and are not persisted).
+    """
+
+    def __init__(self, capacity: int = 128, cache_path: str | os.PathLike | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        self.stats = PlannerStats()
+        self._structures: OrderedDict[str, _StructurePlan] = OrderedDict()
+        self._canon_memo: dict[tuple, Canonicalization] = {}
+        # Beta memo: sweeps repeat the same (bound, cache) pairs
+        # constantly and log_ratio is pure, so memoising it off the hot
+        # path is free speedup.  (pow_fraction carries its own
+        # lru_cache, so fractional-block evaluation needs no twin here.)
+        self._log_memo: dict[tuple[int, int], Fraction] = {}
+        self._lock = threading.RLock()
+        if self.cache_path is not None and self.cache_path.exists():
+            self.load(self.cache_path)
+
+    # -- canonicalization (memoised per raw structure) ----------------------
+
+    def canonicalization(self, nest: LoopNest) -> Canonicalization:
+        """Memoised :func:`repro.core.canonical.canonicalize`."""
+        memo_key = (nest.depth, tuple(arr.support for arr in nest.arrays))
+        canon = self._canon_memo.get(memo_key)
+        if canon is None:
+            canon = canonicalize(nest)
+            with self._lock:
+                if len(self._canon_memo) < 1 << 16:
+                    self._canon_memo[memo_key] = canon
+        return canon
+
+    def _betas(self, bounds: Sequence[int], base: int) -> list[Fraction]:
+        memo = self._log_memo
+        out = []
+        for bound in bounds:
+            key = (bound, base)
+            value = memo.get(key)
+            if value is None:
+                value = log_ratio(bound, base)
+                if len(memo) < 1 << 16:
+                    memo[key] = value
+            out.append(value)
+        return out
+
+    # -- structure cache ----------------------------------------------------
+
+    def has_structure(self, key: str) -> bool:
+        with self._lock:
+            return key in self._structures
+
+    def cached_keys(self) -> list[str]:
+        with self._lock:
+            return list(self._structures)
+
+    def install_structure(self, key: str, pieces_json: Iterable[dict]) -> None:
+        """Insert a pre-solved structure (parallel warmers, persistence)."""
+        form = CanonicalForm.from_key(key)
+        pieces = tuple(sorted(
+            (_piece_from_json(blob) for blob in pieces_json),
+            key=lambda p: (p.constant, p.coeffs),
+        ))
+        pvf = PiecewiseValueFunction(nest=form.to_nest(), pieces=pieces, pruned=True)
+        with self._lock:
+            self._structures[key] = _StructurePlan(form=form, pvf=pvf)
+            self._structures.move_to_end(key)
+            self._evict()
+
+    def _evict(self) -> None:
+        while len(self._structures) > self.capacity:
+            self._structures.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _structure(self, canon: Canonicalization) -> tuple[_StructurePlan, bool]:
+        key = canon.form.key()
+        with self._lock:
+            cached = self._structures.get(key)
+            if cached is not None:
+                self._structures.move_to_end(key)
+                self.stats.structure_hits += 1
+                return cached, True
+        # Solve outside the lock: multiparametric solves are the slow part.
+        pvf = parametric_tile_exponent(canon.form.to_nest())
+        plan = _StructurePlan(form=canon.form, pvf=pvf)
+        with self._lock:
+            self.stats.structure_solves += 1
+            self._structures[key] = plan
+            self._structures.move_to_end(key)
+            self._evict()
+        return plan, False
+
+    # -- exact piecewise evaluation -----------------------------------------
+
+    def _evaluate(
+        self, structure: _StructurePlan, betas: Sequence[Fraction]
+    ) -> tuple[Fraction, int]:
+        """Exact ``(f(beta), argmin piece index)`` with a float shortlist."""
+        floats = [float(b) for b in betas]
+        best_float = None
+        values = []
+        for const, coeffs in structure.float_pieces:
+            value = const + sum(c * b for c, b in zip(coeffs, floats))
+            values.append(value)
+            if best_float is None or value < best_float:
+                best_float = value
+        threshold = best_float + _FLOAT_MARGIN * (1.0 + abs(best_float))
+        best_exact: Fraction | None = None
+        best_idx = 0
+        for idx, value in enumerate(values):
+            if value <= threshold:
+                piece = structure.pvf.pieces[idx]
+                exact = piece.constant
+                for coeff, beta in zip(piece.coeffs, betas):
+                    if coeff == 1:
+                        exact += beta
+                    elif coeff:
+                        exact += coeff * beta
+                if best_exact is None or exact < best_exact:
+                    best_exact, best_idx = exact, idx
+        assert best_exact is not None
+        return best_exact, best_idx
+
+    def _lp_solve(
+        self, structure: _StructurePlan, betas: Sequence[Fraction]
+    ) -> tuple[Fraction, tuple[Fraction, ...]]:
+        """Authoritative exact LP solve on the canonical structure."""
+        self.stats.primal_lp_solves += 1
+        nest = structure.nest
+        lp = build_tiling_lp(nest, cache_words=2, betas=list(betas))
+        report = lp.solve(backend="exact")
+        if not report.is_optimal:  # pragma: no cover - LP always feasible/bounded
+            raise RuntimeError(f"tiling LP unexpectedly {report.status}")
+        lambdas = tuple(report.values[lvar(i, nest)] for i in range(nest.depth))
+        return report.objective, lambdas
+
+    def _verified(
+        self,
+        structure: _StructurePlan,
+        betas: Sequence[Fraction],
+        lambdas: Sequence[Fraction],
+        value: Fraction,
+    ) -> bool:
+        """Exact optimality certificate: feasible + objective == dual value."""
+        total = _ZERO
+        for lam, beta in zip(lambdas, betas):
+            if lam < 0 or lam > beta:
+                return False
+            total += lam
+        if total != value:
+            return False
+        for row in structure.form.rows:
+            if row and sum((lambdas[i] for i in row), start=_ZERO) > 1:
+                return False
+        return True
+
+    def _value_at(self, structure: _StructurePlan, betas: Sequence[Fraction]) -> Fraction:
+        """Exact ``f(beta)`` only — honouring the ``_BETA_CAP`` guard."""
+        if any(b > _BETA_CAP for b in betas):
+            value, _ = self._lp_solve(structure, betas)
+            return value
+        value, _ = self._evaluate(structure, betas)
+        return value
+
+    def _solve_canonical(
+        self, structure: _StructurePlan, betas: Sequence[Fraction]
+    ) -> tuple[Fraction, tuple[Fraction, ...]]:
+        """Exact optimum + vertex at ``betas``, via cache or LP fallback."""
+        if any(b > _BETA_CAP for b in betas):
+            # Outside the certified domain of the pruned piece set.
+            return self._lp_solve(structure, betas)
+        value, piece_idx = self._evaluate(structure, betas)
+        maps = structure.primal_maps.get(piece_idx, ())
+        for pos, cached_map in enumerate(maps):
+            lambdas = cached_map.apply(betas)
+            if self._verified(structure, betas, lambdas, value):
+                if pos:
+                    with self._lock:
+                        maps.insert(0, maps.pop(pos))
+                self.stats.primal_map_hits += 1
+                return value, lambdas
+        value_lp, lambdas = self._lp_solve(structure, betas)
+        candidate = _derive_primal_map(structure.form.rows, structure.form.depth, lambdas, betas)
+        if candidate is not None and self._verified(
+            structure, betas, candidate.apply(betas), value_lp
+        ):
+            with self._lock:
+                maps = structure.primal_maps.setdefault(piece_idx, [])
+                if candidate not in maps:
+                    maps.insert(0, candidate)
+                    del maps[_MAPS_PER_PIECE:]
+        return value_lp, lambdas
+
+    # -- the service entry points -------------------------------------------
+
+    def plan(
+        self,
+        nest: LoopNest,
+        cache_words: int,
+        budget: str = "per-array",
+        include_bound: bool = True,
+    ) -> TilePlan:
+        """Optimal tile + exponent (+ lower bound) for one query.
+
+        Mirrors :func:`solve_tiling`'s budget semantics; the lower bound
+        is always the paper-model (per-array) bound at the full cache
+        size, matching :func:`repro.analyze`.
+        """
+        if cache_words < 2:
+            raise ValueError("planning needs cache_words >= 2")
+        if budget not in BUDGETS:
+            raise ValueError(f"unknown budget {budget!r}; expected one of {BUDGETS}")
+        if budget == "aggregate" and cache_words < nest.num_arrays:
+            raise ValueError(
+                f"aggregate budget needs cache_words >= {nest.num_arrays} "
+                f"(one word per array), got {cache_words}"
+            )
+        self.stats.queries += 1
+        canon = self.canonicalization(nest)
+        structure, hit = self._structure(canon)
+        depth = nest.depth
+        effective_m = (
+            cache_words if budget == "per-array" else max(1, cache_words // nest.num_arrays)
+        )
+        full_betas: list[Fraction] | None = None
+        if effective_m < 2:
+            # Degenerate effective cache: unit tile (see solve_tiling).
+            exponent = _ZERO
+            lambdas = tuple(_ZERO for _ in range(depth))
+            fractional = tuple(1.0 for _ in range(depth))
+            tile = TileShape(nest=nest, blocks=tuple(1 for _ in range(depth)))
+        else:
+            betas = self._betas(nest.bounds, effective_m)
+            if effective_m == cache_words:
+                full_betas = betas
+            canon_betas = canon.to_canonical(tuple(betas))
+            exponent, canon_lambdas = self._solve_canonical(structure, canon_betas)
+            lambdas = canon.from_canonical(canon_lambdas)
+            fractional = tuple(pow_fraction(effective_m, lam) for lam in lambdas)
+            tile = integer_repair(nest, fractional, cache_words, budget)
+        lower_bound = None
+        if include_bound:
+            if full_betas is not None:
+                k_hat = exponent
+            else:
+                betas = self._betas(nest.bounds, cache_words)
+                k_hat = self._value_at(structure, canon.to_canonical(tuple(betas)))
+            lower_bound = lower_bound_from_k_hat(nest, cache_words, k_hat)
+        return TilePlan(
+            nest=nest,
+            cache_words=cache_words,
+            budget=budget,
+            canonical_key=canon.form.key(),
+            exponent=exponent,
+            lambdas=lambdas,
+            fractional_blocks=fractional,
+            tile=tile,
+            lower_bound=lower_bound,
+            cache_hit=hit,
+        )
+
+    def plan_request(self, request: PlanRequest, include_bound: bool = True) -> TilePlan:
+        return self.plan(
+            request.nest, request.cache_words, request.budget, include_bound=include_bound
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | os.PathLike | None = None) -> Path:
+        """Write the structure cache as JSON (atomic replace)."""
+        target = Path(path) if path is not None else self.cache_path
+        if target is None:
+            raise ValueError("no cache path given")
+        with self._lock:
+            entries = {
+                key: {"pieces": [_piece_to_json(p) for p in plan.pvf.pieces]}
+                for key, plan in self._structures.items()
+            }
+        payload = {"version": _SCHEMA_VERSION, "entries": entries}
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(target.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1)
+                handle.write("\n")
+            os.replace(tmp, target)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return target
+
+    def load(self, path: str | os.PathLike) -> int:
+        """Load structures from JSON; returns the number installed."""
+        blob = json.loads(Path(path).read_text())
+        if blob.get("version") != _SCHEMA_VERSION:
+            raise ValueError(f"unsupported plan-cache version {blob.get('version')!r} in {path}")
+        count = 0
+        for key, entry in blob.get("entries", {}).items():
+            self.install_structure(key, entry["pieces"])
+            count += 1
+        return count

@@ -2,6 +2,13 @@
 
 from .executor import best_order_traffic, simulate_tiled_traffic, simulate_untiled_traffic
 from .footprint import array_tile_loads, working_set_words
+from .multilevel import (
+    BoundaryTraffic,
+    MultiLevelReport,
+    nest_miss_curve,
+    simulate_hierarchical_tiling_trace,
+    simulate_hierarchy_trace,
+)
 from .trace import (
     MAX_TRACE_ACCESSES,
     Access,
@@ -10,13 +17,6 @@ from .trace import (
     generate_trace,
     generate_trace_batched,
     trace_length,
-)
-from .multilevel import (
-    BoundaryTraffic,
-    MultiLevelReport,
-    nest_miss_curve,
-    simulate_hierarchical_tiling_trace,
-    simulate_hierarchy_trace,
 )
 from .trace_sim import run_trace_simulation
 

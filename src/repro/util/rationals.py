@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 __all__ = [
@@ -139,6 +140,7 @@ def beta_vector(bounds: Sequence[int], cache_words: int, digits: int = 15) -> li
     return [log_ratio(L, cache_words, digits=digits) for L in bounds]
 
 
+@lru_cache(maxsize=1 << 16)
 def pow_fraction(base: int, exponent: Fraction) -> float:
     """``base ** exponent`` for a rational exponent, as a float.
 
@@ -147,7 +149,9 @@ def pow_fraction(base: int, exponent: Fraction) -> float:
     final float conversion.  Exponents whose numerator/denominator are
     large (typically :func:`approx_log` outputs for non-power inputs)
     skip the exact path — materialising ``base**numerator`` there would
-    be astronomically expensive for no precision gain.
+    be astronomically expensive for no precision gain.  Pure in both
+    arguments, so results are memoised (plan-cache sweeps hit the same
+    ``(M, k_hat)`` pairs constantly).
     """
     exponent = F(exponent)
     if exponent.denominator == 1 and abs(exponent.numerator) <= 4096:

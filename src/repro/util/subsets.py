@@ -11,7 +11,7 @@ for membership to matter).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Iterator, Sequence, TypeVar
+from typing import Iterator, Sequence, TypeVar
 
 T = TypeVar("T")
 

@@ -68,7 +68,11 @@ class TestFamilyAPI:
         with pytest.raises(ValueError):
             fam.interpolate([F(1, 2)] * (len(fam.vertices) + 1))
         with pytest.raises(ValueError):
-            fam.interpolate([F(2)] + [F(0)] * (len(fam.vertices) - 1) if len(fam.vertices) > 1 else [F(2)])
+            fam.interpolate(
+                [F(2)] + [F(0)] * (len(fam.vertices) - 1)
+                if len(fam.vertices) > 1
+                else [F(2)]
+            )
 
     def test_tile_at_is_feasible(self):
         fam = optimal_tile_family(matmul(2**10, 2**10, 2**2), self.M)

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.bruteforce import best_rectangle, best_subset, max_subset_of_size
 from repro.core.bounds import tile_exponent
+from repro.core.bruteforce import best_rectangle, best_subset, max_subset_of_size
 from repro.core.tiling import solve_tiling
 from repro.library.problems import matmul, matvec, nbody
 from repro.util.rationals import pow_fraction

@@ -1,0 +1,202 @@
+"""Canonicalization invariants: the plan cache's keying contract.
+
+The canonical form must be (a) invariant under everything the LP is
+blind to — loop/array renaming and permutation, bound changes, output
+flags — and (b) collision-free across genuinely distinct projection
+patterns.  Both properties are exercised over the whole catalog with
+seeded random transformations.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core.canonical import (
+    CanonicalForm,
+    CanonicalizationError,
+    canonical_key,
+    canonicalize,
+)
+from repro.core.loopnest import ArrayRef, LoopNest
+from repro.library.problems import CATALOG_BUILDERS, catalog
+
+CATALOG = catalog()
+
+
+def scrambled(nest: LoopNest, rng: random.Random) -> LoopNest:
+    """A random structure-preserving disguise of ``nest``.
+
+    Permutes loops, renames loops and arrays, shuffles array order,
+    randomises bounds and output flags — everything canonicalization
+    must see through.
+    """
+    order = list(range(nest.depth))
+    rng.shuffle(order)
+    permuted = nest.permuted(order)
+    bounds = tuple(rng.randint(1, 10_000) for _ in range(nest.depth))
+    arrays = list(permuted.arrays)
+    rng.shuffle(arrays)
+    arrays = [
+        replace(arr, name=f"Arr{idx}", is_output=rng.random() < 0.5)
+        for idx, arr in enumerate(arrays)
+    ]
+    return LoopNest(
+        name="scrambled",
+        loops=tuple(f"loop{i}" for i in range(nest.depth)),
+        bounds=bounds,
+        arrays=tuple(arrays),
+    )
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("name", sorted(CATALOG_BUILDERS), ids=str)
+    def test_invariant_under_random_disguises(self, name):
+        nest = CATALOG[name]
+        reference = canonicalize(nest)
+        assert reference.exact
+        rng = random.Random(f"canon-{name}")
+        for _ in range(25):
+            assert canonical_key(scrambled(nest, rng)) == reference.form.key()
+
+    @pytest.mark.parametrize("name", sorted(CATALOG_BUILDERS), ids=str)
+    def test_bounds_never_enter_the_key(self, name):
+        nest = CATALOG[name]
+        key = canonical_key(nest)
+        assert canonical_key(nest.with_bounds([1] * nest.depth)) == key
+        assert canonical_key(nest.with_bounds([999_999] * nest.depth)) == key
+
+    def test_witness_maps_back(self):
+        """loop_order/array_order really transport data between frames."""
+        nest = CATALOG["matmul"]
+        canon = canonicalize(nest)
+        per_loop = tuple(range(nest.depth))
+        assert canon.from_canonical(canon.to_canonical(per_loop)) == per_loop
+        # The canonical rows are exactly the witnessed re-indexing.
+        inverse = {orig: pos for pos, orig in enumerate(canon.loop_order)}
+        for row, arr_idx in zip(canon.form.rows, canon.array_order):
+            support = nest.arrays[arr_idx].support
+            assert row == tuple(sorted(inverse[i] for i in support))
+
+    def test_idempotent_on_canonical_nests(self):
+        for name in ("matmul", "mttkrp", "attention_scores"):
+            form = canonicalize(CATALOG[name]).form
+            assert canonicalize(form.to_nest()).form == form
+
+
+class TestCollisions:
+    def test_known_equivalences(self):
+        """Structure sharing the planner banks on: same pattern, one key."""
+        assert (
+            canonical_key(CATALOG["matmul"])
+            == canonical_key(CATALOG["syrk"])
+            == canonical_key(CATALOG["fully_connected"])
+        )
+        # matvec, rank-1 update, and join-aggregation all touch
+        # {(0,), (0,1), (1,)} — which array is written is irrelevant.
+        assert (
+            canonical_key(CATALOG["matvec"])
+            == canonical_key(CATALOG["join_aggregate"])
+            == canonical_key(CATALOG["outer_product"])
+        )
+
+    def test_distinct_structures_never_collide(self):
+        distinct = [
+            "matmul",
+            "matvec",
+            "dot_product",
+            "nbody",
+            "contraction",
+            "pointwise_conv",
+            "mttkrp",
+            "ttm",
+            "batched_matmul",
+            "tucker_core",
+            "attention_scores",
+        ]
+        keys = {name: canonical_key(CATALOG[name]) for name in distinct}
+        seen: dict[str, str] = {}
+        for name, key in keys.items():
+            assert key not in seen, f"{name} collides with {seen[key]}"
+            seen[key] = name
+
+    def test_matmul_never_collides_with_mttkrp(self):
+        # The ISSUE's named pair, under disguises on both sides.
+        rng = random.Random("collide")
+        for _ in range(10):
+            left = scrambled(CATALOG["matmul"], rng)
+            right = scrambled(CATALOG["mttkrp"], rng)
+            assert canonical_key(left) != canonical_key(right)
+
+
+class TestFormSerialization:
+    @pytest.mark.parametrize("name", sorted(CATALOG_BUILDERS), ids=str)
+    def test_key_round_trip(self, name):
+        form = canonicalize(CATALOG[name]).form
+        assert CanonicalForm.from_key(form.key()) == form
+
+    def test_key_shape(self):
+        assert canonical_key(CATALOG["matmul"]) == "d3:0.1|0.2|1.2"
+
+    def test_empty_support_round_trip(self):
+        form = canonicalize(CATALOG["dot_product"]).form
+        assert () in form.rows
+        assert CanonicalForm.from_key(form.key()) == form
+
+    def test_to_nest_is_valid_and_generic(self):
+        form = canonicalize(CATALOG["pointwise_conv"]).form
+        nest = form.to_nest()
+        assert nest.depth == form.depth
+        assert tuple(sorted(a.support for a in nest.arrays)) == form.rows
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(CanonicalizationError):
+            CanonicalForm.from_key("nonsense")
+
+    def test_invalid_forms_rejected(self):
+        with pytest.raises(CanonicalizationError):
+            CanonicalForm(depth=2, rows=((1, 0),))  # not increasing
+        with pytest.raises(CanonicalizationError):
+            CanonicalForm(depth=1, rows=((0, 1),))  # out of range
+        with pytest.raises(CanonicalizationError):
+            CanonicalForm(depth=2, rows=((1,), (0,)))  # rows unsorted
+
+
+class TestRefinementQuality:
+    def test_deep_path_chain_is_exact_and_fast(self):
+        # A depth-9 path chain has 9! loop orders, but refinement keys
+        # columns by distance from the endpoints: cells of size <= 2
+        # (the mirror symmetry), so the search stays exact.
+        d = 9
+        arrays = tuple(ArrayRef(f"A{j}", (j, j + 1)) for j in range(d - 1))
+        nest = LoopNest(
+            name="path9",
+            loops=tuple(f"x{i}" for i in range(d)),
+            bounds=tuple(4 for _ in range(d)),
+            arrays=arrays,
+        )
+        canon = canonicalize(nest)
+        assert canon.exact
+        rng = random.Random("chain")
+        for _ in range(5):
+            assert canonical_key(scrambled(nest, rng)) == canon.form.key()
+
+    def test_fully_symmetric_cycle_hits_the_search_cap(self):
+        # A 9-cycle is vertex-transitive: refinement cannot split it and
+        # 9! candidates exceed SEARCH_CAP, so the canonicalizer falls
+        # back to the deterministic refinement order and says so.
+        d = 9
+        arrays = tuple(
+            ArrayRef(f"A{j}", tuple(sorted((j, (j + 1) % d)))) for j in range(d)
+        )
+        nest = LoopNest(
+            name="cycle9",
+            loops=tuple(f"x{i}" for i in range(d)),
+            bounds=tuple(4 for _ in range(d)),
+            arrays=arrays,
+        )
+        canon = canonicalize(nest)
+        assert not canon.exact
+        # The fallback form is still a faithful, re-parseable pattern.
+        assert CanonicalForm.from_key(canon.form.key()) == canon.form
+        assert canonicalize(nest).form == canon.form  # deterministic

@@ -53,7 +53,8 @@ class TestCLI:
 
     def test_simulate_flag(self, capsys):
         rc = main(
-            ["--problem", "matmul", "--sizes", "64,64,64", "-M", "1024", "--simulate", "--budget", "aggregate"]
+            ["--problem", "matmul", "--sizes", "64,64,64", "-M", "1024",
+             "--simulate", "--budget", "aggregate"]
         )
         assert rc == 0
         out = capsys.readouterr().out

@@ -7,8 +7,6 @@ they serve as regression anchors for the LP pipeline on deeper nests.
 
 from fractions import Fraction as F
 
-import pytest
-
 from repro.core.bounds import communication_lower_bound, tile_exponent
 from repro.core.duality import theorem3_certificate
 from repro.core.hbl import solve_hbl

@@ -5,7 +5,7 @@ from fractions import Fraction as F
 import pytest
 
 from repro.core.loopnest import ArrayRef, LoopNest, LoopNestError
-from repro.library.problems import matmul, nbody, pointwise_conv
+from repro.library.problems import matmul, pointwise_conv
 
 
 class TestArrayRef:

@@ -1,7 +1,5 @@
 """Tests for multi-level trace simulation (repro.simulate.multilevel)."""
 
-import pytest
-
 from repro.core.hierarchy import MemoryHierarchy, solve_hierarchical_tiling
 from repro.library.problems import matmul, matvec
 from repro.simulate.multilevel import (

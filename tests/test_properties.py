@@ -59,7 +59,9 @@ def projective_nests(draw, max_depth: int = 4, max_arrays: int = 4, max_exp: int
         ArrayRef(name=f"A{j}", support=tuple(s), is_output=(j == 0))
         for j, s in enumerate(supports)
     )
-    return LoopNest(name="random", loops=tuple(f"x{i}" for i in range(d)), bounds=bounds, arrays=arrays)
+    return LoopNest(
+        name="random", loops=tuple(f"x{i}" for i in range(d)), bounds=bounds, arrays=arrays
+    )
 
 
 cache_sizes = st.sampled_from([2, 4, 16, 64, 256, 2**10, 2**14])

@@ -47,7 +47,9 @@ def random_nest(rng: np.random.Generator) -> LoopNest:
         ArrayRef(name=f"A{j}", support=s, is_output=(j == 0 or rng.random() < 0.3))
         for j, s in enumerate(supports)
     )
-    return LoopNest(name="rand", loops=tuple(f"x{i}" for i in range(d)), bounds=bounds, arrays=arrays)
+    return LoopNest(
+        name="rand", loops=tuple(f"x{i}" for i in range(d)), bounds=bounds, arrays=arrays
+    )
 
 
 def reference_stats(lines, writes, capacity):
