@@ -4,9 +4,9 @@ from fractions import Fraction as F
 
 import pytest
 
+from repro.api import Session
 from repro.core.closed_forms import contraction_tile_exponent
 from repro.library.problems import tensor_contraction
-from repro.plan import Planner, plan_batch
 
 M = 2**16
 
@@ -20,16 +20,16 @@ CONFIGS = [
     ((2**12, 2**12), (2**8,), (2**8,), F(3, 2)),  # boundary: B_shared = 1/2
 ]
 
-#: Shared plan cache: contraction group arities repeat across configs,
+#: Shared session: contraction group arities repeat across configs,
 #: so the sweep reuses structures instead of re-running the simplex.
-PLANNER = Planner()
+SESSION = Session(workers=0)
 
 
 @pytest.mark.parametrize("left,shared,right,expected", CONFIGS)
 def test_e6_gamma_reduction(benchmark, table, left, shared, right, expected):
     """The contraction optimum is min(3/2, 1 + min(group beta sums))."""
     nest = tensor_contraction(left, shared, right)
-    plan = benchmark(lambda: PLANNER.plan(nest, M))
+    plan = benchmark(lambda: SESSION.tiling(nest, M))
     k = plan.exponent
     assert k == expected
     assert contraction_tile_exponent(left, shared, right, M) == k
@@ -45,7 +45,7 @@ def test_e6_group_aggregation_invariant(benchmark, table):
     """Splitting one loop into several with the same product leaves k fixed.
 
     The gamma-reduction argument: only group beta *sums* matter.  The
-    sweep goes through ``plan_batch`` — the engine that replaced the
+    sweep goes through ``Session.batch`` — the façade that replaced the
     ad-hoc per-nest solver loops.
     """
     cases = [
@@ -55,10 +55,8 @@ def test_e6_group_aggregation_invariant(benchmark, table):
     ]
 
     def solve_all():
-        plans = plan_batch(
-            [(nest, M) for nest in cases], planner=PLANNER, max_workers=0
-        )
-        return [plan.exponent for plan in plans]
+        results = SESSION.batch([(nest, M) for nest in cases])
+        return [result.detail.exponent for result in results]
 
     ks = benchmark(solve_all)
     assert ks[0] == ks[1] == ks[2]

@@ -3,18 +3,19 @@
 The paper's motivation: CNN layers have *small* channel counts, so the
 classical lower bound is loose and the classical tiling infeasible.
 This bench sweeps MobileNet-style pointwise-convolution layers through
-the plan service (every layer shares one canonical structure, so the
-whole sweep costs one multiparametric solve), and compares each plan's
+the ``repro.api.Session`` façade (every layer shares one canonical
+structure, so the whole sweep costs one multiparametric solve), and
+compares each plan's
 simulated traffic against the clamped classical (sqrt-M cube) tiling
 and the lower bound.
 """
 
 import pytest
 
+from repro.api import Session
 from repro.core.tiling import TileShape
 from repro.library.problems import pointwise_conv
 from repro.machine.model import MachineModel
-from repro.plan import Planner, plan_batch
 from repro.simulate.executor import best_order_traffic
 
 M = 2**15
@@ -30,18 +31,14 @@ LAYERS = [
     (8, 16, 8, 56, 56),  # tiny channels: the classical bound's worst case
 ]
 
-#: One plan cache for the whole module: the layer sweep is the
+#: One session for the whole module: the layer sweep is the
 #: structure-sharing showcase (5 layers, 1 canonical structure).
-PLANNER = Planner()
+SESSION = Session(workers=0)
 PLANS = {
-    layer: plan
-    for layer, plan in zip(
+    layer: result.detail
+    for layer, result in zip(
         LAYERS,
-        plan_batch(
-            [(pointwise_conv(*layer), M, "aggregate") for layer in LAYERS],
-            planner=PLANNER,
-            max_workers=0,
-        ),
+        SESSION.batch([(pointwise_conv(*layer), M, "aggregate") for layer in LAYERS]),
     )
 }
 
@@ -61,8 +58,8 @@ def _clamped_classical_tile(nest, cache_words):
 
 
 def test_e7_layer_sweep_shares_one_structure(table):
-    """The rewired ad-hoc loop: plan_batch served 5 layers, 1 LP solve."""
-    stats = PLANNER.stats.as_dict()
+    """The rewired ad-hoc loop: Session.batch served 5 layers, 1 LP solve."""
+    stats = SESSION.stats.as_dict()
     t = table("e7_conv_sharing", ["quantity", "value"])
     t.add("layers planned", len(LAYERS))
     t.add("structure solves", stats["structure_solves"])
@@ -77,7 +74,7 @@ def test_e7_conv_tiling_beats_classical(benchmark, table, layer):
     machine = MachineModel(cache_words=M)
 
     def pipeline():
-        plan = PLANNER.plan(nest, M, budget="aggregate")
+        plan = SESSION.planner.plan(nest, M, budget="aggregate")
         opt = best_order_traffic(nest, plan.tile, machine=machine)
         classical = best_order_traffic(
             nest, _clamped_classical_tile(nest, M), machine=machine
@@ -110,7 +107,7 @@ def test_e7_small_channel_bound_correction(benchmark, table):
     the arbitrary-bound machinery recovers the read-everything floor."""
     nest = pointwise_conv(8, 4, 512, 56, 56)  # C = 4
 
-    lb = benchmark(lambda: PLANNER.plan(nest, M).lower_bound)
+    lb = benchmark(lambda: SESSION.planner.plan(nest, M).lower_bound)
     classical = nest.num_operations / M**0.5
 
     t = table("e7_small_channel", ["quantity", "value"])

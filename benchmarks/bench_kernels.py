@@ -11,7 +11,7 @@ tiled executor's overhead stays bounded.
 import numpy as np
 import pytest
 
-from repro.core.tiling import solve_tiling
+from repro.api import Session
 from repro.kernels.einsum_exec import execute_tiled, execute_untiled
 from repro.kernels.naive import allocate_arrays
 from repro.kernels.tiled import (
@@ -23,6 +23,9 @@ from repro.kernels.tiled import (
     naive_pointwise_conv,
 )
 from repro.library.problems import matmul, nbody, pointwise_conv
+
+#: Tilings served by the façade; one plan cache for the module.
+SESSION = Session()
 
 # A cache budget matching a typical 256 KiB L2 in float64 words.
 M = 2**15
@@ -39,7 +42,7 @@ def matmul_data():
 def test_e12_matmul_lp_blocked(benchmark, matmul_data, table):
     A, B = matmul_data
     nest = matmul(*A.shape, B.shape[1])
-    sol = solve_tiling(nest, M, budget="aggregate")
+    sol = SESSION.tiling(nest, M, "aggregate")
     b1, b2, b3 = sol.tile.blocks
     C = benchmark(lambda: blocked_matmul(A, B, b1, b2, b3))
     np.testing.assert_allclose(C, A @ B, rtol=1e-8)
@@ -63,7 +66,7 @@ def test_e12_nbody_blocked(benchmark):
     P = rng.standard_normal(2**13)
     Q = rng.standard_normal(2**13)
     nest = nbody(len(P), len(Q))
-    sol = solve_tiling(nest, M, budget="aggregate")
+    sol = SESSION.tiling(nest, M, "aggregate")
     b1, b2 = sol.tile.blocks
     F = benchmark(lambda: blocked_nbody(P, Q, b1, b2))
     np.testing.assert_allclose(F, naive_nbody(P, Q), rtol=1e-8)
@@ -81,7 +84,7 @@ def test_e12_conv_blocked(benchmark):
     image = rng.standard_normal((28, 28, 64, 8))
     filt = rng.standard_normal((128, 64))
     nest = pointwise_conv(8, 64, 128, 28, 28)
-    sol = solve_tiling(nest, M, budget="aggregate")
+    sol = SESSION.tiling(nest, M, "aggregate")
     bc = sol.tile.blocks[1]
     bk = sol.tile.blocks[2]
     out = benchmark(lambda: blocked_pointwise_conv(image, filt, bc=bc, bk=bk))
@@ -99,7 +102,7 @@ def test_e12_general_executor_overhead(benchmark, table):
     """The generic einsum-tiled executor vs one-shot einsum on matmul."""
     nest = matmul(384, 384, 384)
     arrays = allocate_arrays(nest, rng=np.random.default_rng(3))
-    sol = solve_tiling(nest, M, budget="aggregate")
+    sol = SESSION.tiling(nest, M, "aggregate")
 
     def run_tiled():
         work = {k: (v.copy() if k == "C" else v) for k, v in arrays.items()}

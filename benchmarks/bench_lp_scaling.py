@@ -9,10 +9,13 @@ makes unnecessary).
 
 import pytest
 
+from repro.api import Session
 from repro.core.bounds import subset_scan, tile_exponent
 from repro.core.duality import theorem3_certificate
 from repro.core.loopnest import ArrayRef, LoopNest
-from repro.core.tiling import solve_tiling
+
+#: Solver-scaling bench: the exact escape keeps the simplex in the loop.
+SESSION = Session()
 
 
 def _chain_nest(d: int) -> LoopNest:
@@ -49,7 +52,7 @@ def test_e13_pipeline_vs_depth(benchmark, d, table):
     nest = _chain_nest(d)
 
     def pipeline():
-        sol = solve_tiling(nest, M)
+        sol = SESSION.tiling(nest, M, exact=True)
         cert = theorem3_certificate(nest, M)
         return sol, cert
 
@@ -64,7 +67,7 @@ def test_e13_pipeline_vs_arrays(benchmark, n, table):
     nest = _star_nest(n)
 
     def pipeline():
-        sol = solve_tiling(nest, M)
+        sol = SESSION.tiling(nest, M, exact=True)
         cert = theorem3_certificate(nest, M)
         return sol, cert
 

@@ -2,13 +2,16 @@
 
 import pytest
 
+from repro.api import Session
 from repro.core.bounds import communication_lower_bound, tile_exponent
 from repro.core.closed_forms import nbody_comm_lower_bound, nbody_max_tile_size
-from repro.core.tiling import solve_tiling
 from repro.library.problems import nbody
 from repro.machine.model import MachineModel
 from repro.simulate.executor import best_order_traffic
 from repro.util.rationals import pow_fraction
+
+#: All tilings come through the service façade (shared plan cache).
+SESSION = Session()
 
 M = 2**10
 
@@ -45,7 +48,7 @@ def test_e8_traffic_sweep(benchmark, table):
         rows = []
         for dims in SWEEP:
             nest = nbody(*dims)
-            sol = solve_tiling(nest, M, budget="aggregate")
+            sol = SESSION.tiling(nest, M, "aggregate")
             lb = communication_lower_bound(nest, M)
             rep = best_order_traffic(nest, sol.tile, machine=machine)
             rows.append((dims, lb, rep))

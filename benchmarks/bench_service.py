@@ -1,0 +1,156 @@
+"""E18: the service façade — in-process vs HTTP request throughput.
+
+Measures end-to-end requests/second for the same warm analyze workload
+through the two service surfaces:
+
+* ``Session.batch()`` — the in-process façade (plan-cache lookup plus
+  versioned Result envelope per query);
+* ``repro-tile serve`` — the stdlib HTTP endpoint, driven in-process
+  over a loopback socket (``/v1/analyze`` per-request and ``/v1/batch``
+  amortised).
+
+Both answer from the same warm plan cache, so the gap isolates the
+transport: HTTP framing, JSON body parse, threading.  Results land in
+``benchmarks/results/BENCH_service.json`` so later scaling PRs (async
+workers, sharding) have a baseline to beat.
+"""
+
+import json
+import random
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.api import AnalyzeRequest, Session
+from repro.library.problems import fully_connected, matmul, nbody, syrk
+from repro.serve import make_server
+
+RESULTS = Path(__file__).parent / "results"
+
+_SIZES = [16, 64, 256, 1024, 3000]
+_CACHES = [2**12, 2**14, 2**16]
+
+
+def _workload(count: int) -> list[AnalyzeRequest]:
+    """Structure-shared analyze queries (the steady-state service mix)."""
+    rng = random.Random("bench-service")
+    makers = [
+        lambda s: matmul(s(), s(), s()),
+        lambda s: syrk(s(), s()),
+        lambda s: fully_connected(s(), s(), s()),
+        lambda s: nbody(s(), s()),
+    ]
+    out = []
+    for idx in range(count):
+        nest = makers[idx % len(makers)](lambda: rng.choice(_SIZES))
+        out.append(AnalyzeRequest(nest=nest, cache_words=rng.choice(_CACHES)))
+    return out
+
+
+def _post(url: str, blob: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(blob).encode(),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as resp:
+        return json.load(resp)
+
+
+def test_e18_service_throughput_json(table, smoke):
+    n_requests = 16 if smoke else 400
+    requests = _workload(n_requests)
+    wire = [r.to_json() for r in requests]
+
+    session = Session(workers=0)
+    session.batch(requests)  # warm every structure once
+
+    # -- in-process façade ---------------------------------------------------
+    t0 = time.perf_counter()
+    results = session.batch(requests)
+    t_session = time.perf_counter() - t0
+    assert all(r.schema_version == 1 for r in results)
+
+    # -- HTTP, same warm session behind the handler --------------------------
+    server = make_server(port=0, session=session)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        t0 = time.perf_counter()
+        for blob in wire:
+            body = _post(base + "/v1/analyze", blob)
+            assert body["schema_version"] == 1
+        t_http = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        body = _post(base + "/v1/batch", {"requests": wire})
+        t_http_batch = time.perf_counter() - t0
+        assert body["count"] == n_requests
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    rps_session = n_requests / t_session
+    rps_http = n_requests / t_http
+    rps_http_batch = n_requests / t_http_batch
+
+    t = table("e18_service", ["surface", "req/s", "ms/request"])
+    t.add("Session.batch (in-process)", f"{rps_session:,.0f}",
+          f"{t_session * 1000 / n_requests:.3f}")
+    t.add("HTTP /v1/analyze (per-request)", f"{rps_http:,.0f}",
+          f"{t_http * 1000 / n_requests:.3f}")
+    t.add("HTTP /v1/batch (amortised)", f"{rps_http_batch:,.0f}",
+          f"{t_http_batch * 1000 / n_requests:.3f}")
+
+    # Transport overhead must not change answers: spot-check parity.
+    assert body["results"][0]["payload"] == results[0].payload
+
+    if not smoke:
+        payload = {
+            "experiment": "service_throughput",
+            "requests": n_requests,
+            "session_batch": {
+                "seconds": round(t_session, 4),
+                "requests_per_second": round(rps_session, 1),
+            },
+            "http_analyze": {
+                "seconds": round(t_http, 4),
+                "requests_per_second": round(rps_http, 1),
+            },
+            "http_batch": {
+                "seconds": round(t_http_batch, 4),
+                "requests_per_second": round(rps_http_batch, 1),
+            },
+            "http_overhead_ms_per_request": round(
+                (t_http - t_session) * 1000 / n_requests, 4
+            ),
+            "planner_stats": session.stats.as_dict(),
+        }
+        RESULTS.mkdir(exist_ok=True)
+        (RESULTS / "BENCH_service.json").write_text(json.dumps(payload, indent=2) + "\n")
+        # Sanity floors: a warm in-process façade is kHz-class, and the
+        # amortised HTTP batch path beats per-request HTTP.
+        assert rps_session >= 500, payload
+        assert t_http_batch <= t_http, payload
+
+
+def test_e18_http_parity_with_session(smoke):
+    """The HTTP surface returns byte-identical payloads to the façade."""
+    requests = _workload(4 if smoke else 12)
+    session = Session(workers=0)
+    direct = session.batch(requests)
+    server = make_server(port=0, session=session)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        for request, expected in zip(requests, direct):
+            body = _post(base + "/v1/analyze", request.to_json())
+            assert body["payload"] == expected.payload
+            assert body["meta"]["cache_hit"] is True
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)

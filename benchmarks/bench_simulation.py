@@ -9,8 +9,8 @@ baseline's ratio grows with problem/cache scale.
 
 import pytest
 
+from repro.api import Session
 from repro.core.bounds import communication_lower_bound
-from repro.core.tiling import solve_tiling
 from repro.library.problems import (
     batched_matmul,
     fully_connected,
@@ -24,6 +24,9 @@ from repro.library.problems import (
 )
 from repro.machine.model import MachineModel
 from repro.simulate.executor import best_order_traffic, simulate_untiled_traffic
+
+#: Tilings served by the façade; one plan cache for the module.
+SESSION = Session()
 
 M = 2**12
 
@@ -47,7 +50,7 @@ def test_e11_attainability(benchmark, table, name):
     machine = MachineModel(cache_words=M)
 
     def pipeline():
-        sol = solve_tiling(nest, M, budget="aggregate")
+        sol = SESSION.tiling(nest, M, "aggregate")
         lb = communication_lower_bound(nest, M)
         tiled = best_order_traffic(nest, sol.tile, machine=machine)
         naive = simulate_untiled_traffic(nest, machine=machine)
@@ -81,7 +84,7 @@ def test_e11_gap_grows_with_cache(benchmark, table):
         for logM in (8, 10, 12, 14, 16):
             cache = 2**logM
             machine = MachineModel(cache_words=cache)
-            sol = solve_tiling(nest, cache, budget="aggregate")
+            sol = SESSION.tiling(nest, cache, "aggregate")
             lb = communication_lower_bound(nest, cache)
             tiled = best_order_traffic(nest, sol.tile, machine=machine)
             naive = simulate_untiled_traffic(nest, machine=machine)

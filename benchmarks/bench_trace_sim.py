@@ -20,14 +20,17 @@ from pathlib import Path
 
 import pytest
 
+from repro.api import Session
 from repro.core.bounds import communication_lower_bound
-from repro.core.tiling import solve_tiling
 from repro.library.problems import matmul, matvec, nbody
 from repro.machine.model import MachineModel
 from repro.machine.native import native_available
 from repro.simulate.executor import simulate_tiled_traffic
 from repro.simulate.multilevel import nest_miss_curve
 from repro.simulate.trace_sim import run_trace_simulation
+
+#: Tilings served by the façade; one plan cache for the module.
+SESSION = Session()
 
 CASES = {
     "matmul": (matmul(24, 24, 24), 192),
@@ -40,7 +43,7 @@ CASES = {
 def test_e15_lru_vs_analytic(benchmark, table, name):
     nest, M = CASES[name]
     machine = MachineModel(cache_words=M)
-    sol = solve_tiling(nest, M, budget="aggregate")
+    sol = SESSION.tiling(nest, M, "aggregate")
 
     def run():
         lru = run_trace_simulation(nest, machine, tile=sol.tile)
@@ -71,7 +74,7 @@ def test_e15_direct_mapped_conflicts(benchmark, table):
     """A direct-mapped cache inflates traffic above LRU (model gap demo)."""
     nest, M = CASES["matmul"]
     machine = MachineModel(cache_words=M)
-    sol = solve_tiling(nest, M, budget="aggregate")
+    sol = SESSION.tiling(nest, M, "aggregate")
 
     def run():
         dm = run_trace_simulation(nest, machine, tile=sol.tile, policy="direct")
@@ -99,7 +102,7 @@ def test_e15_batched_throughput_json(table, smoke):
     nest = matmul(24, 24, 24) if smoke else matmul(72, 72, 72)
     M = 512
     machine = MachineModel(cache_words=M)
-    sol = solve_tiling(nest, M, budget="aggregate")
+    sol = SESSION.tiling(nest, M, "aggregate")
 
     t0 = time.perf_counter()
     ref = run_trace_simulation(nest, machine, tile=sol.tile, engine="reference")
@@ -165,7 +168,7 @@ def test_e15_line_size_effect(benchmark, table):
     """Longer cache lines cut misses for unit-stride tilings (spatial reuse
     the word-level theory ignores but implementers care about)."""
     nest, M = CASES["matvec"]
-    sol = solve_tiling(nest, M, budget="aggregate")
+    sol = SESSION.tiling(nest, M, "aggregate")
 
     def run():
         rows = []

@@ -9,10 +9,11 @@ with vector widths or cache lines), and (d) the closed-form bound as a
 function of the loop bounds, for *all* shapes at once.
 
 This example runs that report over a mixed batch of kernels a compiler
-might meet — served through ``repro.plan_batch``, the same engine
-behind ``repro-tile --batch``: one canonical-structure solve per
-distinct projection pattern (gemm and skinny-gemm share one), every
-answer certified exactly by the planner's strong-duality guard.
+might meet — served through ``repro.api.Session.batch``, the same
+façade behind ``repro-tile --batch`` and the ``/v1/batch`` endpoint:
+one canonical-structure solve per distinct projection pattern (gemm
+and skinny-gemm share one), every answer certified exactly by the
+planner's strong-duality guard.
 
 Run:  python examples/compiler_blocking_report.py
 """
@@ -39,14 +40,15 @@ def main() -> None:
         repro.parse_nest(statement, bounds, name=name) for name, statement, bounds in BATCH
     ]
 
-    # The whole batch goes through the plan service: canonicalize, solve
-    # each distinct structure once (in parallel worker processes — which
-    # is why this lives under a __main__ guard: spawn-start platforms
-    # re-import this module in each worker), then substitute each
-    # kernel's bounds into the cached parametric answer — the rewired
-    # version of the old per-kernel analyze() loop.
-    planner = repro.Planner()
-    plans = repro.plan_batch([(nest, M) for nest in nests], planner=planner)
+    # The whole batch goes through the service façade: canonicalize,
+    # solve each distinct structure once (in parallel worker processes —
+    # which is why this lives under a __main__ guard: spawn-start
+    # platforms re-import this module in each worker), then substitute
+    # each kernel's bounds into the cached parametric answer — the
+    # rewired version of the old per-kernel analyze() loop.
+    session = repro.api.Session()
+    results = session.batch([(nest, M) for nest in nests])
+    plans = [result.detail for result in results]
 
     for (name, statement, bounds), nest, plan in zip(BATCH, nests, plans):
         family = repro.optimal_tile_family(nest, M)
@@ -77,9 +79,9 @@ def main() -> None:
         print(f"closed form: {pvf.render()}")
 
     print("=" * 72)
-    stats = planner.stats
+    stats = session.stats
     print(f"plan cache : {stats.queries} queries served from "
-          f"{len(planner.cached_keys())} canonical structures "
+          f"{len(session.planner.cached_keys())} canonical structures "
           f"({stats.structure_hits} hits); every blocking certified by an exact")
     print("primal/dual pair (Theorem 3); no per-kernel hand analysis was involved.")
 

@@ -5,9 +5,9 @@ The paper's machine-learning motivation: CNN pointwise (1x1) layers
 have small channel counts, so classical communication bounds are loose
 and classical tilings are infeasible.  This example walks the pointwise
 layers of a MobileNet-v1-shaped network, derives the communication-
-optimal tiling for each through the plan service (all eight layers
-share one canonical structure, so the whole network costs a single
-multiparametric solve), verifies each plan against the §6.5
+optimal tiling for each through the ``repro.api.Session`` façade (all
+eight layers share one canonical structure, so the whole network costs
+a single multiparametric solve), verifies each plan against the §6.5
 contraction closed form, and compares simulated traffic against the
 clamped classical tiling a non-bound-aware compiler would emit.
 
@@ -37,18 +37,18 @@ LAYERS = [
 
 machine = repro.MachineModel(cache_words=M)
 
-# One plan_batch call replaces the per-layer solver loop: the planner
-# canonicalizes each layer, sees one shared structure, runs the
-# multiparametric LP once, and serves all eight layers from the cache.
-planner = repro.Planner()
-plans = repro.plan_batch(
-    [(pointwise_conv(BATCH, cin, cout, hw, hw), M, "aggregate") for cin, cout, hw in LAYERS],
-    planner=planner,
+# One Session.batch call replaces the per-layer solver loop: the
+# session's planner canonicalizes each layer, sees one shared structure,
+# runs the multiparametric LP once, and serves all layers from the cache.
+session = repro.api.Session()
+results = session.batch(
+    [(pointwise_conv(BATCH, cin, cout, hw, hw), M, "aggregate") for cin, cout, hw in LAYERS]
 )
-assert planner.stats.structure_solves == 1  # eight layers, one LP structure
+plans = [result.detail for result in results]
+assert session.stats.structure_solves == 1  # eight layers, one LP structure
 
 print(f"MobileNet pointwise layers, batch={BATCH}, M={M} words")
-print(f"plan cache: {planner.stats.structure_solves} structure solve for {len(LAYERS)} layers "
+print(f"plan cache: {session.stats.structure_solves} structure solve for {len(LAYERS)} layers "
       f"(key {plans[0].canonical_key})")
 header = (f"{'layer':>14} {'k_hat':>8} {'tile (b,c,k,w,h)':>22} "
           f"{'LP words':>12} {'classic words':>14} {'saving':>7}")

@@ -14,17 +14,15 @@ a large matmul, comparing:
 Run:  python examples/distributed_matmul.py
 """
 
+import repro
+from repro.api import DistributedRequest
 from repro.library.problems import matmul
-from repro.parallel import (
-    lp_grid,
-    one_dimensional_split,
-    optimal_grid,
-    simulate_grid,
-)
+from repro.parallel import lp_grid, one_dimensional_split, optimal_grid
 
 L = 2**11
 M_LOCAL = 2**13
 nest = matmul(L, L, L)
+session = repro.api.Session()
 
 print(f"matmul {L}x{L}x{L}, local memory {M_LOCAL} words/processor\n")
 header = (
@@ -35,7 +33,11 @@ print(header)
 print("-" * len(header))
 
 for P in (1, 2, 4, 8, 16, 32, 64, 128, 256):
-    rep = simulate_grid(nest, P, M_LOCAL)
+    # The optimal-grid query goes through the service façade — the same
+    # typed request /v1/distributed serves over HTTP.
+    rep = session.distributed(
+        DistributedRequest(nest=nest, processors=P, memory_words=M_LOCAL)
+    ).detail
     bad = one_dimensional_split(nest, P, M_LOCAL)
     mu, _ = lp_grid(nest, P)
     mu_txt = ",".join(str(m) for m in mu)

@@ -22,6 +22,7 @@ from repro.kernels.tiled import blocked_nbody, naive_nbody
 from repro.library.problems import nbody
 from repro.util.rationals import pow_fraction
 
+session = repro.api.Session()
 M = 2**10
 
 print("=== 1. Tile-size regimes:  min(M^2, L1*M, L2*M, L1*L2) ===")
@@ -49,7 +50,7 @@ assert lb.value == lb.footprint_words < M
 print("\n=== 3. Blocked numpy n-body with LP block sizes ===")
 L1 = L2 = 2**13
 nest = nbody(L1, L2)
-sol = repro.solve_tiling(nest, M, budget="aggregate")
+sol = session.tiling(nest, M, budget="aggregate")
 b1, b2 = sol.tile.blocks
 print(f"  problem {L1} x {L2}, cache {M} words -> blocks ({b1}, {b2})")
 rng = np.random.default_rng(0)
@@ -65,7 +66,7 @@ print("\n=== 4. Word-accurate LRU validation (small instance) ===")
 nest_small = nbody(96, 96)
 M_small = 64
 machine = repro.MachineModel(cache_words=M_small)
-sol_small = repro.solve_tiling(nest_small, M_small, budget="aggregate")
+sol_small = session.tiling(nest_small, M_small, budget="aggregate")
 tiled = repro.run_trace_simulation(nest_small, machine, tile=sol_small.tile)
 untiled = repro.run_trace_simulation(nest_small, machine, tile=None)
 bound = repro.communication_lower_bound(nest_small, M_small)

@@ -1,6 +1,9 @@
 #!/usr/bin/env python
 """Quickstart: bound + optimal tile for a loop nest, in ten lines.
 
+Everything goes through one ``repro.api.Session`` — the same typed
+façade behind the CLI and the ``repro-tile serve`` JSON endpoint.
+
 Run:  python examples/quickstart.py
 """
 
@@ -17,8 +20,17 @@ nest = repro.parse_nest(
 )
 M = 2**16
 
-analysis = repro.analyze(nest, cache_words=M)
+session = repro.api.Session()
+analysis = session.analysis(nest, cache_words=M)
 print(analysis.summary())
+print()
+
+# The same query as a versioned service result (what /v1/analyze returns):
+result = session.analyze(nest, cache_words=M)
+print(f"service envelope          : kind={result.kind} schema_version="
+      f"{result.schema_version} k_hat={result.fraction('k_hat')} "
+      f"cache_hit={result.cache_hit}")
+assert repro.api.Result.from_json(result.to_json()) == result  # lossless wire
 print()
 
 # The classical sqrt(M)-cube tiling would need k-blocks of 256 > 16:
@@ -42,7 +54,7 @@ print(f"closed form               : {pvf.render()}")
 
 # Simulate the tiling in the two-level machine model:
 machine = repro.MachineModel(cache_words=M)
-practical = repro.solve_tiling(nest, M, budget="aggregate")  # executable budget
+practical = session.tiling(nest, M, budget="aggregate")  # executable budget
 traffic = repro.best_order_traffic(nest, practical.tile, machine=machine)
 naive = repro.simulate_untiled_traffic(nest, machine=machine)
 print(f"simulated tiled traffic   : {traffic.total_words:,} words "

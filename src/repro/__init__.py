@@ -7,20 +7,31 @@ arbitrary-bound Theorem-2 bounds (§4), the matching tiling construction
 and Theorem-3 tightness certificates (§5), the worked examples (§6) as
 a problem catalog, the multiparametric piecewise-linear value function
 (§7), a cache/traffic simulation substrate validating the bounds, a
-numpy execution backend, and the multiprocessor extension (§7).
+numpy execution backend, and the multiprocessor extension (§7) —
+behind the unified service façade of :mod:`repro.api`.
 
 Quickstart
 ----------
 >>> import repro
+>>> session = repro.api.Session()
 >>> nest = repro.parse_nest("C[i,k] += A[i,j] * B[j,k]",
 ...                         bounds={"i": 1024, "j": 1024, "k": 16})
->>> analysis = repro.analyze(nest, cache_words=2**16)
->>> analysis.tiling.tile.blocks          # doctest: +SKIP
-(4096, 16, 16)
->>> analysis.lower_bound.k_hat
+>>> result = session.analyze(nest, cache_words=2**16)
+>>> result.kind, result.schema_version
+('analyze', 1)
+>>> result.fraction("k_hat")
 Fraction(5, 4)
+>>> session.analyze(nest, cache_words=2**14).cache_hit   # same structure: warm
+True
+>>> repro.api.Result.from_json(result.to_json()) == result   # lossless envelope
+True
+
+The flat helpers remain for one-off use — ``repro.analyze`` routes
+through a process-wide default :class:`repro.api.Session`, so repeated
+analyses of structurally identical nests hit the plan cache.
 """
 
+import warnings
 from dataclasses import dataclass
 
 from .core import (
@@ -60,7 +71,9 @@ from .core import (
 from .library import catalog
 from .machine import MachineModel, MissCurve, TrafficReport, miss_curve
 from .parallel import distributed_lower_bound, optimal_grid, simulate_grid
-from .plan import Planner, PlanRequest, TilePlan, plan_batch, sweep_requests
+from .plan import Planner, PlanRequest, TilePlan
+from .plan import plan_batch as _plan_batch
+from .plan import sweep_requests as _sweep_requests
 from .simulate import (
     best_order_traffic,
     generate_trace_batched,
@@ -70,7 +83,7 @@ from .simulate import (
     simulate_untiled_traffic,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 @dataclass(frozen=True)
@@ -93,19 +106,64 @@ class Analysis:
         return "\n".join(lines)
 
 
+# The façade imports Analysis, so it must load after the definition.
+from . import api  # noqa: E402
+from .api import (  # noqa: E402
+    AnalyzeRequest,
+    DistributedRequest,
+    Result,
+    Session,
+    SimulateRequest,
+    SweepRequest,
+    default_session,
+)
+
+
 def analyze(nest: LoopNest, cache_words: int, budget: str = "per-array") -> Analysis:
-    """Run the full §4/§5 pipeline on a nest: bound, tiling, certificate."""
-    return Analysis(
-        nest=nest,
-        cache_words=cache_words,
-        lower_bound=communication_lower_bound(nest, cache_words),
-        tiling=solve_tiling(nest, cache_words, budget=budget),
-        certificate=theorem3_certificate(nest, cache_words),
+    """Run the full §4/§5 pipeline on a nest: bound, tiling, certificate.
+
+    Routed through the process-wide default :class:`repro.api.Session`:
+    the first analysis of a projection pattern pays one multiparametric
+    solve, every later analysis of the same structure — any bounds, any
+    cache size — is answered from the plan cache, exactly.
+    """
+    return default_session().analysis(nest, cache_words, budget=budget)
+
+
+def plan_batch(requests, planner=None, max_workers=None, include_bound=True):
+    """Deprecated shim — use :meth:`repro.api.Session.batch` instead."""
+    warnings.warn(
+        "repro.plan_batch is deprecated; use repro.api.Session.batch "
+        "(or repro.plan.plan_batch for the raw engine)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _plan_batch(
+        requests, planner=planner, max_workers=max_workers, include_bound=include_bound
+    )
+
+
+def sweep_requests(builder, size_axes, cache_sizes, budget="per-array"):
+    """Deprecated shim — use :class:`repro.api.SweepRequest` instead."""
+    warnings.warn(
+        "repro.sweep_requests is deprecated; use repro.api.SweepRequest "
+        "(or repro.plan.sweep_requests for the raw engine)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _sweep_requests(builder, size_axes, cache_sizes, budget=budget)
 
 
 __all__ = [
     "__version__",
+    "api",
+    "Session",
+    "Result",
+    "AnalyzeRequest",
+    "SimulateRequest",
+    "SweepRequest",
+    "DistributedRequest",
+    "default_session",
     "Analysis",
     "analyze",
     "LoopNest",

@@ -1,0 +1,335 @@
+"""Typed request schema of the façade (schema v1).
+
+Four request dataclasses cover the service surface:
+
+* :class:`AnalyzeRequest` — bound + optimal tile (+ certificate) for
+  one (nest, cache) query; the unit ``Session.batch`` fans over.
+* :class:`SimulateRequest` — trace-driven cache simulation of a tiled
+  (or untiled) execution.
+* :class:`SweepRequest` — a cartesian grid of analyze queries
+  (sizes x cache sizes), expanded server-side.
+* :class:`DistributedRequest` — processor-grid traffic vs the
+  memory-dependent distributed lower bound.
+
+Each is frozen, validates itself (raising
+:class:`~repro.api.wire.RequestError` with a JSON-safe message), and
+round-trips losslessly through ``to_json``/``from_json``.  ``from_json``
+additionally accepts the nest shorthands of the batch CLI
+(``problem``/``sizes``, ``statement``/``bounds``) so HTTP callers never
+have to spell out supports by hand.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.loopnest import LoopNest
+from ..core.tiling import BUDGETS
+from ..library.problems import CATALOG_BUILDERS
+from ..simulate.trace import MAX_TRACE_ACCESSES, trace_length
+from .wire import RequestError, nest_from_json
+
+__all__ = [
+    "AnalyzeRequest",
+    "SimulateRequest",
+    "SweepRequest",
+    "DistributedRequest",
+]
+
+_POLICIES = ("lru", "belady", "direct")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RequestError(message)
+
+
+def _build_request(where: str, build):
+    """Run a request constructor, mapping raw failures to RequestError."""
+    try:
+        return build()
+    except KeyError as exc:
+        raise RequestError(f"{where}: missing {exc.args[0]!r}") from exc
+    except RequestError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"{where}: {exc}") from exc
+
+
+def _check_budget(budget: str) -> None:
+    _require(budget in BUDGETS, f"unknown budget {budget!r}; expected one of {BUDGETS}")
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """One §4/§5 query: lower bound + certified optimal tile.
+
+    ``certificate=True`` additionally attaches the Theorem-3
+    primal/dual certificate (served from the plan cache — no extra LP
+    solve on a warm structure).  Like the lower bound, the certificate
+    always concerns the paper-model per-array LP at the full cache
+    size, regardless of ``budget`` (its payload says so explicitly).
+    """
+
+    nest: LoopNest
+    cache_words: int
+    budget: str = "per-array"
+    certificate: bool = False
+
+    def validate(self) -> "AnalyzeRequest":
+        _require(self.cache_words >= 2, f"cache_words must be >= 2, got {self.cache_words}")
+        _check_budget(self.budget)
+        if self.budget == "aggregate":
+            _require(
+                self.cache_words >= self.nest.num_arrays,
+                f"aggregate budget needs cache_words >= {self.nest.num_arrays} "
+                f"(one word per array), got {self.cache_words}",
+            )
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "nest": self.nest.to_json(),
+            "cache_words": self.cache_words,
+            "budget": self.budget,
+            "certificate": self.certificate,
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping, where: str = "analyze request") -> "AnalyzeRequest":
+        def build():
+            return cls(
+                nest=nest_from_json(blob, where),
+                cache_words=int(blob["cache_words"]),
+                budget=str(blob.get("budget", "per-array")),
+                certificate=bool(blob.get("certificate", False)),
+            ).validate()
+
+        return _build_request(where, build)
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """Word-accurate cache simulation of a (tiled) execution.
+
+    ``tile=None`` plans the communication-optimal tile first (through
+    the session's plan cache) and simulates that; an explicit block
+    tuple simulates exactly those blocks.  ``line_words=None`` defers to
+    the session's ``line_words`` default (1 = paper model).
+    ``policy="lru"`` with the batched engine is the fast path;
+    ``belady``/``direct`` keep their reference cores.
+    """
+
+    nest: LoopNest
+    cache_words: int
+    tile: tuple[int, ...] | None = None
+    line_words: int | None = None
+    policy: str = "lru"
+    budget: str = "aggregate"
+
+    def validate(self) -> "SimulateRequest":
+        _require(self.cache_words >= 2, f"cache_words must be >= 2, got {self.cache_words}")
+        _check_budget(self.budget)
+        _require(
+            self.policy in _POLICIES, f"unknown policy {self.policy!r}; expected {_POLICIES}"
+        )
+        if self.line_words is not None:
+            _require(
+                1 <= self.line_words <= self.cache_words,
+                f"line_words must be in [1, cache_words], got {self.line_words}",
+            )
+        if self.tile is not None:
+            _require(
+                len(self.tile) == self.nest.depth,
+                f"tile must have {self.nest.depth} blocks, got {len(self.tile)}",
+            )
+            for b, bound in zip(self.tile, self.nest.bounds):
+                _require(1 <= b <= bound, f"tile blocks must satisfy 1 <= b <= L, got {self.tile}")
+        accesses = trace_length(self.nest)
+        _require(
+            accesses <= MAX_TRACE_ACCESSES,
+            f"trace of {accesses} accesses exceeds the {MAX_TRACE_ACCESSES} guard; "
+            "simulate a smaller instance",
+        )
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "nest": self.nest.to_json(),
+            "cache_words": self.cache_words,
+            "tile": list(self.tile) if self.tile is not None else None,
+            "line_words": self.line_words,
+            "policy": self.policy,
+            "budget": self.budget,
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping, where: str = "simulate request") -> "SimulateRequest":
+        def build():
+            tile = blob.get("tile")
+            line_words = blob.get("line_words")
+            return cls(
+                nest=nest_from_json(blob, where),
+                cache_words=int(blob["cache_words"]),
+                tile=tuple(int(b) for b in tile) if tile is not None else None,
+                line_words=int(line_words) if line_words is not None else None,
+                policy=str(blob.get("policy", "lru")),
+                budget=str(blob.get("budget", "aggregate")),
+            ).validate()
+
+        return _build_request(where, build)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A grid of analyze queries: catalog sizes (or statement bounds)
+    crossed with cache sizes, row-major with cache size innermost —
+    the service twin of ``repro-tile --sweep``.
+
+    Exactly one of ``problem``/``statement`` must be given.  For a
+    catalog ``problem``, ``size_axes`` lists candidate values per
+    constructor argument; for a ``statement``, ``bound_axes`` maps loop
+    names to candidate bounds.
+    """
+
+    cache_sizes: tuple[int, ...]
+    problem: str | None = None
+    size_axes: tuple[tuple[int, ...], ...] | None = None
+    statement: str | None = None
+    bound_axes: tuple[tuple[str, tuple[int, ...]], ...] | None = None
+    budget: str = "per-array"
+    certificate: bool = False
+
+    def validate(self) -> "SweepRequest":
+        _check_budget(self.budget)
+        _require(bool(self.cache_sizes), "sweep needs at least one cache size")
+        for m in self.cache_sizes:
+            _require(m >= 2, f"cache sizes must be >= 2, got {m}")
+        if (self.problem is None) == (self.statement is None):
+            raise RequestError("sweep needs exactly one of 'problem' or 'statement'")
+        if self.problem is not None:
+            _require(
+                self.problem in CATALOG_BUILDERS,
+                f"unknown problem {self.problem!r}; "
+                f"choices: {', '.join(sorted(CATALOG_BUILDERS))}",
+            )
+            _require(bool(self.size_axes), "a problem sweep needs 'size_axes'")
+        else:
+            _require(bool(self.bound_axes), "a statement sweep needs 'bound_axes'")
+        return self
+
+    def expand(self) -> list[AnalyzeRequest]:
+        """Materialise the grid as ordered :class:`AnalyzeRequest` items."""
+        self.validate()
+        nests: list[LoopNest] = []
+        if self.problem is not None:
+            builder, _ = CATALOG_BUILDERS[self.problem]
+            for sizes in itertools.product(*self.size_axes):
+                nests.append(builder(*sizes))
+        else:
+            names = [name for name, _ in self.bound_axes]
+            for combo in itertools.product(*(choices for _, choices in self.bound_axes)):
+                nests.append(
+                    nest_from_json(
+                        {"statement": self.statement, "bounds": dict(zip(names, combo))},
+                        "sweep statement",
+                    )
+                )
+        return [
+            AnalyzeRequest(
+                nest=nest, cache_words=int(m), budget=self.budget, certificate=self.certificate
+            ).validate()
+            for nest in nests
+            for m in self.cache_sizes
+        ]
+
+    def to_json(self) -> dict:
+        out: dict = {
+            "cache_sizes": list(self.cache_sizes),
+            "budget": self.budget,
+            "certificate": self.certificate,
+        }
+        if self.problem is not None:
+            out["problem"] = self.problem
+            out["size_axes"] = [list(axis) for axis in self.size_axes]
+        if self.statement is not None:
+            out["statement"] = self.statement
+            out["bound_axes"] = {name: list(choices) for name, choices in self.bound_axes}
+        return out
+
+    @classmethod
+    def from_json(cls, blob: Mapping, where: str = "sweep request") -> "SweepRequest":
+        def build():
+            size_axes = blob.get("size_axes")
+            bound_axes = blob.get("bound_axes")
+            return cls(
+                cache_sizes=tuple(int(m) for m in blob["cache_sizes"]),
+                problem=str(blob["problem"]) if "problem" in blob else None,
+                size_axes=(
+                    tuple(tuple(int(v) for v in axis) for axis in size_axes)
+                    if size_axes is not None
+                    else None
+                ),
+                statement=str(blob["statement"]) if "statement" in blob else None,
+                bound_axes=(
+                    tuple(
+                        (str(name), tuple(int(v) for v in choices))
+                        for name, choices in bound_axes.items()
+                    )
+                    if isinstance(bound_axes, Mapping)
+                    else None
+                ),
+                budget=str(blob.get("budget", "per-array")),
+                certificate=bool(blob.get("certificate", False)),
+            ).validate()
+
+        return _build_request(where, build)
+
+
+@dataclass(frozen=True)
+class DistributedRequest:
+    """§7 multiprocessor query: grid traffic vs the distributed bound.
+
+    ``grid=None`` searches for the optimal processor grid over the
+    factorizations of ``processors``.
+    """
+
+    nest: LoopNest
+    processors: int
+    memory_words: int
+    grid: tuple[int, ...] | None = None
+
+    def validate(self) -> "DistributedRequest":
+        _require(self.processors >= 1, f"processors must be >= 1, got {self.processors}")
+        _require(self.memory_words >= 2, f"memory_words must be >= 2, got {self.memory_words}")
+        if self.grid is not None:
+            _require(
+                len(self.grid) == self.nest.depth,
+                f"grid must have {self.nest.depth} factors, got {len(self.grid)}",
+            )
+            for g in self.grid:
+                _require(g >= 1, f"grid factors must be >= 1, got {self.grid}")
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "nest": self.nest.to_json(),
+            "processors": self.processors,
+            "memory_words": self.memory_words,
+            "grid": list(self.grid) if self.grid is not None else None,
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping, where: str = "distributed request") -> "DistributedRequest":
+        def build():
+            grid = blob.get("grid")
+            return cls(
+                nest=nest_from_json(blob, where),
+                processors=int(blob["processors"]),
+                memory_words=int(blob["memory_words"]),
+                grid=tuple(int(g) for g in grid) if grid is not None else None,
+            ).validate()
+
+        return _build_request(where, build)

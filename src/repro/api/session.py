@@ -1,0 +1,415 @@
+"""The session-scoped service façade: one object, every entry point.
+
+A :class:`Session` owns the machinery a stream of queries shares —
+
+* a :class:`~repro.plan.Planner` (the canonical-structure plan cache,
+  optionally JSON-persistent),
+* a trace-engine choice and machine-model defaults for simulation,
+* a worker-count default for parallel cold-structure solves —
+
+and exposes the typed entry points ``analyze``/``batch``/``sweep``/
+``simulate``/``distributed``/``health``, each returning a versioned
+:class:`~repro.api.Result` envelope with timing and cache-hit metadata.
+The CLI, the HTTP service (:mod:`repro.serve`), the benchmarks and the
+examples all go through this class; the flat top-level helpers
+(``repro.analyze`` and friends) delegate to a process-wide
+:func:`default_session`, which is what makes repeated one-call analyses
+of structurally identical nests hit the plan cache instead of
+re-running the rational simplex.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+from typing import Iterable
+
+from ..core.bounds import CommunicationLowerBound, communication_lower_bound
+from ..core.duality import Theorem3Certificate, theorem3_certificate
+from ..core.loopnest import LoopNest
+from ..core.tiling import TileShape, TilingSolution, solve_tiling
+from ..machine.model import MachineModel
+from ..parallel.distributed import DistributedReport, simulate_grid
+from ..plan.batch import plan_batch
+from ..plan.planner import Planner, PlanRequest, TilePlan
+from ..simulate.trace_sim import run_trace_simulation
+from .requests import AnalyzeRequest, DistributedRequest, SimulateRequest, SweepRequest
+from .result import Result
+from .wire import RequestError
+
+__all__ = ["Session", "default_session", "reset_default_session"]
+
+
+def _ms(seconds: float) -> float:
+    return round(seconds * 1000.0, 3)
+
+
+class Session:
+    """A service scope: plan cache + engine defaults + typed entry points.
+
+    Parameters
+    ----------
+    planner:
+        An existing :class:`~repro.plan.Planner` to share; a private one
+        is created from ``plan_capacity``/``plan_cache`` when omitted.
+    plan_capacity:
+        LRU capacity (canonical structures) of the private planner.
+    plan_cache:
+        Optional JSON path for plan persistence (loaded eagerly, written
+        by :meth:`save_plans`).
+    line_words:
+        Cache-line granularity for :meth:`simulate` (1 = paper model).
+    engine:
+        Trace engine for :meth:`simulate`: ``"batched"`` or
+        ``"reference"``.
+    workers:
+        Default worker-process count for cold structure solves in
+        :meth:`batch` (None = executor default; 0 = serial).
+    """
+
+    def __init__(
+        self,
+        planner: Planner | None = None,
+        *,
+        plan_capacity: int = 128,
+        plan_cache=None,
+        line_words: int = 1,
+        engine: str = "batched",
+        workers: int | None = None,
+    ):
+        if engine not in ("batched", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if line_words < 1:
+            raise ValueError("line_words must be >= 1")
+        self.planner = planner if planner is not None else Planner(
+            capacity=plan_capacity, cache_path=plan_cache
+        )
+        self.line_words = line_words
+        self.engine = engine
+        self.workers = workers
+        self._started = time.time()
+
+    # -- request coercion ---------------------------------------------------
+
+    def _as_analyze(
+        self,
+        request,
+        cache_words: int | None = None,
+        budget: str = "per-array",
+        certificate: bool = False,
+    ) -> AnalyzeRequest:
+        if isinstance(request, (AnalyzeRequest, PlanRequest)):
+            # A request object is authoritative; mixing in overrides
+            # would silently answer for the wrong instance.
+            if cache_words is not None or budget != "per-array":
+                raise RequestError(
+                    "pass cache_words/budget either inside the request object "
+                    "or alongside a bare nest, not both"
+                )
+        if isinstance(request, AnalyzeRequest):
+            if certificate and not request.certificate:
+                request = replace(request, certificate=True)
+            return request.validate()
+        if isinstance(request, PlanRequest):
+            return AnalyzeRequest(
+                nest=request.nest,
+                cache_words=request.cache_words,
+                budget=request.budget,
+                certificate=certificate,
+            ).validate()
+        if isinstance(request, LoopNest):
+            if cache_words is None:
+                raise RequestError("analyze(nest, ...) needs cache_words")
+            return AnalyzeRequest(
+                nest=request,
+                cache_words=int(cache_words),
+                budget=budget,
+                certificate=certificate,
+            ).validate()
+        if isinstance(request, tuple) and 2 <= len(request) <= 3:
+            nest, m, *rest = request
+            return AnalyzeRequest(
+                nest=nest,
+                cache_words=int(m),
+                budget=rest[0] if rest else budget,
+                certificate=certificate,
+            ).validate()
+        raise RequestError(
+            f"cannot interpret {type(request).__name__} as an analyze request"
+        )
+
+    # -- payload builders ---------------------------------------------------
+
+    @staticmethod
+    def _certificate_payload(cert: Theorem3Certificate) -> dict:
+        # Like the lower bound (and the pre-façade repro.analyze), the
+        # certificate always certifies the paper-model per-array LP at
+        # the full cache size; the self-describing fields below keep
+        # that unambiguous next to an aggregate-budget k_hat.
+        return {
+            "tight": cert.tight,
+            "primal": cert.primal_value,
+            "dual": cert.dual_value,
+            "zeta": list(cert.dual.zeta),
+            "s": list(cert.dual.s),
+            "complementary_slackness": cert.complementary_slackness,
+            "cache_words": cert.cache_words,
+            "budget": "per-array",
+        }
+
+    def _analyze_result(
+        self,
+        request: AnalyzeRequest,
+        plan: TilePlan,
+        t0: float | None = None,
+        elapsed_ms: float | None = None,
+    ) -> Result:
+        payload = plan.to_json()
+        payload.pop("cache_hit", None)
+        payload["certificate"] = (
+            self._certificate_payload(
+                self.planner.certificate(request.nest, request.cache_words)
+            )
+            if request.certificate
+            else None
+        )
+        if elapsed_ms is None:
+            elapsed_ms = _ms(time.perf_counter() - t0)
+        return Result(
+            kind="analyze",
+            payload=payload,
+            meta={"elapsed_ms": elapsed_ms, "cache_hit": plan.cache_hit},
+            detail=plan,
+        )
+
+    # -- service entry points -----------------------------------------------
+
+    def analyze(
+        self,
+        request,
+        cache_words: int | None = None,
+        *,
+        budget: str = "per-array",
+        certificate: bool = False,
+    ) -> Result:
+        """One query through the plan cache; the ``/v1/analyze`` core.
+
+        Accepts an :class:`AnalyzeRequest`, a
+        :class:`~repro.plan.PlanRequest`, a bare nest plus
+        ``cache_words``, or a ``(nest, cache_words[, budget])`` tuple.
+        """
+        t0 = time.perf_counter()
+        request = self._as_analyze(request, cache_words, budget, certificate)
+        plan = self.planner.plan(request.nest, request.cache_words, request.budget)
+        return self._analyze_result(request, plan, t0)
+
+    def batch(
+        self,
+        requests: Iterable,
+        *,
+        workers: int | None = None,
+        budget: str = "per-array",
+    ) -> list[Result]:
+        """Serve many analyze queries in request order.
+
+        Distinct missing canonical structures are solved in parallel
+        worker processes first (``workers``, defaulting to the session
+        setting), then every request is answered from the warm cache.
+        Each result's ``meta.elapsed_ms`` is the *amortised* per-request
+        batch time (total batch wall clock / request count).
+        """
+        t0 = time.perf_counter()
+        reqs = [self._as_analyze(item, budget=budget) for item in requests]
+        plans = plan_batch(
+            [PlanRequest(r.nest, r.cache_words, r.budget) for r in reqs],
+            planner=self.planner,
+            max_workers=self.workers if workers is None else workers,
+        )
+        per_request_ms = _ms((time.perf_counter() - t0) / max(1, len(reqs)))
+        return [
+            self._analyze_result(req, plan, elapsed_ms=per_request_ms)
+            for req, plan in zip(reqs, plans)
+        ]
+
+    def sweep(self, request: SweepRequest, *, workers: int | None = None) -> list[Result]:
+        """Expand a :class:`SweepRequest` grid and serve it as a batch."""
+        return self.batch(request.expand(), workers=workers)
+
+    def simulate(self, request: SimulateRequest) -> Result:
+        """Trace-driven cache simulation; the ``/v1`` story's ground truth."""
+        t0 = time.perf_counter()
+        request = request.validate()
+        planned: TilePlan | None = None
+        if request.tile is not None:
+            tile = TileShape(nest=request.nest, blocks=request.tile)
+        else:
+            planned = self.planner.plan(
+                request.nest, request.cache_words, request.budget, include_bound=True
+            )
+            tile = planned.tile
+        line_words = request.line_words if request.line_words is not None else self.line_words
+        machine = MachineModel(cache_words=request.cache_words, line_words=line_words)
+        report = run_trace_simulation(
+            request.nest, machine, tile=tile, policy=request.policy, engine=self.engine
+        )
+        payload = {
+            "nest": request.nest.to_json(),
+            "cache_words": request.cache_words,
+            "line_words": line_words,
+            "policy": request.policy,
+            "engine": self.engine,
+            "tile": list(tile.blocks),
+            "tile_planned": request.tile is None,
+            "total_words": report.total_words,
+            "loads": report.loads,
+            "stores": report.stores,
+            "per_array": [
+                {"name": a.name, "loads": a.loads, "stores": a.stores}
+                for a in report.per_array
+            ],
+            "accesses": report.meta.get("accesses"),
+            "misses": report.meta.get("misses"),
+            "lower_bound_words": (
+                planned.lower_bound.value
+                if planned is not None and planned.lower_bound is not None
+                else None
+            ),
+        }
+        meta = {
+            "elapsed_ms": _ms(time.perf_counter() - t0),
+            "cache_hit": planned.cache_hit if planned is not None else None,
+        }
+        return Result(kind="simulate", payload=payload, meta=meta, detail=report)
+
+    def distributed(self, request: DistributedRequest) -> Result:
+        """Processor-grid traffic against the distributed lower bound."""
+        t0 = time.perf_counter()
+        request = request.validate()
+        report: DistributedReport = simulate_grid(
+            request.nest, request.processors, request.memory_words, grid=request.grid
+        )
+        payload = {
+            "nest": request.nest.to_json(),
+            "processors": report.P,
+            "memory_words": request.memory_words,
+            "grid": list(report.grid),
+            "grid_searched": request.grid is None,
+            "words_per_processor": report.words_per_processor,
+            "lower_bound_words": report.lower_bound_words,
+            "ratio": report.ratio,
+        }
+        meta = {"elapsed_ms": _ms(time.perf_counter() - t0)}
+        return Result(kind="distributed", payload=payload, meta=meta, detail=report)
+
+    def health(self) -> Result:
+        """Liveness + cache effectiveness snapshot (``/v1/health``)."""
+        from .. import __version__
+
+        stats = self.planner.stats.as_dict()
+        return Result(
+            kind="health",
+            payload={
+                "status": "ok",
+                "version": __version__,
+                "engine": self.engine,
+                "structures_cached": len(self.planner.cached_keys()),
+                "planner_stats": stats,
+                "uptime_s": round(time.time() - self._started, 3),
+            },
+        )
+
+    # -- legacy-shaped conveniences -----------------------------------------
+
+    def tiling(
+        self,
+        nest: LoopNest,
+        cache_words: int,
+        budget: str = "per-array",
+        *,
+        exact: bool = False,
+    ) -> TilingSolution:
+        """A :func:`~repro.core.tiling.solve_tiling`-shaped answer.
+
+        The cache-aware path returns the planner's certified vertex
+        (identical exponent; possibly a different — equally optimal —
+        vertex when the LP optimum is degenerate).  ``exact=True`` is
+        the façade's uncached escape to the rational simplex itself,
+        for baselines and solver benchmarks.
+        """
+        if exact or cache_words < 2:
+            return solve_tiling(nest, cache_words, budget=budget)
+        return self.planner.plan(
+            nest, cache_words, budget, include_bound=False
+        ).tiling_solution()
+
+    def lower_bound(self, nest: LoopNest, cache_words: int) -> CommunicationLowerBound:
+        """Cache-aware :func:`~repro.core.bounds.communication_lower_bound`."""
+        if cache_words < 2:
+            return communication_lower_bound(nest, cache_words)
+        bound = self.planner.plan(nest, cache_words, include_bound=True).lower_bound
+        assert bound is not None
+        return bound
+
+    def analysis(self, nest: LoopNest, cache_words: int, budget: str = "per-array"):
+        """The legacy one-call :class:`repro.Analysis` bundle, cache-aware.
+
+        Exactly what ``repro.analyze`` returns — bound, tiling and
+        Theorem-3 certificate — but served from the plan cache: on a
+        warm structure no rational simplex runs at all.
+        """
+        from .. import Analysis
+
+        if cache_words < 2:
+            # Degenerate caches predate the planner's domain; keep the
+            # original direct path for exact behavioural parity.
+            return Analysis(
+                nest=nest,
+                cache_words=cache_words,
+                lower_bound=communication_lower_bound(nest, cache_words),
+                tiling=solve_tiling(nest, cache_words, budget=budget),
+                certificate=theorem3_certificate(nest, cache_words),
+            )
+        plan = self.planner.plan(nest, cache_words, budget, include_bound=True)
+        return Analysis(
+            nest=nest,
+            cache_words=cache_words,
+            lower_bound=plan.lower_bound,
+            tiling=plan.tiling_solution(),
+            certificate=self.planner.certificate(nest, cache_words),
+        )
+
+    # -- housekeeping -------------------------------------------------------
+
+    def save_plans(self, path=None):
+        """Persist the plan cache (see :meth:`repro.plan.Planner.save`)."""
+        return self.planner.save(path)
+
+    @property
+    def stats(self):
+        return self.planner.stats
+
+
+_default_lock = threading.Lock()
+_default_session: Session | None = None
+
+
+def default_session() -> Session:
+    """The process-wide session behind the flat ``repro.*`` helpers.
+
+    Created on first use; shared thereafter, so repeated
+    ``repro.analyze`` calls on structurally identical nests are plan
+    cache hits.
+    """
+    global _default_session
+    with _default_lock:
+        if _default_session is None:
+            _default_session = Session()
+        return _default_session
+
+
+def reset_default_session() -> None:
+    """Drop the process-wide session (tests; forces a cold cache)."""
+    global _default_session
+    with _default_lock:
+        _default_session = None

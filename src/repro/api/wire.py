@@ -1,0 +1,105 @@
+"""Wire-format vocabulary shared by every façade request and result.
+
+The schema-v1 conventions, in one place:
+
+* **Fractions** travel as exact ``"p/q"`` strings (``str(Fraction)``
+  and ``Fraction(str)`` are exact inverses), never as floats.
+* **Loop nests** travel as the :meth:`repro.core.loopnest.LoopNest.to_json`
+  dict, or — in requests only — as the two CLI shorthands
+  ``{"problem": name, "sizes": [...]}`` and
+  ``{"statement": "...", "bounds": {...}}``.
+* **Payloads** are plain JSON types; :func:`json_safe` normalises
+  tuples to lists and Fractions to strings so a
+  :class:`repro.api.Result` compares equal across a JSON round trip.
+
+Validation failures raise :class:`RequestError`, which the HTTP layer
+maps to structured 4xx payloads and the CLI maps to exit code 2.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from ..core.loopnest import LoopNest, LoopNestError
+from ..core.parser import ParseError, parse_nest
+from ..library.problems import build_problem
+
+__all__ = ["RequestError", "SCHEMA_VERSION", "json_safe", "nest_from_json", "parse_fraction"]
+
+#: Version tag stamped on every Result envelope and checked on decode.
+SCHEMA_VERSION = 1
+
+
+class RequestError(ValueError):
+    """A malformed or invalid façade request.
+
+    ``detail`` carries a JSON-safe context dict the service layer
+    forwards verbatim in its 4xx payloads.
+    """
+
+    def __init__(self, message: str, detail: dict | None = None):
+        super().__init__(message)
+        self.detail = detail or {}
+
+
+def parse_fraction(blob: object, field: str = "value") -> Fraction:
+    """Exact Fraction from a ``"p/q"`` string (or int)."""
+    try:
+        return Fraction(blob) if isinstance(blob, (str, int)) else Fraction(str(blob))
+    except (ValueError, ZeroDivisionError) as exc:
+        raise RequestError(f"bad fraction for {field!r}: {blob!r}") from exc
+
+
+def nest_from_json(blob: object, where: str = "request") -> LoopNest:
+    """Build a nest from any of the three request spellings.
+
+    Accepts an inline nest dict (under ``"nest"`` or at top level), a
+    catalog reference (``"problem"`` + optional ``"sizes"``), or a
+    statement (``"statement"`` + ``"bounds"``).
+    """
+    if not isinstance(blob, Mapping):
+        raise RequestError(f"{where}: expected an object, got {type(blob).__name__}")
+    try:
+        if "nest" in blob:
+            return LoopNest.from_json(blob["nest"])
+        if "problem" in blob:
+            sizes = blob.get("sizes")
+            if sizes is not None and not isinstance(sizes, (list, tuple)):
+                raise RequestError(f"{where}: 'sizes' must be a list")
+            return build_problem(str(blob["problem"]), sizes)
+        if "statement" in blob:
+            bounds = blob.get("bounds")
+            if not isinstance(bounds, Mapping):
+                raise RequestError(f"{where}: statement requests need a 'bounds' object")
+            return parse_nest(
+                str(blob["statement"]),
+                {str(k): int(v) for k, v in bounds.items()},
+                name=str(blob.get("name", "request")),
+            )
+        if "loops" in blob and "arrays" in blob:
+            return LoopNest.from_json(blob)
+    except RequestError:
+        raise
+    except (KeyError, TypeError, ValueError, LoopNestError, ParseError) as exc:
+        raise RequestError(f"{where}: {exc}") from exc
+    raise RequestError(f"{where}: need one of 'nest', 'problem' or 'statement'")
+
+
+def json_safe(value: object, where: str = "payload") -> object:
+    """Normalise to plain JSON types (lists, ``"p/q"`` strings, scalars).
+
+    Guarantees ``json.loads(json.dumps(x)) == x`` for the result, which
+    is what makes Result equality survive serialization.
+    """
+    if isinstance(value, Fraction):
+        return str(value)
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): json_safe(v, where) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v, where) for v in value]
+    raise TypeError(f"{where}: {type(value).__name__} is not JSON-serializable")

@@ -21,6 +21,13 @@ Serve a batch of queries through the plan cache (one JSON line each)::
 Sweep a problem over size and cache grids (``:`` separates choices)::
 
     repro-tile --problem matmul --sizes 256:4096,512,16:64 -M 4096:65536 --sweep
+
+Run the JSON service (see :mod:`repro.serve`)::
+
+    repro-tile serve --port 8787
+
+Every mode routes through one :class:`repro.api.Session`, the same
+façade the library, the benchmarks and the HTTP service share.
 """
 
 from __future__ import annotations
@@ -31,16 +38,16 @@ import json
 import sys
 from typing import Sequence
 
-from . import analyze
+from .api import AnalyzeRequest, RequestError, Session
+from .api import default_session as _session
 from .core.loopnest import LoopNest, LoopNestError
 from .core.mplp import parametric_tile_exponent
 from .core.parser import ParseError, parse_nest
 from .library.problems import CATALOG_BUILDERS, build_problem
 from .machine.model import MachineModel
-from .plan import Planner, PlanRequest, plan_batch
 from .simulate.executor import best_order_traffic, simulate_untiled_traffic
 
-__all__ = ["main", "build_arg_parser"]
+__all__ = ["main", "build_arg_parser", "build_serve_parser"]
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -114,6 +121,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tile serve",
+        description="Serve /v1/{health,analyze,batch,sweep,simulate,distributed} "
+        "as JSON over HTTP",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8787, help="TCP port (default 8787; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--plan-cache",
+        metavar="FILE",
+        help="persistent JSON plan cache loaded into the shared session",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logging"
+    )
+    return parser
+
+
 def _parse_bounds(blob: str) -> dict[str, int]:
     out: dict[str, int] = {}
     for piece in blob.split(","):
@@ -148,8 +176,13 @@ def _single_cache_words(args, parser: argparse.ArgumentParser) -> int:
     raise AssertionError("unreachable")  # pragma: no cover
 
 
-def _batch_requests_from_file(path: str) -> list[PlanRequest]:
-    """Parse a request file: a JSON list (or ``{"requests": [...]}``)."""
+def _batch_requests_from_file(path: str) -> list[AnalyzeRequest]:
+    """Parse a request file: a JSON list (or ``{"requests": [...]}``).
+
+    Entries use the schema-v1 request spellings of
+    :meth:`repro.api.AnalyzeRequest.from_json` — ``problem``/``sizes``,
+    ``statement``/``bounds``, or an inline ``nest`` object.
+    """
     with open(path) as handle:
         blob = json.load(handle)
     if isinstance(blob, dict):
@@ -160,32 +193,13 @@ def _batch_requests_from_file(path: str) -> list[PlanRequest]:
     for idx, entry in enumerate(blob):
         if not isinstance(entry, dict):
             raise ParseError(f"{path}[{idx}]: expected an object")
-        try:
-            cache_words = int(entry["cache_words"])
-        except KeyError:
-            raise ParseError(f"{path}[{idx}]: missing 'cache_words'") from None
-        budget = entry.get("budget", "per-array")
-        if "problem" in entry:
-            try:
-                nest = build_problem(entry["problem"], entry.get("sizes"))
-            except (KeyError, TypeError) as exc:
-                raise ParseError(f"{path}[{idx}]: {exc}") from None
-        elif "statement" in entry:
-            bounds = entry.get("bounds")
-            if not isinstance(bounds, dict):
-                raise ParseError(f"{path}[{idx}]: statement requests need a 'bounds' object")
-            nest = parse_nest(
-                entry["statement"],
-                {k: int(v) for k, v in bounds.items()},
-                name=entry.get("name", f"request{idx}"),
-            )
-        else:
-            raise ParseError(f"{path}[{idx}]: need 'problem' or 'statement'")
-        requests.append(PlanRequest(nest=nest, cache_words=cache_words, budget=budget))
+        if "statement" in entry and "name" not in entry:
+            entry = {**entry, "name": f"request{idx}"}
+        requests.append(AnalyzeRequest.from_json(entry, f"{path}[{idx}]"))
     return requests
 
 
-def _sweep_requests_from_args(args, parser: argparse.ArgumentParser) -> list[PlanRequest]:
+def _sweep_requests_from_args(args, parser: argparse.ArgumentParser) -> list[AnalyzeRequest]:
     if args.cache_words is None:
         parser.error("-M/--cache-words is required with --sweep")
     cache_sizes = _parse_choices(args.cache_words, "-M")
@@ -210,23 +224,50 @@ def _sweep_requests_from_args(args, parser: argparse.ArgumentParser) -> list[Pla
     else:
         parser.error("--sweep needs a statement or --problem")
     return [
-        PlanRequest(nest=nest, cache_words=m, budget=args.budget)
+        AnalyzeRequest(nest=nest, cache_words=m, budget=args.budget)
         for nest in nests
         for m in cache_sizes
     ]
 
 
-def _run_batch(requests: Sequence[PlanRequest], args) -> int:
-    planner = Planner(cache_path=args.plan_cache)
-    plans = plan_batch(requests, planner=planner, max_workers=args.workers)
-    for plan in plans:
-        print(json.dumps(plan.to_json()))
+def _run_batch(requests: Sequence[AnalyzeRequest], args) -> int:
+    """Serve a request list through one Session; one Result JSON line each."""
+    session = Session(plan_cache=args.plan_cache, workers=args.workers)
+    for result in session.batch(requests):
+        print(result.to_json_str())
     if args.plan_cache:
-        planner.save()
+        session.save_plans()
     return 0
 
 
+def _run_serve(argv: Sequence[str]) -> int:
+    from .serve import serve  # deferred: keep plain CLI start cheap
+
+    args = build_serve_parser().parse_args(list(argv))
+    try:
+        session = Session(plan_cache=args.plan_cache)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return serve(host=args.host, port=args.port, session=session, verbose=not args.quiet)
+    except OSError as exc:
+        # Bind failures (port in use, bad host) follow the CLI contract.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        # Mirror batch mode: structures solved while serving persist.
+        if args.plan_cache:
+            session.save_plans()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv[:1] == ["serve"]:
+        return _run_serve(argv[1:])
+
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 
@@ -238,7 +279,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_batch(_batch_requests_from_file(args.batch), args)
         if args.sweep:
             return _run_batch(_sweep_requests_from_args(args, parser), args)
-    except (ParseError, LoopNestError, OSError, json.JSONDecodeError, TypeError, ValueError) as exc:
+    except (ParseError, LoopNestError, RequestError, OSError,
+            json.JSONDecodeError, TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -261,7 +303,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: bad --sizes for problem: {exc}", file=sys.stderr)
         return 2
 
-    analysis = analyze(nest, cache_words, budget=args.budget)
+    analysis = _session().analysis(nest, cache_words, budget=args.budget)
     print(analysis.summary())
 
     if args.piecewise:

@@ -249,6 +249,41 @@ class LoopNest:
         arr = self.arrays[j]
         return {arr.project(p) for p in points}
 
+    # -- serialization ----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-safe dict: the inverse of :meth:`from_json` (lossless)."""
+        return {
+            "name": self.name,
+            "loops": list(self.loops),
+            "bounds": list(self.bounds),
+            "arrays": [
+                {"name": a.name, "support": list(a.support), "is_output": a.is_output}
+                for a in self.arrays
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping) -> "LoopNest":
+        """Rebuild a nest from :meth:`to_json` output (validated)."""
+        try:
+            arrays = tuple(
+                ArrayRef(
+                    name=str(entry["name"]),
+                    support=tuple(int(i) for i in entry["support"]),
+                    is_output=bool(entry.get("is_output", False)),
+                )
+                for entry in blob["arrays"]
+            )
+            return cls(
+                name=str(blob.get("name", "nest")),
+                loops=tuple(str(x) for x in blob["loops"]),
+                bounds=tuple(int(b) for b in blob["bounds"]),
+                arrays=arrays,
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise LoopNestError(f"malformed nest JSON: {exc}") from exc
+
     # -- misc -------------------------------------------------------------------
 
     def describe(self) -> str:

@@ -41,6 +41,12 @@ from typing import Iterable, Sequence
 
 from ..core.bounds import CommunicationLowerBound, lower_bound_from_k_hat
 from ..core.canonical import CanonicalForm, Canonicalization, canonicalize
+from ..core.duality import (
+    DualSolution,
+    Theorem3Certificate,
+    _complementary_slackness,
+    theorem3_certificate,
+)
 from ..core.loopnest import LoopNest
 from ..core.mplp import AffinePiece, PiecewiseValueFunction, parametric_tile_exponent
 from ..core.tiling import (
@@ -84,6 +90,22 @@ class PlanRequest:
     cache_words: int
     budget: str = "per-array"
 
+    def to_json(self) -> dict:
+        """JSON-safe dict; lossless inverse of :meth:`from_json`."""
+        return {
+            "nest": self.nest.to_json(),
+            "cache_words": self.cache_words,
+            "budget": self.budget,
+        }
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "PlanRequest":
+        return cls(
+            nest=LoopNest.from_json(blob["nest"]),
+            cache_words=int(blob["cache_words"]),
+            budget=str(blob.get("budget", "per-array")),
+        )
+
 
 @dataclass(frozen=True)
 class TilePlan:
@@ -120,16 +142,21 @@ class TilePlan:
         )
 
     def to_json(self) -> dict:
-        """JSON-line payload for the batch CLI."""
+        """JSON-line payload for the batch CLI; lossless (see :meth:`from_json`).
+
+        Fractions are serialized as ``"p/q"`` strings; ``arrays``,
+        ``lambdas`` and ``fractional_blocks`` carry everything needed to
+        reconstruct the plan exactly.
+        """
         out: dict = {
-            "name": self.nest.name,
-            "loops": list(self.nest.loops),
-            "bounds": list(self.nest.bounds),
+            **self.nest.to_json(),
             "cache_words": self.cache_words,
             "budget": self.budget,
             "canonical_key": self.canonical_key,
             "k_hat": str(self.exponent),
             "k_hat_float": float(self.exponent),
+            "lambdas": [str(lam) for lam in self.lambdas],
+            "fractional_blocks": list(self.fractional_blocks),
             "tile": list(self.tile.blocks),
             "tile_volume": self.tile.volume,
             "num_tiles": self.tile.num_tiles,
@@ -139,6 +166,36 @@ class TilePlan:
             out["lower_bound_words"] = self.lower_bound.value
             out["lower_bound_k_hat"] = str(self.lower_bound.k_hat)
         return out
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "TilePlan":
+        """Exact inverse of :meth:`to_json`.
+
+        The lower bound is reassembled from its exponent with
+        :func:`~repro.core.bounds.lower_bound_from_k_hat` (pure,
+        deterministic arithmetic), so the round trip is lossless.
+        """
+        nest = LoopNest.from_json(blob)  # ignores the non-nest keys
+        cache_words = int(blob["cache_words"])
+        lower_bound = None
+        if "lower_bound_k_hat" in blob:
+            lower_bound = lower_bound_from_k_hat(
+                nest, cache_words, Fraction(blob["lower_bound_k_hat"])
+            )
+        return cls(
+            nest=nest,
+            cache_words=cache_words,
+            budget=str(blob["budget"]),
+            canonical_key=str(blob["canonical_key"]),
+            exponent=Fraction(blob["k_hat"]),
+            lambdas=tuple(Fraction(lam) for lam in blob["lambdas"]),
+            fractional_blocks=tuple(float(b) for b in blob["fractional_blocks"]),
+            tile=TileShape(nest=nest, blocks=tuple(int(b) for b in blob["tile"])),
+            lower_bound=lower_bound,
+            # Result payloads move cache_hit to the envelope meta; accept
+            # both spellings so those payloads reconstruct too.
+            cache_hit=bool(blob.get("cache_hit", False)),
+        )
 
 
 @dataclass
@@ -422,7 +479,8 @@ class Planner:
         self, structure: _StructurePlan, betas: Sequence[Fraction]
     ) -> tuple[Fraction, tuple[Fraction, ...]]:
         """Authoritative exact LP solve on the canonical structure."""
-        self.stats.primal_lp_solves += 1
+        with self._lock:
+            self.stats.primal_lp_solves += 1
         nest = structure.nest
         lp = build_tiling_lp(nest, cache_words=2, betas=list(betas))
         report = lp.solve(backend="exact")
@@ -467,14 +525,24 @@ class Planner:
             # Outside the certified domain of the pruned piece set.
             return self._lp_solve(structure, betas)
         value, piece_idx = self._evaluate(structure, betas)
+        return self._primal_for_piece(structure, betas, value, piece_idx)
+
+    def _primal_for_piece(
+        self,
+        structure: _StructurePlan,
+        betas: Sequence[Fraction],
+        value: Fraction,
+        piece_idx: int,
+    ) -> tuple[Fraction, tuple[Fraction, ...]]:
+        """Guarded primal recovery for a known minimizing piece."""
         maps = structure.primal_maps.get(piece_idx, ())
         for pos, cached_map in enumerate(maps):
             lambdas = cached_map.apply(betas)
             if self._verified(structure, betas, lambdas, value):
-                if pos:
-                    with self._lock:
+                with self._lock:
+                    if pos:
                         maps.insert(0, maps.pop(pos))
-                self.stats.primal_map_hits += 1
+                    self.stats.primal_map_hits += 1
                 return value, lambdas
         value_lp, lambdas = self._lp_solve(structure, betas)
         candidate = _derive_primal_map(structure.form.rows, structure.form.depth, lambdas, betas)
@@ -512,7 +580,8 @@ class Planner:
                 f"aggregate budget needs cache_words >= {nest.num_arrays} "
                 f"(one word per array), got {cache_words}"
             )
-        self.stats.queries += 1
+        with self._lock:
+            self.stats.queries += 1
         canon = self.canonicalization(nest)
         structure, hit = self._structure(canon)
         depth = nest.depth
@@ -561,6 +630,47 @@ class Planner:
             request.nest, request.cache_words, request.budget, include_bound=include_bound
         )
 
+    def certificate(self, nest: LoopNest, cache_words: int) -> Theorem3Certificate:
+        """Cache-served Theorem-3 certificate — no LP solve on a warm hit.
+
+        Every cached piece *is* a vertex ``(zeta, s)`` of the
+        beta-independent dual polyhedron (see :mod:`repro.core.mplp`), so
+        the minimizing piece at ``beta`` doubles as the optimal dual
+        multipliers there; the primal vertex comes from the same
+        guarded primal-map machinery :meth:`plan` uses.  The result is
+        exactly what :func:`repro.core.duality.theorem3_certificate`
+        would compute — strong duality holds by construction — at cache
+        cost instead of two exact simplex runs.
+        """
+        if cache_words < 2:
+            raise ValueError("certificates need cache_words >= 2")
+        betas = tuple(self._betas(nest.bounds, cache_words))
+        if any(b > _BETA_CAP for b in betas):
+            # Outside the certified domain of the pruned piece set.
+            return theorem3_certificate(nest, cache_words, betas=betas)
+        canon = self.canonicalization(nest)
+        structure, _ = self._structure(canon)
+        canon_betas = canon.to_canonical(betas)
+        value, piece_idx = self._evaluate(structure, canon_betas)
+        value, canon_lambdas = self._primal_for_piece(structure, canon_betas, value, piece_idx)
+        piece = structure.pvf.pieces[piece_idx]
+        lambdas = canon.from_canonical(canon_lambdas)
+        zeta = canon.from_canonical(piece.source_zeta)
+        s = [_ZERO] * nest.num_arrays
+        for row, orig in enumerate(canon.array_order):
+            s[orig] = piece.source_s[row]
+        s = tuple(s)
+        return Theorem3Certificate(
+            nest=nest,
+            cache_words=cache_words,
+            betas=betas,
+            primal_value=value,
+            dual_value=value,
+            lambdas=lambdas,
+            dual=DualSolution(zeta=zeta, s=s, objective=value),
+            complementary_slackness=_complementary_slackness(nest, betas, lambdas, zeta, s),
+        )
+
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | os.PathLike | None = None) -> Path:
@@ -596,6 +706,11 @@ class Planner:
             raise ValueError(f"unsupported plan-cache version {blob.get('version')!r} in {path}")
         count = 0
         for key, entry in blob.get("entries", {}).items():
-            self.install_structure(key, entry["pieces"])
+            try:
+                self.install_structure(key, entry["pieces"])
+            except (KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"malformed plan-cache entry {key!r} in {path}: {exc}"
+                ) from exc
             count += 1
         return count

@@ -1,0 +1,226 @@
+"""``repro-tile serve`` — a stdlib JSON endpoint over one shared Session.
+
+The paper's value function is piecewise-linear in the loop bounds (§7),
+which makes "ask many questions about many nests" a natural service
+shape: one process holds a warm :class:`~repro.api.Session` (one
+multiparametric solve per canonical structure, ever) and answers every
+query by exact piecewise evaluation.  This module is that shape over
+HTTP, with zero dependencies beyond the standard library:
+
+====================  ======  =============================================
+``/v1/health``        GET     liveness + plan-cache stats
+``/v1/analyze``       POST    one :class:`~repro.api.AnalyzeRequest`
+``/v1/batch``         POST    ``{"requests": [...]}`` — ordered results
+``/v1/sweep``         POST    one :class:`~repro.api.SweepRequest` grid
+``/v1/simulate``      POST    one :class:`~repro.api.SimulateRequest`
+``/v1/distributed``   POST    one :class:`~repro.api.DistributedRequest`
+====================  ======  =============================================
+
+Every response body is a schema-versioned envelope
+(:class:`repro.api.Result` for single answers; batch/sweep wrap a
+result list).  Request validation failures map to structured 4xx
+payloads of kind ``"error"`` — never a bare traceback.
+
+The server is intentionally an in-process building block: ``make_server``
+returns a ``ThreadingHTTPServer`` bound to an ephemeral port when
+``port=0``, which is exactly how the test suite and the service
+benchmark drive it.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from .api import (
+    SCHEMA_VERSION,
+    AnalyzeRequest,
+    RequestError,
+    Result,
+    Session,
+    SweepRequest,
+)
+from .api.requests import DistributedRequest, SimulateRequest
+from .core.loopnest import LoopNestError
+from .core.parser import ParseError
+
+__all__ = ["make_server", "serve", "ServiceHandler", "MAX_BODY_BYTES", "MAX_BATCH_REQUESTS"]
+
+#: Request-body guard: tiling queries are tiny; anything bigger is abuse.
+MAX_BODY_BYTES = 8 << 20
+
+#: One POST may expand to at most this many analyze queries.
+MAX_BATCH_REQUESTS = 10_000
+
+
+def _error_body(message: str, status: int, detail: dict | None = None) -> dict:
+    return Result.error(message, status=status, detail=detail).to_json()
+
+
+def _results_body(kind: str, results: list[Result]) -> dict:
+    """The list envelope for batch/sweep: same version tag, ordered items."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "count": len(results),
+        "results": [r.to_json() for r in results],
+    }
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes ``/v1/*`` onto the shared :class:`~repro.api.Session`."""
+
+    server_version = "repro-tile/1"
+    #: Installed by :func:`make_server`.
+    session: Session = None
+    #: Quiet by default; ``make_server(verbose=True)`` restores logging.
+    verbose = False
+
+    def log_message(self, format, *args):  # noqa: A002 - BaseHTTPRequestHandler API
+        if self.verbose:
+            super().log_message(format, *args)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise RequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise RequestError("empty request body; POST a JSON object")
+        try:
+            blob = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(blob, dict):
+            raise RequestError("request body must be a JSON object")
+        return blob
+
+    def _guarded(self, handler: Callable[[], tuple[int, dict]]) -> None:
+        try:
+            status, body = handler()
+        except RequestError as exc:
+            self._send(400, _error_body(str(exc), 400, exc.detail or None))
+        except (LoopNestError, ParseError, ValueError, TypeError, KeyError) as exc:
+            self._send(400, _error_body(str(exc) or type(exc).__name__, 400))
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send(500, _error_body(f"internal error: {exc}", 500))
+        else:
+            self._send(status, body)
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _route(self) -> str:
+        """Request path normalised for matching (query string stripped)."""
+        return self.path.partition("?")[0].rstrip("/")
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        route = self._route()
+        if route == "/v1/health":
+            self._guarded(lambda: (200, self.session.health().to_json()))
+        elif route in (
+            "/v1/analyze", "/v1/batch", "/v1/sweep", "/v1/simulate", "/v1/distributed"
+        ):
+            self._send(405, _error_body("use POST with a JSON body", 405))
+        else:
+            self._send(404, _error_body(f"unknown path {self.path!r}", 404))
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        route = self._route()
+        if route == "/v1/analyze":
+            self._guarded(self._post_analyze)
+        elif route == "/v1/batch":
+            self._guarded(self._post_batch)
+        elif route == "/v1/sweep":
+            self._guarded(self._post_sweep)
+        elif route == "/v1/simulate":
+            self._guarded(self._post_simulate)
+        elif route == "/v1/distributed":
+            self._guarded(self._post_distributed)
+        elif route == "/v1/health":
+            self._guarded(lambda: (200, self.session.health().to_json()))
+        else:
+            self._send(404, _error_body(f"unknown path {self.path!r}", 404))
+
+    def _post_analyze(self) -> tuple[int, dict]:
+        request = AnalyzeRequest.from_json(self._read_json(), "analyze")
+        return 200, self.session.analyze(request).to_json()
+
+    def _post_batch(self) -> tuple[int, dict]:
+        blob = self._read_json()
+        entries = blob.get("requests")
+        if not isinstance(entries, list):
+            raise RequestError("batch body needs a 'requests' list")
+        if len(entries) > MAX_BATCH_REQUESTS:
+            raise RequestError(f"batch of {len(entries)} exceeds {MAX_BATCH_REQUESTS} requests")
+        requests = [
+            AnalyzeRequest.from_json(entry, f"requests[{idx}]")
+            for idx, entry in enumerate(entries)
+        ]
+        # Serial structure solves: worker pools belong to offline batch
+        # jobs, not to a threaded request handler.
+        return 200, _results_body("batch", self.session.batch(requests, workers=0))
+
+    def _post_sweep(self) -> tuple[int, dict]:
+        sweep = SweepRequest.from_json(self._read_json(), "sweep")
+        expanded = sweep.expand()
+        if len(expanded) > MAX_BATCH_REQUESTS:
+            raise RequestError(f"sweep grid exceeds {MAX_BATCH_REQUESTS} requests")
+        return 200, _results_body("sweep", self.session.batch(expanded, workers=0))
+
+    def _post_simulate(self) -> tuple[int, dict]:
+        request = SimulateRequest.from_json(self._read_json(), "simulate")
+        return 200, self.session.simulate(request).to_json()
+
+    def _post_distributed(self) -> tuple[int, dict]:
+        request = DistributedRequest.from_json(self._read_json(), "distributed")
+        return 200, self.session.distributed(request).to_json()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    session: Session | None = None,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Bound, ready-to-``serve_forever`` server (``port=0`` = ephemeral).
+
+    The handler class is specialised per server so concurrent servers
+    (tests, benchmarks) never share a session by accident.
+    """
+    handler = type(
+        "BoundServiceHandler",
+        (ServiceHandler,),
+        {"session": session if session is not None else Session(), "verbose": verbose},
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    session: Session | None = None,
+    verbose: bool = True,
+) -> int:
+    """Run the JSON service until interrupted (the CLI entry point)."""
+    server = make_server(host, port, session=session, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro-tile serve: listening on http://{bound_host}:{bound_port}/v1/ "
+          f"(schema v{SCHEMA_VERSION}; Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro-tile serve: shutting down")
+    finally:
+        server.server_close()
+    return 0

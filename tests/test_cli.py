@@ -1,9 +1,17 @@
 """Tests for the command-line front end and the analyze() bundle."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 import repro
-from repro.cli import main
+from repro.api import SCHEMA_VERSION
+from repro.cli import build_serve_parser, main
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden" / "analyze_payloads.json").read_text()
+)
 
 
 class TestAnalyze:
@@ -81,3 +89,105 @@ class TestCLI:
     def test_statement_requires_bounds(self):
         with pytest.raises(SystemExit):
             main(["C[i] += A[i]", "-M", "64"])
+
+
+class TestBatchCLI:
+    """The JSON-lines surface: every line is a schema-v1 Result envelope."""
+
+    def _lines(self, capsys):
+        return [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+
+    def test_batch_golden(self, capsys, tmp_path):
+        requests = [
+            {"problem": "matmul", "sizes": [64, 64, 64], "cache_words": 1024},
+            {"problem": "nbody", "sizes": [4096, 4096], "cache_words": 4096,
+             "budget": "aggregate"},
+        ]
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(requests))
+        assert main(["--batch", str(path), "--workers", "0"]) == 0
+        lines = self._lines(capsys)
+        assert len(lines) == 2
+        for line in lines:
+            assert line["schema_version"] == SCHEMA_VERSION
+            assert line["kind"] == "analyze"
+            assert isinstance(line["meta"]["cache_hit"], bool)
+        assert lines[0]["payload"] == GOLDEN["analyze_matmul"]
+        assert lines[1]["payload"] == GOLDEN["analyze_nbody_aggregate"]
+
+    def test_batch_unnamed_statements_get_indexed_names(self, capsys, tmp_path):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps([
+            {"statement": "F[i] += P[i] * Q[j]", "bounds": {"i": 8, "j": 8},
+             "cache_words": 16},
+            {"statement": "F[i] += P[i] * Q[j]", "bounds": {"i": 8, "j": 8},
+             "cache_words": 32},
+        ]))
+        assert main(["--batch", str(path), "--workers", "0"]) == 0
+        lines = self._lines(capsys)
+        assert [ln["payload"]["name"] for ln in lines] == ["request0", "request1"]
+
+    def test_malformed_plan_cache_is_a_clean_error(self, capsys, tmp_path):
+        cache = tmp_path / "plans.json"
+        cache.write_text(json.dumps({"version": 1, "entries": {"d1:0": {}}}))
+        rc = main(["--problem", "matvec", "--sweep", "--sizes", "8,8", "-M", "16",
+                   "--workers", "0", "--plan-cache", str(cache)])
+        assert rc == 2
+        assert "plan-cache" in capsys.readouterr().err
+
+    def test_serve_port_conflict_is_a_clean_error(self, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+            rc = main(["serve", "--port", str(port), "--quiet"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_accepts_wrapped_object(self, capsys, tmp_path):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(
+            {"requests": [{"problem": "matvec", "cache_words": 256}]}
+        ))
+        assert main(["--batch", str(path), "--workers", "0"]) == 0
+        (line,) = self._lines(capsys)
+        assert line["payload"]["name"] == "matvec"
+
+    def test_batch_bad_request_file(self, capsys, tmp_path):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps([{"problem": "matmul"}]))  # no cache_words
+        assert main(["--batch", str(path)]) == 2
+        assert "cache_words" in capsys.readouterr().err
+
+    def test_sweep_grid_lines(self, capsys):
+        rc = main(["--problem", "matmul", "--sizes", "64:128,64,8",
+                   "-M", "256:1024", "--sweep", "--workers", "0"])
+        assert rc == 0
+        lines = self._lines(capsys)
+        assert len(lines) == 4  # 2 sizes x 2 cache sizes, cache innermost
+        assert [(ln["payload"]["bounds"][0], ln["payload"]["cache_words"])
+                for ln in lines] == [(64, 256), (64, 1024), (128, 256), (128, 1024)]
+        assert all(ln["schema_version"] == SCHEMA_VERSION for ln in lines)
+
+    def test_sweep_statement_bounds_axes(self, capsys):
+        rc = main(["F[i] += P[i] * Q[j]", "--bounds", "i=16:64,j=32",
+                   "-M", "64", "--sweep", "--workers", "0"])
+        assert rc == 0
+        lines = self._lines(capsys)
+        assert [ln["payload"]["bounds"] for ln in lines] == [[16, 32], [64, 32]]
+
+    def test_plan_cache_persists(self, capsys, tmp_path):
+        cache = tmp_path / "plans.json"
+        rc = main(["--problem", "matmul", "--sizes", "32,32,32", "-M", "256",
+                   "--sweep", "--workers", "0", "--plan-cache", str(cache)])
+        assert rc == 0
+        assert cache.exists()
+        blob = json.loads(cache.read_text())
+        assert "d3:0.1|0.2|1.2" in blob["entries"]
+
+    def test_serve_parser_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert (args.host, args.port, args.quiet) == ("127.0.0.1", 8787, False)
+        args = build_serve_parser().parse_args(["--port", "0", "--quiet"])
+        assert args.port == 0 and args.quiet

@@ -257,11 +257,14 @@ class TestBatchCLI:
         rc = main(["--batch", str(path), "--workers", "0"])
         assert rc == 0
         lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
-        assert [entry["name"] for entry in lines] == ["matmul", "syrk", "pairwise"]
+        # Each line is a schema-v1 Result envelope around the plan payload.
+        assert all(entry["schema_version"] == 1 for entry in lines)
+        payloads = [entry["payload"] for entry in lines]
+        assert [p["name"] for p in payloads] == ["matmul", "syrk", "pairwise"]
         # matmul and syrk share one canonical structure.
-        assert lines[0]["canonical_key"] == lines[1]["canonical_key"]
+        assert payloads[0]["canonical_key"] == payloads[1]["canonical_key"]
         sol = solve_tiling(matmul(256, 256, 16), 4096)
-        assert Fraction(lines[0]["k_hat"]) == sol.exponent
+        assert Fraction(payloads[0]["k_hat"]) == sol.exponent
 
     def test_batch_mode_with_plan_cache(self, tmp_path, capsys):
         requests = [{"problem": "matvec", "cache_words": 1024}]
@@ -276,7 +279,7 @@ class TestBatchCLI:
         assert main(["--batch", str(req_path), "--workers", "0",
                      "--plan-cache", str(cache_path)]) == 0
         line = json.loads(capsys.readouterr().out.splitlines()[0])
-        assert line["cache_hit"] is True
+        assert line["meta"]["cache_hit"] is True
 
     def test_sweep_mode_problem(self, capsys):
         rc = main([
@@ -286,7 +289,7 @@ class TestBatchCLI:
         assert rc == 0
         lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
         assert len(lines) == 4
-        assert [(entry["bounds"][0], entry["cache_words"]) for entry in lines] == [
+        assert [(e["payload"]["bounds"][0], e["payload"]["cache_words"]) for e in lines] == [
             (64, 256), (64, 1024), (128, 256), (128, 1024),
         ]
 
@@ -297,7 +300,7 @@ class TestBatchCLI:
         ])
         assert rc == 0
         lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
-        assert [entry["bounds"] for entry in lines] == [[64, 32], [128, 32]]
+        assert [entry["payload"]["bounds"] for entry in lines] == [[64, 32], [128, 32]]
 
     def test_batch_conflicts_with_problem(self, tmp_path):
         path = tmp_path / "requests.json"
