@@ -108,6 +108,7 @@ class Analysis:
 
 # The façade imports Analysis, so it must load after the definition.
 from . import api  # noqa: E402
+from . import tune  # noqa: E402
 from .api import (  # noqa: E402
     AnalyzeRequest,
     DistributedRequest,
@@ -115,8 +116,10 @@ from .api import (  # noqa: E402
     Session,
     SimulateRequest,
     SweepRequest,
+    TuneRequest,
     default_session,
 )
+from .tune import TuneReport, tune_tile  # noqa: E402
 
 
 def analyze(nest: LoopNest, cache_words: int, budget: str = "per-array") -> Analysis:
@@ -162,8 +165,12 @@ __all__ = [
     "AnalyzeRequest",
     "SimulateRequest",
     "SweepRequest",
+    "TuneRequest",
     "DistributedRequest",
     "default_session",
+    "tune",
+    "TuneReport",
+    "tune_tile",
     "Analysis",
     "analyze",
     "LoopNest",

@@ -24,7 +24,13 @@ Fraction(11, 8)
 True
 """
 
-from .requests import AnalyzeRequest, DistributedRequest, SimulateRequest, SweepRequest
+from .requests import (
+    AnalyzeRequest,
+    DistributedRequest,
+    SimulateRequest,
+    SweepRequest,
+    TuneRequest,
+)
 from .result import Result
 from .session import Session, default_session, reset_default_session
 from .wire import SCHEMA_VERSION, RequestError
@@ -34,6 +40,7 @@ __all__ = [
     "AnalyzeRequest",
     "SimulateRequest",
     "SweepRequest",
+    "TuneRequest",
     "DistributedRequest",
     "RequestError",
     "Result",

@@ -1,6 +1,6 @@
 """Typed request schema of the façade (schema v1).
 
-Four request dataclasses cover the service surface:
+Five request dataclasses cover the service surface:
 
 * :class:`AnalyzeRequest` — bound + optimal tile (+ certificate) for
   one (nest, cache) query; the unit ``Session.batch`` fans over.
@@ -8,6 +8,8 @@ Four request dataclasses cover the service surface:
   (or untiled) execution.
 * :class:`SweepRequest` — a cartesian grid of analyze queries
   (sizes x cache sizes), expanded server-side.
+* :class:`TuneRequest` — simulation-in-the-loop integer tile
+  autotuning with a lower-bound optimality certificate.
 * :class:`DistributedRequest` — processor-grid traffic vs the
   memory-dependent distributed lower bound.
 
@@ -29,14 +31,19 @@ from ..core.loopnest import LoopNest
 from ..core.tiling import BUDGETS
 from ..library.problems import CATALOG_BUILDERS
 from ..simulate.trace import MAX_TRACE_ACCESSES, trace_length
+from ..tune.search import STRATEGIES
 from .wire import RequestError, nest_from_json
 
 __all__ = [
     "AnalyzeRequest",
     "SimulateRequest",
     "SweepRequest",
+    "TuneRequest",
     "DistributedRequest",
 ]
+
+#: Distinct tiles one tune request may simulate (evaluation budget cap).
+MAX_TUNE_EVALUATIONS = 4096
 
 _POLICIES = ("lru", "belady", "direct")
 
@@ -283,6 +290,89 @@ class SweepRequest:
                 ),
                 budget=str(blob.get("budget", "per-array")),
                 certificate=bool(blob.get("certificate", False)),
+            ).validate()
+
+        return _build_request(where, build)
+
+
+@dataclass(frozen=True)
+class TuneRequest:
+    """Simulation-in-the-loop integer tile autotuning (``/v1/tune``).
+
+    Seeds a budgeted search at the analytically-rounded Theorem-3
+    optimum and scores candidate tiles with the one-pass trace
+    simulator; the report certifies the winner against the Theorem
+    lower bound (``certificate_ratio = measured / bound``) and carries
+    a capacity→best-tile Pareto front.  ``capacities=None`` prices the
+    default power-of-two axis up to ``cache_words``.  Deterministic:
+    the same request yields the same payload on every surface.
+    """
+
+    nest: LoopNest
+    cache_words: int
+    budget: str = "aggregate"
+    strategy: str = "exhaustive"
+    max_evaluations: int = 64
+    radius: int = 1
+    capacities: tuple[int, ...] | None = None
+
+    def validate(self) -> "TuneRequest":
+        _require(self.cache_words >= 2, f"cache_words must be >= 2, got {self.cache_words}")
+        _check_budget(self.budget)
+        if self.budget == "aggregate":
+            _require(
+                self.cache_words >= self.nest.num_arrays,
+                f"aggregate budget needs cache_words >= {self.nest.num_arrays} "
+                f"(one word per array), got {self.cache_words}",
+            )
+        _require(
+            self.strategy in STRATEGIES,
+            f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}",
+        )
+        _require(
+            1 <= self.max_evaluations <= MAX_TUNE_EVALUATIONS,
+            f"max_evaluations must be in [1, {MAX_TUNE_EVALUATIONS}], "
+            f"got {self.max_evaluations}",
+        )
+        _require(0 <= self.radius <= 8, f"radius must be in [0, 8], got {self.radius}")
+        if self.capacities is not None:
+            _require(bool(self.capacities), "capacities must be omitted or non-empty")
+            for c in self.capacities:
+                _require(c >= 2, f"capacities must be >= 2, got {c}")
+        # Tuning simulates max_evaluations traces; guard each like simulate.
+        accesses = trace_length(self.nest)
+        _require(
+            accesses <= MAX_TRACE_ACCESSES,
+            f"trace of {accesses} accesses exceeds the {MAX_TRACE_ACCESSES} guard; "
+            "tune a smaller instance",
+        )
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "nest": self.nest.to_json(),
+            "cache_words": self.cache_words,
+            "budget": self.budget,
+            "strategy": self.strategy,
+            "max_evaluations": self.max_evaluations,
+            "radius": self.radius,
+            "capacities": list(self.capacities) if self.capacities is not None else None,
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping, where: str = "tune request") -> "TuneRequest":
+        def build():
+            capacities = blob.get("capacities")
+            return cls(
+                nest=nest_from_json(blob, where),
+                cache_words=int(blob["cache_words"]),
+                budget=str(blob.get("budget", "aggregate")),
+                strategy=str(blob.get("strategy", "exhaustive")),
+                max_evaluations=int(blob.get("max_evaluations", 64)),
+                radius=int(blob.get("radius", 1)),
+                capacities=(
+                    tuple(int(c) for c in capacities) if capacities is not None else None
+                ),
             ).validate()
 
         return _build_request(where, build)

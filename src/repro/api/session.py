@@ -8,7 +8,7 @@ A :class:`Session` owns the machinery a stream of queries shares —
 * a worker-count default for parallel cold-structure solves —
 
 and exposes the typed entry points ``analyze``/``batch``/``sweep``/
-``simulate``/``distributed``/``health``, each returning a versioned
+``simulate``/``tune``/``distributed``/``health``, each returning a versioned
 :class:`~repro.api.Result` envelope with timing and cache-hit metadata.
 The CLI, the HTTP service (:mod:`repro.serve`), the benchmarks and the
 examples all go through this class; the flat top-level helpers
@@ -34,7 +34,14 @@ from ..parallel.distributed import DistributedReport, simulate_grid
 from ..plan.batch import plan_batch
 from ..plan.planner import Planner, PlanRequest, TilePlan
 from ..simulate.trace_sim import run_trace_simulation
-from .requests import AnalyzeRequest, DistributedRequest, SimulateRequest, SweepRequest
+from ..tune.tuner import tune_tile
+from .requests import (
+    AnalyzeRequest,
+    DistributedRequest,
+    SimulateRequest,
+    SweepRequest,
+    TuneRequest,
+)
 from .result import Result
 from .wire import RequestError
 
@@ -281,6 +288,36 @@ class Session:
             "cache_hit": planned.cache_hit if planned is not None else None,
         }
         return Result(kind="simulate", payload=payload, meta=meta, detail=report)
+
+    def tune(self, request: TuneRequest, *, workers: int | None = None) -> Result:
+        """Simulation-in-the-loop tile autotuning; the ``/v1/tune`` core.
+
+        Seeds at the plan cache's analytic optimum, searches the integer
+        tile lattice with the trace simulator scoring candidates, and
+        returns a :class:`~repro.tune.TuneReport` payload certified
+        against the Theorem lower bound.  ``workers`` parallelises
+        candidate evaluation (defaults to the session setting; the
+        payload is identical either way).
+        """
+        t0 = time.perf_counter()
+        request = request.validate()
+        report = tune_tile(
+            request.nest,
+            request.cache_words,
+            budget=request.budget,
+            strategy=request.strategy,
+            max_evaluations=request.max_evaluations,
+            radius=request.radius,
+            capacities=request.capacities,
+            planner=self.planner,
+            workers=self.workers if workers is None else workers,
+        )
+        payload = report.to_json()
+        meta = {
+            "elapsed_ms": _ms(time.perf_counter() - t0),
+            "cache_hit": report.plan.cache_hit,
+        }
+        return Result(kind="tune", payload=payload, meta=meta, detail=report)
 
     def distributed(self, request: DistributedRequest) -> Result:
         """Processor-grid traffic against the distributed lower bound."""

@@ -22,6 +22,11 @@ Sweep a problem over size and cache grids (``:`` separates choices)::
 
     repro-tile --problem matmul --sizes 256:4096,512,16:64 -M 4096:65536 --sweep
 
+Autotune the integer tile with the simulator in the loop (one Result
+JSON line; ``--smoke`` clamps the budget for CI)::
+
+    repro-tile tune --problem matmul --sizes 24,24,24 -M 128 --workers 0
+
 Run the JSON service (see :mod:`repro.serve`)::
 
     repro-tile serve --port 8787
@@ -38,7 +43,7 @@ import json
 import sys
 from typing import Sequence
 
-from .api import AnalyzeRequest, RequestError, Session
+from .api import AnalyzeRequest, RequestError, Session, TuneRequest
 from .api import default_session as _session
 from .core.loopnest import LoopNest, LoopNestError
 from .core.mplp import parametric_tile_exponent
@@ -47,7 +52,7 @@ from .library.problems import CATALOG_BUILDERS, build_problem
 from .machine.model import MachineModel
 from .simulate.executor import best_order_traffic, simulate_untiled_traffic
 
-__all__ = ["main", "build_arg_parser", "build_serve_parser"]
+__all__ = ["main", "build_arg_parser", "build_serve_parser", "build_tune_parser"]
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -140,6 +145,116 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-request access logging"
     )
     return parser
+
+
+def build_tune_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tile tune",
+        description="Autotune the integer tile with the trace simulator in the loop; "
+        "emits one schema-v1 Result JSON line (kind 'tune')",
+    )
+    parser.add_argument(
+        "statement",
+        nargs="?",
+        help='loop-nest statement, e.g. "C[i,k] += A[i,j] * B[j,k]"',
+    )
+    parser.add_argument(
+        "--bounds", help="comma-separated loop bounds, e.g. i=24,j=24,k=24"
+    )
+    parser.add_argument(
+        "--problem",
+        choices=sorted(CATALOG_BUILDERS),
+        help="use a catalog problem instead of a statement",
+    )
+    parser.add_argument("--sizes", help="comma-separated sizes for the catalog problem")
+    parser.add_argument(
+        "-M", "--cache-words", help="fast-memory capacity in words", required=False
+    )
+    parser.add_argument(
+        "--budget",
+        choices=("per-array", "aggregate"),
+        default="aggregate",
+        help="memory-budget convention for candidate feasibility (default aggregate)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("exhaustive", "coordinate", "random"),
+        default="exhaustive",
+        help="search strategy (default exhaustive)",
+    )
+    parser.add_argument(
+        "--max-evals",
+        type=int,
+        default=64,
+        help="evaluation budget: distinct tiles simulated (default 64)",
+    )
+    parser.add_argument(
+        "--radius",
+        type=int,
+        default=1,
+        help="lattice neighbourhood radius around the analytic seed (default 1)",
+    )
+    parser.add_argument(
+        "--capacities",
+        help="':'-separated Pareto capacities (default: powers of two up to -M)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for candidate evaluation (default: auto; 0 = serial)",
+    )
+    parser.add_argument(
+        "--plan-cache",
+        metavar="FILE",
+        help="persistent JSON plan cache to load before and save after the run",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: clamp the evaluation budget to 8 tiles",
+    )
+    return parser
+
+
+def _run_tune(argv: Sequence[str]) -> int:
+    """One tune request through a Session; one Result JSON line."""
+    parser = build_tune_parser()
+    args = parser.parse_args(list(argv))
+    cache_words = _single_cache_words(args, parser)
+    try:
+        if args.problem:
+            sizes = tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None
+            nest = build_problem(args.problem, sizes)
+        elif args.statement:
+            if not args.bounds:
+                parser.error("--bounds is required with a statement")
+            nest = parse_nest(args.statement, _parse_bounds(args.bounds))
+        else:
+            parser.error("give a statement or --problem")
+            return 2  # unreachable; parser.error raises
+        request = TuneRequest(
+            nest=nest,
+            cache_words=cache_words,
+            budget=args.budget,
+            strategy=args.strategy,
+            max_evaluations=min(args.max_evals, 8) if args.smoke else args.max_evals,
+            radius=args.radius,
+            capacities=(
+                tuple(_parse_choices(args.capacities, "--capacities"))
+                if args.capacities
+                else None
+            ),
+        ).validate()
+        session = Session(plan_cache=args.plan_cache, workers=args.workers)
+        print(session.tune(request).to_json_str())
+        if args.plan_cache:
+            session.save_plans()
+    except (ParseError, LoopNestError, RequestError, OSError,
+            json.JSONDecodeError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _parse_bounds(blob: str) -> dict[str, int]:
@@ -267,6 +382,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     argv = list(argv)
     if argv[:1] == ["serve"]:
         return _run_serve(argv[1:])
+    if argv[:1] == ["tune"]:
+        return _run_tune(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)

@@ -13,12 +13,12 @@ the bound is tight and the optimal tile is a rectangle.
 
 Real machines need integer block sizes.  :func:`solve_tiling` therefore
 follows the exact LP solve with an integer *round-and-grow* repair:
-floor each side (always feasible: flooring only shrinks per-array
-footprints, and ``lambda_i <= beta_i`` keeps sides within loop bounds),
-then greedily binary-search each side upward while every per-array
-footprint still fits the budget.  The repaired tile is never smaller
-than ``prod_i floor(M**lambda_i)``, i.e. within a ``2**d`` factor of
-the fractional optimum — the usual constant-factor slack of the model.
+clamp each side to ``min(L_i, max(1, round(M**lambda_i)))``, shrink if
+the rounded start overshoots the budget, then greedily binary-search
+each side upward while every per-array footprint still fits.  The
+result is a maximal feasible tile anchored at the analytic optimum —
+within a ``2**d`` factor of the fractional volume, the usual
+constant-factor slack of the model.
 """
 
 from __future__ import annotations
@@ -37,10 +37,24 @@ __all__ = [
     "TileShape",
     "TilingSolution",
     "build_tiling_lp",
+    "clamp_block",
     "integer_repair",
     "solve_tiling",
     "lvar",
 ]
+
+
+def clamp_block(x: float, bound: int) -> int:
+    """Legal block size nearest ``x``: ``min(bound, max(1, round(x)))``.
+
+    The one shared clamp for turning a fractional tile extent into a
+    block — never 0 (a loop bound smaller than the analytic extent must
+    still yield a block), never above the loop bound.  Used by
+    :func:`integer_repair` and by the autotuner's candidate generators
+    (:mod:`repro.tune.space`), which must round exactly the way the
+    seed does.
+    """
+    return min(int(bound), max(1, round(x)))
 
 #: Memory-budget conventions (see DESIGN.md §5).
 #: "per-array"  — each array's tile footprint <= M (the paper's model);
@@ -239,16 +253,29 @@ def integer_repair(
 ) -> TileShape:
     """Round-and-grow an LP-optimal fractional tile into a feasible integer one.
 
-    Floor each side (always feasible: flooring only shrinks footprints),
-    then grow each side to the largest value that keeps the tile within
-    budget, iterating to a fixpoint.  Shared by :func:`solve_tiling` and
-    the plan cache (:mod:`repro.plan`), which substitutes cached
-    parametric exponents instead of re-solving the LP.
+    Round each side with the clamp ``min(L, max(1, round(f)))`` — a side
+    never rounds to 0, even when a loop bound is smaller than the
+    analytic tile extent (skewed-bound nests hand us ``f > L``
+    routinely, and extents below 1 must still yield a unit block) — then
+    grow each side to the largest value that keeps the tile within
+    budget, iterating to a fixpoint.  Rounding to nearest can round
+    *up* (fractional part above one half, or a tie landing on the even
+    integer above) and overshoot the budget, and defensive callers may
+    pass an outright infeasible fractional tile; a shrink pre-pass
+    halves the largest sides until the start fits, so the returned tile
+    is feasible unconditionally.
+    Shared by :func:`solve_tiling` and the plan cache (:mod:`repro.plan`),
+    which substitutes cached parametric exponents instead of re-solving
+    the LP.
     """
-    blocks = [
-        max(1, min(L, math.floor(f + 1e-12)))
-        for f, L in zip(fractional, nest.bounds)
-    ]
+    blocks = [clamp_block(f, L) for f, L in zip(fractional, nest.bounds)]
+    while not TileShape(nest=nest, blocks=tuple(blocks)).is_feasible(cache_words, budget):
+        i = max(range(nest.depth), key=lambda k: blocks[k])
+        if blocks[i] <= 1:
+            # Even the unit tile busts the budget (cache smaller than one
+            # word per array under "aggregate"); return it as the minimum.
+            return TileShape(nest=nest, blocks=tuple(blocks))
+        blocks[i] //= 2
     changed = True
     while changed:
         changed = False

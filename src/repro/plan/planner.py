@@ -369,6 +369,10 @@ class Planner:
         # lru_cache, so fractional-block evaluation needs no twin here.)
         self._log_memo: dict[tuple[int, int], Fraction] = {}
         self._lock = threading.RLock()
+        # Serialises whole save()/load() calls: concurrent Session users
+        # sharing one planner must not interleave persistence I/O (the
+        # structure lock above only protects in-memory state).
+        self._io_lock = threading.Lock()
         if self.cache_path is not None and self.cache_path.exists():
             self.load(self.cache_path)
 
@@ -674,34 +678,52 @@ class Planner:
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | os.PathLike | None = None) -> Path:
-        """Write the structure cache as JSON (atomic replace)."""
+        """Write the structure cache as JSON — crash-safe and serialised.
+
+        The payload lands in a ``mkstemp`` sibling first and is moved
+        over the target with :func:`os.replace` (an atomic rename on
+        POSIX and Windows), so a crash mid-write can never leave a
+        truncated or half-old cache file behind; readers see either the
+        previous file or the complete new one.  Whole calls additionally
+        hold the planner's I/O lock, so concurrent sessions sharing one
+        planner cannot interleave their writes (last writer wins, with
+        each write internally consistent).
+        """
         target = Path(path) if path is not None else self.cache_path
         if target is None:
             raise ValueError("no cache path given")
-        with self._lock:
-            entries = {
-                key: {"pieces": [_piece_to_json(p) for p in plan.pvf.pieces]}
-                for key, plan in self._structures.items()
-            }
-        payload = {"version": _SCHEMA_VERSION, "entries": entries}
-        target.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(target.parent), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, indent=1)
-                handle.write("\n")
-            os.replace(tmp, target)
-        except OSError:
+        with self._io_lock:
+            with self._lock:
+                entries = {
+                    key: {"pieces": [_piece_to_json(p) for p in plan.pvf.pieces]}
+                    for key, plan in self._structures.items()
+                }
+            payload = {"version": _SCHEMA_VERSION, "entries": entries}
+            target.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(target.parent), suffix=".tmp")
             try:
-                os.unlink(tmp)
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle, indent=1)
+                    handle.write("\n")
+                os.replace(tmp, target)
             except OSError:
-                pass
-            raise
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         return target
 
     def load(self, path: str | os.PathLike) -> int:
-        """Load structures from JSON; returns the number installed."""
-        blob = json.loads(Path(path).read_text())
+        """Load structures from JSON; returns the number installed.
+
+        Serialised against concurrent :meth:`save` calls by the same
+        I/O lock, so a load never reads a file mid-write through a
+        non-atomic filesystem and never interleaves with this planner's
+        own writer.
+        """
+        with self._io_lock:
+            blob = json.loads(Path(path).read_text())
         if blob.get("version") != _SCHEMA_VERSION:
             raise ValueError(f"unsupported plan-cache version {blob.get('version')!r} in {path}")
         count = 0

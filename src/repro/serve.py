@@ -13,6 +13,7 @@ HTTP, with zero dependencies beyond the standard library:
 ``/v1/batch``         POST    ``{"requests": [...]}`` — ordered results
 ``/v1/sweep``         POST    one :class:`~repro.api.SweepRequest` grid
 ``/v1/simulate``      POST    one :class:`~repro.api.SimulateRequest`
+``/v1/tune``          POST    one :class:`~repro.api.TuneRequest`
 ``/v1/distributed``   POST    one :class:`~repro.api.DistributedRequest`
 ====================  ======  =============================================
 
@@ -41,7 +42,7 @@ from .api import (
     Session,
     SweepRequest,
 )
-from .api.requests import DistributedRequest, SimulateRequest
+from .api.requests import DistributedRequest, SimulateRequest, TuneRequest
 from .core.loopnest import LoopNestError
 from .core.parser import ParseError
 
@@ -129,7 +130,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if route == "/v1/health":
             self._guarded(lambda: (200, self.session.health().to_json()))
         elif route in (
-            "/v1/analyze", "/v1/batch", "/v1/sweep", "/v1/simulate", "/v1/distributed"
+            "/v1/analyze", "/v1/batch", "/v1/sweep", "/v1/simulate", "/v1/tune",
+            "/v1/distributed",
         ):
             self._send(405, _error_body("use POST with a JSON body", 405))
         else:
@@ -145,6 +147,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._guarded(self._post_sweep)
         elif route == "/v1/simulate":
             self._guarded(self._post_simulate)
+        elif route == "/v1/tune":
+            self._guarded(self._post_tune)
         elif route == "/v1/distributed":
             self._guarded(self._post_distributed)
         elif route == "/v1/health":
@@ -181,6 +185,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _post_simulate(self) -> tuple[int, dict]:
         request = SimulateRequest.from_json(self._read_json(), "simulate")
         return 200, self.session.simulate(request).to_json()
+
+    def _post_tune(self) -> tuple[int, dict]:
+        request = TuneRequest.from_json(self._read_json(), "tune")
+        # Serial candidate evaluation: worker pools belong to offline
+        # jobs, not to a threaded request handler (same as batch).
+        return 200, self.session.tune(request, workers=0).to_json()
 
     def _post_distributed(self) -> tuple[int, dict]:
         request = DistributedRequest.from_json(self._read_json(), "distributed")

@@ -1,0 +1,47 @@
+"""``repro.tune`` — simulation-in-the-loop integer tile autotuning.
+
+The paper's Theorem-3 tilings are rational and asymptotically optimal;
+after integer rounding at small or skewed bounds the realised plan can
+sit measurably above the communication lower bound.  This subsystem
+closes that gap empirically: it seeds a budgeted integer search at the
+analytic optimum (served by the plan cache), scores candidates with the
+batched trace engine's one-pass multi-capacity simulation, and reports
+a :class:`TuneReport` carrying the winning :class:`~repro.plan.TilePlan`,
+the measured traffic, the Theorem lower bound and the certificate ratio
+``measured / bound`` — plus a capacity→best-tile Pareto front from the
+same evaluations.
+
+* :mod:`repro.tune.space` — candidate generators (lattice neighbourhood,
+  divisor-snapped, power-of-two) around the repaired analytic seed;
+* :mod:`repro.tune.search` — budgeted strategies (exhaustive,
+  coordinate descent, random restarts) over a shared memoised evaluator;
+* :mod:`repro.tune.evaluate` — parallel candidate scoring via
+  :func:`repro.simulate.nest_miss_curve` (all capacities in one pass);
+* :mod:`repro.tune.tuner` — :func:`tune_tile`, the orchestration behind
+  ``Session.tune``, ``/v1/tune`` and ``repro-tile tune``;
+* :mod:`repro.tune.result` — the :class:`TuneReport` wire shape.
+"""
+
+from .evaluate import TileEvaluation, evaluate_candidates, evaluate_tile
+from .result import ParetoPoint, TuneReport, build_pareto
+from .search import STRATEGIES, BudgetedEvaluator, SearchOutcome, search_tiles
+from .space import GENERATORS, candidate_tiles, clamp_block
+from .tuner import default_capacities, tune_tile
+
+__all__ = [
+    "GENERATORS",
+    "STRATEGIES",
+    "BudgetedEvaluator",
+    "ParetoPoint",
+    "SearchOutcome",
+    "TileEvaluation",
+    "TuneReport",
+    "build_pareto",
+    "candidate_tiles",
+    "clamp_block",
+    "default_capacities",
+    "evaluate_candidates",
+    "evaluate_tile",
+    "search_tiles",
+    "tune_tile",
+]

@@ -1,0 +1,149 @@
+"""Candidate scoring: the batched trace engine in the tuning loop.
+
+Evaluating a candidate tile means generating its word-level trace with
+the vectorised generator and running the one-pass stack-distance
+simulation (:func:`repro.simulate.nest_miss_curve`).  The pay-off of
+the one-pass engine is that *every* cache capacity is priced by the
+same run: one evaluation yields the exact LRU traffic (misses +
+write-backs, the words crossing the cache boundary) at the tuning
+capacity **and** at every capacity of the requested Pareto axis, so a
+single tuning run produces a whole capacity→best-tile front for free.
+
+Evaluations are embarrassingly parallel across candidates;
+:func:`evaluate_candidates` fans them out to worker processes exactly
+like the plan engine fans out structure solves (JSON-able payloads
+only, serial fallback when no usable pool exists).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.loopnest import LoopNest
+from ..core.tiling import TileShape
+from ..simulate.multilevel import nest_miss_curve
+
+__all__ = ["TileEvaluation", "best_evaluation", "evaluate_tile", "evaluate_candidates"]
+
+#: Below this many candidates a process pool cannot pay for its own
+#: startup (fork + numpy import per worker dwarfs a few tiny traces), so
+#: smaller batches — coordinate descent's per-axis variants, random
+#: restarts — always take the serial path.
+MIN_PARALLEL_CANDIDATES = 8
+
+
+@dataclass(frozen=True)
+class TileEvaluation:
+    """Measured LRU traffic of one tile at every requested capacity.
+
+    ``traffic[c]`` is the exact words moved across a capacity-``c``
+    cache boundary (misses + write-backs, word-granular lines — the
+    paper's model) by the tiled execution's trace.
+    """
+
+    blocks: tuple[int, ...]
+    accesses: int
+    traffic: Mapping[int, int]
+
+    def traffic_at(self, capacity: int) -> int:
+        return self.traffic[int(capacity)]
+
+    def to_json(self) -> dict:
+        return {
+            "tile": list(self.blocks),
+            "accesses": self.accesses,
+            "traffic": {str(c): int(w) for c, w in sorted(self.traffic.items())},
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping) -> "TileEvaluation":
+        return cls(
+            blocks=tuple(int(b) for b in blob["tile"]),
+            accesses=int(blob["accesses"]),
+            traffic={int(c): int(w) for c, w in blob["traffic"].items()},
+        )
+
+
+def evaluate_tile(
+    nest: LoopNest,
+    blocks: Sequence[int],
+    capacities: Sequence[int],
+    use_native: bool | None = None,
+) -> TileEvaluation:
+    """One candidate through the one-pass simulator, all capacities at once."""
+    tile = TileShape(nest=nest, blocks=tuple(int(b) for b in blocks))
+    curve = nest_miss_curve(nest, tile=tile, use_native=use_native)
+    caps = np.asarray(sorted({int(c) for c in capacities}), dtype=np.int64)
+    _, misses, writebacks = curve.sweep(caps)
+    return TileEvaluation(
+        blocks=tile.blocks,
+        accesses=curve.accesses,
+        traffic={
+            int(c): int(m + w) for c, m, w in zip(caps.tolist(), misses, writebacks)
+        },
+    )
+
+
+def _evaluate_worker(payload: tuple[dict, list[int], list[int], bool | None]) -> dict:
+    """Worker entry point: JSON in, JSON out (start-method agnostic)."""
+    nest_json, blocks, capacities, use_native = payload
+    nest = LoopNest.from_json(nest_json)
+    return evaluate_tile(nest, blocks, capacities, use_native=use_native).to_json()
+
+
+def evaluate_candidates(
+    nest: LoopNest,
+    candidates: Sequence[Sequence[int]],
+    capacities: Sequence[int],
+    workers: int | None = None,
+    use_native: bool | None = None,
+) -> list[TileEvaluation]:
+    """Evaluate many candidates, in order; parallel when it can pay.
+
+    ``workers`` follows the plan-engine convention: ``0``/``1`` force
+    the serial path, ``None`` lets the executor pick.  A pool is only
+    attempted for :data:`MIN_PARALLEL_CANDIDATES` or more candidates
+    (below that, pool startup costs more than the simulations), and any
+    pool failure (restricted sandbox, missing semaphores) falls back to
+    serial — the answers are identical either way.
+    """
+    blocks_list = [tuple(int(b) for b in blocks) for blocks in candidates]
+    if len(blocks_list) >= MIN_PARALLEL_CANDIDATES and workers not in (0, 1):
+        nest_json = nest.to_json()
+        payloads = [
+            (nest_json, list(blocks), list(capacities), use_native)
+            for blocks in blocks_list
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return [
+                    TileEvaluation.from_json(blob)
+                    for blob in pool.map(_evaluate_worker, payloads)
+                ]
+        except (OSError, RuntimeError):
+            pass
+    return [
+        evaluate_tile(nest, blocks, capacities, use_native=use_native)
+        for blocks in blocks_list
+    ]
+
+
+def best_evaluation(
+    evaluations: Sequence[TileEvaluation], capacity: int
+) -> TileEvaluation:
+    """Minimum measured traffic at ``capacity``; ties keep the earliest entry.
+
+    The one tie-break rule of the subsystem: evaluations are ordered
+    seed-first, so "earliest wins" is exactly the documented
+    never-worse-than-seed guarantee.  Shared by the search driver
+    (overall winner) and the Pareto front (per-capacity winners).
+    """
+    best = evaluations[0]
+    for evaluation in evaluations[1:]:
+        if evaluation.traffic_at(capacity) < best.traffic_at(capacity):
+            best = evaluation
+    return best

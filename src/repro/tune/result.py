@@ -1,0 +1,186 @@
+"""The tuning report: winner, certificate ratio, and the Pareto front.
+
+A :class:`TuneReport` is the answer the autotuner serves: the winning
+:class:`~repro.plan.TilePlan` (the analytic plan with its tile replaced
+by the tuned winner), the measured traffic of seed and winner, the
+Theorem lower bound, and the *certificate ratio* ``measured / bound`` —
+an optimality certificate in the empirical sense: a ratio of 1.0 means
+the plan provably cannot be beaten by any schedule on that cache, and
+the gap to 1.0 bounds how much any further tuning could recover.  The
+one-pass evaluation prices every capacity at once, so the report also
+carries a capacity→best-tile Pareto front from the same evaluations.
+
+Serialization follows the façade's wire conventions (Fractions as
+``"p/q"`` strings, plain JSON types), so the payload is identical
+across ``Session.tune``, ``/v1/tune`` and ``repro-tile tune``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..plan.planner import TilePlan
+from .evaluate import TileEvaluation, best_evaluation
+
+__all__ = ["ParetoPoint", "TuneReport", "build_pareto"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """Best evaluated tile at one cache capacity."""
+
+    cache_words: int
+    blocks: tuple[int, ...]
+    traffic_words: int
+    lower_bound_words: float
+    certificate_ratio: float
+
+    def to_json(self) -> dict:
+        return {
+            "cache_words": self.cache_words,
+            "tile": list(self.blocks),
+            "traffic_words": self.traffic_words,
+            "lower_bound_words": self.lower_bound_words,
+            "certificate_ratio": self.certificate_ratio,
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping) -> "ParetoPoint":
+        return cls(
+            cache_words=int(blob["cache_words"]),
+            blocks=tuple(int(b) for b in blob["tile"]),
+            traffic_words=int(blob["traffic_words"]),
+            lower_bound_words=float(blob["lower_bound_words"]),
+            certificate_ratio=float(blob["certificate_ratio"]),
+        )
+
+
+@dataclass(frozen=True)
+class TuneReport:
+    """One tuning run, certified against the Theorem lower bound.
+
+    ``plan`` is the winning :class:`~repro.plan.TilePlan`: the analytic
+    seed plan (exponent, lambdas and lower bound untouched — they
+    certify the *bound*, not the tile) with ``tile`` replaced by the
+    tuned winner.  ``seed_*`` keeps the analytically-rounded tile's
+    measurements so the report always shows what tuning bought.
+    """
+
+    plan: TilePlan
+    strategy: str
+    max_evaluations: int
+    evaluations_used: int
+    seed_blocks: tuple[int, ...]
+    seed_traffic_words: int
+    tuned_traffic_words: int
+    lower_bound_words: float
+    accesses: int
+    pareto: tuple[ParetoPoint, ...]
+    candidates: tuple[TileEvaluation, ...] = ()
+
+    @property
+    def tuned_blocks(self) -> tuple[int, ...]:
+        return self.plan.tile.blocks
+
+    @property
+    def seed_ratio(self) -> float:
+        """Certificate ratio of the analytically-rounded seed tile."""
+        return self.seed_traffic_words / self.lower_bound_words
+
+    @property
+    def tuned_ratio(self) -> float:
+        """Certificate ratio ``measured / bound`` of the winner (>= 1)."""
+        return self.tuned_traffic_words / self.lower_bound_words
+
+    @property
+    def improvement(self) -> float:
+        """Seed-over-tuned traffic factor (1.0 = tuning found nothing)."""
+        return self.seed_traffic_words / self.tuned_traffic_words
+
+    def summary(self) -> str:
+        return (
+            f"{self.plan.nest.name}: M={self.plan.cache_words} "
+            f"seed tile={list(self.seed_blocks)} ({self.seed_ratio:.3f}x bound) -> "
+            f"tuned tile={list(self.tuned_blocks)} ({self.tuned_ratio:.3f}x bound) "
+            f"[{self.strategy}, {self.evaluations_used} evaluations]"
+        )
+
+    def to_json(self) -> dict:
+        """The wire payload (JSON-safe, deterministic for one request).
+
+        ``cache_hit`` is session provenance, not part of the answer — it
+        rides on the Result envelope's ``meta`` (like analyze payloads),
+        so one request yields one payload whether the plan cache was
+        cold or warm.
+        """
+        plan_json = self.plan.to_json()
+        plan_json.pop("cache_hit", None)
+        return {
+            "plan": plan_json,
+            "strategy": self.strategy,
+            "max_evaluations": self.max_evaluations,
+            "evaluations_used": self.evaluations_used,
+            "accesses": self.accesses,
+            "seed": {
+                "tile": list(self.seed_blocks),
+                "traffic_words": self.seed_traffic_words,
+                "certificate_ratio": self.seed_ratio,
+            },
+            "tuned": {
+                "tile": list(self.tuned_blocks),
+                "traffic_words": self.tuned_traffic_words,
+                "certificate_ratio": self.tuned_ratio,
+            },
+            "lower_bound_words": self.lower_bound_words,
+            "improvement": self.improvement,
+            "pareto": [point.to_json() for point in self.pareto],
+            "candidates": [c.to_json() for c in self.candidates],
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping) -> "TuneReport":
+        """Inverse of :meth:`to_json` (ratios are derived, not stored)."""
+        return cls(
+            plan=TilePlan.from_json(dict(blob["plan"])),
+            strategy=str(blob["strategy"]),
+            max_evaluations=int(blob["max_evaluations"]),
+            evaluations_used=int(blob["evaluations_used"]),
+            seed_blocks=tuple(int(b) for b in blob["seed"]["tile"]),
+            seed_traffic_words=int(blob["seed"]["traffic_words"]),
+            tuned_traffic_words=int(blob["tuned"]["traffic_words"]),
+            lower_bound_words=float(blob["lower_bound_words"]),
+            accesses=int(blob["accesses"]),
+            pareto=tuple(ParetoPoint.from_json(p) for p in blob["pareto"]),
+            candidates=tuple(
+                TileEvaluation.from_json(c) for c in blob.get("candidates", ())
+            ),
+        )
+
+
+def build_pareto(
+    evaluations: Sequence[TileEvaluation],
+    capacities: Sequence[int],
+    bounds_by_capacity: Mapping[int, float],
+) -> tuple[ParetoPoint, ...]:
+    """Capacity→best-tile front over one run's evaluations.
+
+    For each capacity, the evaluated tile with the least measured
+    traffic there (the shared :func:`~repro.tune.evaluate.best_evaluation`
+    tie-break: earliest evaluation — i.e. the seed — wins ties).
+    """
+    points = []
+    for capacity in sorted({int(c) for c in capacities}):
+        best = best_evaluation(evaluations, capacity)
+        bound = float(bounds_by_capacity[capacity])
+        traffic = best.traffic_at(capacity)
+        points.append(
+            ParetoPoint(
+                cache_words=capacity,
+                blocks=best.blocks,
+                traffic_words=traffic,
+                lower_bound_words=bound,
+                certificate_ratio=traffic / bound if bound > 0 else float("inf"),
+            )
+        )
+    return tuple(points)

@@ -1,0 +1,184 @@
+"""The integer tile search space: where candidates come from.
+
+The analytic Theorem-3 optimum (after :func:`~repro.core.tiling.
+integer_repair`) maximises tile *volume* under the footprint model, but
+measured LRU traffic also depends on effects the model prices at
+constant factors: ragged edge tiles when blocks do not divide the loop
+bounds, the aggregate-vs-per-array budget gap, and conflict between
+arrays sharing one cache.  Closing that gap is a small integer search —
+the analytic optimum is the right *seed*, not the final answer (cf.
+Demmel & Rusciano's HBL-parallelepiped refinements).
+
+Three deterministic candidate generators, each anchored at the seed:
+
+* :func:`neighborhood` — the tile lattice within ``radius`` steps of
+  the seed per dimension (plus halving/doubling rungs), ordered by L1
+  distance so evaluation budgets spend themselves closest-first;
+* :func:`divisor_snapped` — seed blocks snapped to the nearest divisors
+  of each loop bound (divisor tiles have no ragged remainder tiles);
+* :func:`power_of_two` — seed blocks snapped to the neighbouring powers
+  of two (alignment-friendly, and the shape autotuners try first).
+
+All generators emit only blocks within ``1 <= b <= L`` and (through
+:func:`candidate_tiles`) only tiles feasible for the requested cache
+budget, so any candidate is a valid plan.  :func:`clamp_block` is the
+shared clamp for turning a fractional extent into a legal block size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from ..core.loopnest import LoopNest
+from ..core.tiling import BUDGETS, TileShape, clamp_block
+
+__all__ = [
+    "GENERATORS",
+    "clamp_block",  # re-exported from repro.core.tiling: one clamp, one source
+    "candidate_tiles",
+    "divisor_snapped",
+    "neighborhood",
+    "power_of_two",
+]
+
+#: Generator names accepted by :func:`candidate_tiles`, in emission order.
+GENERATORS = ("neighborhood", "divisor", "pow2")
+
+
+def _divisors(n: int) -> list[int]:
+    """All divisors of ``n``, ascending (``n <= ~10^6`` in practice)."""
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def _snap_values(sorted_values: Sequence[int], near: int, count: int = 2) -> list[int]:
+    """Up to ``count`` values below and above ``near`` from a sorted list."""
+    lo = [v for v in sorted_values if v <= near][-count:]
+    hi = [v for v in sorted_values if v > near][:count]
+    return lo + hi
+
+
+def _axis_product(
+    axes: Sequence[Sequence[int]], seed: Sequence[int]
+) -> Iterator[tuple[int, ...]]:
+    """Cartesian product of per-dimension axes, nearest the seed first."""
+    combos = sorted(
+        itertools.product(*axes),
+        key=lambda blocks: (sum(abs(b - s) for b, s in zip(blocks, seed)), blocks),
+    )
+    return iter(combos)
+
+
+def neighborhood(
+    nest: LoopNest, seed: Sequence[int], radius: int = 1
+) -> Iterator[tuple[int, ...]]:
+    """Lattice tiles within ``radius`` unit steps of the seed per dimension.
+
+    Each axis also carries the halved and doubled seed block (clamped),
+    so the neighbourhood can cross order-of-magnitude mistakes of the
+    rounding in one move.  Ordered by L1 distance from the seed.
+    """
+    axes = []
+    for s, bound in zip(seed, nest.bounds):
+        values = {clamp_block(s + step, bound) for step in range(-radius, radius + 1)}
+        values.add(clamp_block(s // 2, bound))
+        values.add(clamp_block(s * 2, bound))
+        axes.append(sorted(values))
+    return _axis_product(axes, seed)
+
+
+def divisor_snapped(nest: LoopNest, seed: Sequence[int]) -> Iterator[tuple[int, ...]]:
+    """Seed blocks snapped to the nearest divisors of each loop bound.
+
+    Divisor blocks tile the iteration space without ragged remainder
+    tiles — the classic reason a slightly smaller tile beats the
+    volume-maximal one on measured traffic.
+    """
+    axes = [
+        sorted(set(_snap_values(_divisors(bound), s)))
+        for s, bound in zip(seed, nest.bounds)
+    ]
+    return _axis_product(axes, seed)
+
+
+def power_of_two(nest: LoopNest, seed: Sequence[int]) -> Iterator[tuple[int, ...]]:
+    """Seed blocks snapped to the neighbouring powers of two (clamped)."""
+    axes = []
+    for s, bound in zip(seed, nest.bounds):
+        below = 1 << (max(1, s).bit_length() - 1)  # largest power of two <= s
+        values = {clamp_block(below, bound), clamp_block(below * 2, bound)}
+        axes.append(sorted(values))
+    return _axis_product(axes, seed)
+
+
+def axis_values(nest: LoopNest, seed: Sequence[int], i: int, radius: int = 1) -> list[int]:
+    """Candidate values for dimension ``i`` alone (coordinate-descent moves).
+
+    The union of the three generators' per-dimension axes, ascending.
+    """
+    s, bound = seed[i], nest.bounds[i]
+    values = {clamp_block(s + step, bound) for step in range(-radius, radius + 1)}
+    values.add(clamp_block(s // 2, bound))
+    values.add(clamp_block(s * 2, bound))
+    values.update(_snap_values(_divisors(bound), s))
+    below = 1 << (max(1, s).bit_length() - 1)
+    values.update((clamp_block(below, bound), clamp_block(below * 2, bound)))
+    return sorted(values)
+
+
+def candidate_tiles(
+    nest: LoopNest,
+    cache_words: int,
+    seed: Sequence[int],
+    budget: str = "aggregate",
+    radius: int = 1,
+    generators: Iterable[str] = GENERATORS,
+    limit: int | None = None,
+) -> list[tuple[int, ...]]:
+    """The deduplicated, feasible candidate list — seed always first.
+
+    Generators run in the order of ``generators``; within each, tiles
+    closest to the seed come first, so truncating to ``limit`` keeps the
+    most promising region.  Every returned tile satisfies the block
+    bounds and is feasible for ``(cache_words, budget)``; the seed is
+    included unconditionally when itself feasible.
+    """
+    if budget not in BUDGETS:
+        raise ValueError(f"unknown budget {budget!r}; expected one of {BUDGETS}")
+    unknown = [g for g in generators if g not in GENERATORS]
+    if unknown:
+        raise ValueError(f"unknown generators {unknown}; expected among {GENERATORS}")
+    streams = {
+        "neighborhood": lambda: neighborhood(nest, seed, radius=radius),
+        "divisor": lambda: divisor_snapped(nest, seed),
+        "pow2": lambda: power_of_two(nest, seed),
+    }
+    out: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+
+    def push(blocks: tuple[int, ...]) -> bool:
+        if blocks in seen:
+            return False
+        seen.add(blocks)
+        if not all(1 <= b <= bound for b, bound in zip(blocks, nest.bounds)):
+            return False
+        if not TileShape(nest=nest, blocks=blocks).is_feasible(cache_words, budget):
+            return False
+        out.append(blocks)
+        return True
+
+    push(tuple(int(b) for b in seed))
+    for name in generators:
+        for blocks in streams[name]():
+            if limit is not None and len(out) >= limit:
+                return out
+            push(blocks)
+    return out

@@ -1,0 +1,143 @@
+"""The autotuning entry point: analytic seed -> budgeted search -> report.
+
+:func:`tune_tile` is the orchestration every service surface calls:
+
+1. **Seed.** Ask the plan cache (:class:`~repro.plan.Planner`) for the
+   Theorem-3 optimum and its :func:`~repro.core.tiling.integer_repair`
+   rounding — the analytically best rectangle, and the baseline every
+   tuned plan must beat or match.
+2. **Search.** Run one strategy (:mod:`repro.tune.search`) over the
+   candidate lattice (:mod:`repro.tune.space`), scoring candidates with
+   the one-pass trace simulator (:mod:`repro.tune.evaluate`) at every
+   capacity of the Pareto axis simultaneously.
+3. **Certify.** Price the Theorem lower bound at each capacity through
+   the same plan cache (piecewise evaluation — no LP solve when warm)
+   and report certificate ratios ``measured / bound``; the ratio at the
+   tuning capacity is the report's headline number.
+
+The whole run is deterministic for a fixed request (the random strategy
+is seeded), which is what makes ``Session.tune``, ``/v1/tune`` and
+``repro-tile tune`` return byte-identical payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..core.loopnest import LoopNest
+from ..core.tiling import BUDGETS, TileShape
+from ..plan.planner import Planner, TilePlan
+from .result import TuneReport, build_pareto
+from .search import STRATEGIES, search_tiles
+
+__all__ = ["default_capacities", "tune_tile"]
+
+
+def default_capacities(cache_words: int) -> tuple[int, ...]:
+    """The default Pareto axis: powers of two up to ``cache_words``.
+
+    Starts at 4 (the smallest capacity the plan cache prices) and always
+    includes ``cache_words`` itself, so the front spans "tiny cache" to
+    "the cache being tuned for".
+    """
+    caps = {int(cache_words)}
+    c = 4
+    while c < cache_words:
+        caps.add(c)
+        c *= 2
+    return tuple(sorted(caps))
+
+
+def tune_tile(
+    nest: LoopNest,
+    cache_words: int,
+    *,
+    budget: str = "aggregate",
+    strategy: str = "exhaustive",
+    max_evaluations: int = 64,
+    radius: int = 1,
+    capacities: Sequence[int] | None = None,
+    include_candidates: bool = False,
+    planner: Planner | None = None,
+    workers: int | None = None,
+    use_native: bool | None = None,
+    rng_seed: int = 0,
+) -> TuneReport:
+    """Simulation-in-the-loop integer tile autotuning, certified.
+
+    Parameters mirror the request schema (:class:`repro.api.TuneRequest`);
+    ``planner`` shares a session's plan cache (seed plan and per-capacity
+    bounds are cache hits on warm structures) and defaults to the
+    process-wide :func:`repro.api.default_session`'s planner — like
+    ``repro.analyze``, repeated top-level calls on structurally
+    identical nests never re-run the simplex.  ``workers`` parallelises
+    candidate evaluation like the plan engine parallelises structure
+    solves.  ``include_candidates=True`` attaches every evaluation to
+    the report (the bench and notebooks want the full table; the wire
+    default keeps payloads small).
+
+    Returns a :class:`~repro.tune.TuneReport` whose winning tile is
+    never worse (in measured traffic at ``cache_words``) than the
+    analytically-rounded seed.
+    """
+    if cache_words < 2:
+        raise ValueError("tuning needs cache_words >= 2")
+    if budget not in BUDGETS:
+        raise ValueError(f"unknown budget {budget!r}; expected one of {BUDGETS}")
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    if planner is None:
+        # Deferred import: repro.api.session imports this module, so the
+        # dependency can only run at call time (by which point the api
+        # package is fully initialised).
+        from ..api.session import default_session
+
+        planner = default_session().planner
+
+    seed_plan: TilePlan = planner.plan(nest, cache_words, budget, include_bound=True)
+    caps = tuple(sorted(set(default_capacities(cache_words) if capacities is None
+                            else (int(c) for c in capacities)) | {int(cache_words)}))
+    if any(c < 2 for c in caps):
+        raise ValueError("capacities must be >= 2")
+
+    outcome = search_tiles(
+        nest,
+        cache_words,
+        seed_plan.tile.blocks,
+        strategy,
+        budget_conv=budget,
+        max_evaluations=max_evaluations,
+        radius=radius,
+        capacities=caps,
+        workers=workers,
+        use_native=use_native,
+        rng_seed=rng_seed,
+    )
+
+    # The lower bound at every capacity of the axis, served through the
+    # plan cache (always the paper-model per-array bound, like analyze).
+    bounds_by_capacity = {}
+    for capacity in caps:
+        bound = planner.plan(nest, capacity, "per-array", include_bound=True).lower_bound
+        assert bound is not None
+        bounds_by_capacity[capacity] = bound.value
+
+    seed_eval = outcome.evaluations[0]
+    assert seed_eval.blocks == seed_plan.tile.blocks
+    winning_plan = replace(
+        seed_plan, tile=TileShape(nest=nest, blocks=outcome.best.blocks)
+    )
+    return TuneReport(
+        plan=winning_plan,
+        strategy=strategy,
+        max_evaluations=max_evaluations,
+        evaluations_used=outcome.evaluations_used,
+        seed_blocks=seed_plan.tile.blocks,
+        seed_traffic_words=seed_eval.traffic_at(cache_words),
+        tuned_traffic_words=outcome.best.traffic_at(cache_words),
+        lower_bound_words=bounds_by_capacity[int(cache_words)],
+        accesses=seed_eval.accesses,
+        pareto=build_pareto(outcome.evaluations, caps, bounds_by_capacity),
+        candidates=outcome.evaluations if include_candidates else (),
+    )

@@ -186,6 +186,51 @@ class TestCacheMechanics:
         with pytest.raises(ValueError):
             Planner(cache_path=path)
 
+    def test_save_is_atomic_no_tmp_droppings(self, tmp_path):
+        # Crash-safety contract: the write goes to a mkstemp sibling and
+        # lands via os.replace; after a successful save no temp files
+        # remain and the target parses as complete JSON.
+        path = tmp_path / "plans.json"
+        planner = Planner(cache_path=path)
+        planner.plan(CATALOG["matmul"], 2**12)
+        planner.save()
+        planner.plan(CATALOG["nbody"], 2**12)
+        planner.save()  # overwrite: still atomic, still complete
+        assert [p.name for p in tmp_path.iterdir()] == ["plans.json"]
+        blob = json.loads(path.read_text())
+        assert len(blob["entries"]) == 2
+
+    def test_concurrent_saves_never_interleave(self, tmp_path):
+        # Many threads hammering save() on one shared planner (the
+        # concurrent-Session scenario): every observable file state must
+        # be a complete, parseable snapshot with all structures present.
+        import threading
+
+        path = tmp_path / "plans.json"
+        planner = Planner(cache_path=path)
+        for nest in (CATALOG["matmul"], CATALOG["nbody"], CATALOG["matvec"]):
+            planner.plan(nest, 2**12)
+        expected = sorted(planner.cached_keys())
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(10):
+                    planner.save()
+                    blob = json.loads(path.read_text())
+                    assert blob["version"] == 1
+                    assert sorted(blob["entries"]) == expected
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert Planner(cache_path=path).stats.structure_solves == 0
+
 
 class TestPlanBatch:
     def test_ordered_results_and_tuple_requests(self):

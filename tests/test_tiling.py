@@ -5,7 +5,7 @@ from math import prod
 
 import pytest
 
-from repro.core.tiling import TileShape, build_tiling_lp, solve_tiling
+from repro.core.tiling import TileShape, build_tiling_lp, integer_repair, solve_tiling
 from repro.library.problems import (
     matmul,
     matvec,
@@ -130,6 +130,61 @@ class TestTilingLP:
             solve_tiling(matmul(4, 4, 4), 16, budget="bogus")
         with pytest.raises(ValueError):
             build_tiling_lp(matmul(4, 4, 4), 16, betas=[1, 1])
+
+
+class TestIntegerRepairClamp:
+    """Regressions for the ``min(L, max(1, round(x)))`` clamp at skewed bounds."""
+
+    def test_extent_above_bound_clamps_to_bound(self):
+        # A loop bound smaller than the analytic tile extent must yield
+        # the bound itself, never 0 and never above L.
+        nest = matmul(4, 10_000, 3)
+        tile = integer_repair(nest, [900.0, 2.5, 700.0], 10**6, "per-array")
+        for b, L in zip(tile.blocks, nest.bounds):
+            assert 1 <= b <= L
+        assert tile.is_feasible(10**6, "per-array")
+
+    def test_extent_below_one_clamps_to_unit(self):
+        nest = nbody(7, 1)
+        tile = integer_repair(nest, [0.3, 0.0001], 4, "per-array")
+        assert all(b >= 1 for b in tile.blocks)
+        assert tile.is_feasible(4, "per-array")
+
+    def test_infeasible_fractional_input_is_repaired(self):
+        # Defensive-caller path: garbage extents way over budget must
+        # still come back feasible (shrink pre-pass), not crash.
+        nest = matmul(64, 64, 64)
+        tile = integer_repair(nest, [64.0, 64.0, 64.0], 32, "aggregate")
+        assert tile.total_footprint() <= 32
+
+    def test_round_up_overshoot_recovers(self):
+        # Rounding 3.6 -> 4 per side busts the per-array budget (every
+        # matmul footprint becomes 16 > 12); the shrink pre-pass must
+        # kick in and the result still be feasible and no smaller than
+        # the floored tile volume.
+        nest = matmul(100, 100, 100)
+        start = tuple(min(L, max(1, round(3.6))) for L in nest.bounds)
+        assert not TileShape(nest=nest, blocks=start).is_feasible(12, "per-array")
+        tile = integer_repair(nest, [3.6, 3.6, 3.6], 12, "per-array")
+        assert tile.is_feasible(12, "per-array")
+        assert tile.volume >= 3 * 3 * 3
+
+    def test_skewed_bound_solves_across_budgets(self):
+        # End-to-end regressions: skewed/small bounds where rationals
+        # collide with tiny loop extents.
+        for nest in [
+            matmul(1, 1, 4096),
+            matmul(2, 4096, 2),
+            nbody(1, 4096),
+            mttkrp(3, 1, 4096, 2),
+            tensor_contraction((1,), (4096,), (1, 3)),
+        ]:
+            for M in (4, 10, 2**12):
+                for budget in ("per-array", "aggregate"):
+                    sol = solve_tiling(nest, M, budget=budget)
+                    for b, L in zip(sol.tile.blocks, nest.bounds):
+                        assert 1 <= b <= L, (nest.name, M, budget)
+                    assert sol.tile.is_feasible(M, budget), (nest.name, M, budget)
 
 
 class TestLPStructure:
