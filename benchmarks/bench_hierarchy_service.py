@@ -1,0 +1,146 @@
+"""E19: hierarchy-native serving — nested plans, certified and tuned.
+
+The claim of the hierarchy surface: a whole memory hierarchy costs one
+canonical-structure solve (ever), one cached mpLP piece evaluation per
+level, and **one** trace pass to price every boundary — so serving and
+tuning a multi-level plan is barely more expensive than a single-level
+analyze + simulate.  The bench drives a catalog of (nest, capacity
+stack) cases through ``Session.hierarchy`` — the same façade path the
+CLI and ``/v1/hierarchy`` use — and emits
+``benchmarks/results/BENCH_hierarchy.json``.
+
+Assertions pin the subsystem's contractual facts on every case:
+
+* every boundary's certificate ratio is >= 1 (the Theorem bound holds
+  for any schedule, and the simulator must agree);
+* the tuned nested tiling's *total* boundary traffic never exceeds the
+  analytic seed's;
+* level tiles are nested (level-l blocks inside level-(l+1) blocks);
+* a repeat of a structurally identical nest at a *different* capacity
+  stack is a plan-cache warm hit (no new simplex run).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.api import HierarchyRequest, Session
+
+RESULTS = Path(__file__).parent / "results"
+
+#: (label, request) — small/skewed instances; capacity stacks include a
+#: nearly-equal adjacent pair and a level above the full footprint.
+CASES = [
+    ("matmul_cube", {"problem": "matmul", "sizes": [24, 24, 24],
+                     "capacities": [48, 192, 768]}),
+    ("matmul_skewed_thin", {"problem": "matmul", "sizes": [40, 40, 6],
+                            "capacities": [32, 96, 288]}),
+    ("matmul_adjacent_caps", {"problem": "matmul", "sizes": [16, 16, 16],
+                              "capacities": [300, 301]}),
+    ("nbody_small", {"problem": "nbody", "sizes": [50, 50],
+                     "capacities": [16, 64, 256]}),
+    ("nbody_huge_top", {"problem": "nbody", "sizes": [40, 40],
+                        "capacities": [32, 8192]}),
+    ("conv_pointwise", {"problem": "pointwise_conv", "sizes": [4, 8, 8, 6, 6],
+                        "capacities": [64, 256, 1024]}),
+    ("mttkrp_small", {"problem": "mttkrp", "sizes": [12, 12, 12, 4],
+                      "capacities": [64, 512]}),
+]
+
+
+def test_e19_hierarchy_certified_per_boundary(table, smoke):
+    cases = CASES[:3] if smoke else CASES
+    tune_budget = 8 if smoke else 32
+    session = Session(workers=0)
+
+    rows = []
+    t = table(
+        "e19_hierarchy",
+        ["case", "levels", "tiles", "seed total", "tuned total",
+         "worst ratio", "ms"],
+    )
+    t0 = time.perf_counter()
+    for label, blob in cases:
+        request = HierarchyRequest.from_json({**blob, "tune_budget": tune_budget})
+        result = session.hierarchy(request)
+        report = result.detail
+        assert report.tuned_total_traffic_words <= report.seed_total_traffic_words, label
+        for boundary in report.boundaries:
+            assert boundary.certificate_ratio >= 1.0, (label, boundary.cache_words)
+        for inner, outer in zip(report.tiles, report.tiles[1:]):
+            assert all(a <= b for a, b in zip(inner, outer)), label
+        worst = max(b.certificate_ratio for b in report.boundaries)
+        t.add(
+            label,
+            len(report.boundaries),
+            " ⊆ ".join("x".join(map(str, tile)) for tile in report.tiles),
+            report.seed_total_traffic_words,
+            report.tuned_total_traffic_words,
+            f"{worst:.3f}",
+            f"{result.elapsed_ms:.1f}",
+        )
+        rows.append({
+            "case": label,
+            "problem": report.nest.name,
+            "bounds": list(report.nest.bounds),
+            "capacities": list(report.capacities),
+            "budget": report.budget,
+            "evaluations": report.evaluations_used,
+            "tiles": [list(tile) for tile in report.tiles],
+            "seed_total_traffic_words": report.seed_total_traffic_words,
+            "tuned_total_traffic_words": report.tuned_total_traffic_words,
+            "improvement": round(report.improvement, 4),
+            "boundaries": [
+                {
+                    "cache_words": b.cache_words,
+                    "traffic_words": b.traffic_words,
+                    "lower_bound_words": b.lower_bound_words,
+                    "certificate_ratio": round(b.certificate_ratio, 4),
+                    "seed_certificate_ratio": round(b.seed_certificate_ratio, 4),
+                }
+                for b in report.boundaries
+            ],
+            "elapsed_ms": result.elapsed_ms,
+        })
+    elapsed = time.perf_counter() - t0
+
+    if not smoke:
+        strict = [
+            r for r in rows
+            if r["tuned_total_traffic_words"] < r["seed_total_traffic_words"]
+        ]
+        payload = {
+            "experiment": "hierarchy_service",
+            "what": "nested multi-level plans served and tuned through "
+            "Session.hierarchy; per-boundary certificate ratios from one "
+            "trace pass",
+            "tune_budget": tune_budget,
+            "cases": rows,
+            "strict_improvements": len(strict),
+            "seconds": round(elapsed, 3),
+            "planner_stats": session.stats.as_dict(),
+        }
+        RESULTS.mkdir(exist_ok=True)
+        (RESULTS / "BENCH_hierarchy.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        # The small/skewed regime must show real tuning wins somewhere.
+        assert len(strict) >= 2, payload
+
+
+def test_e19_warm_stack_is_cache_hit(table, smoke):
+    """Structurally identical nests at different stacks never re-solve."""
+    session = Session(workers=0)
+    t = table("e19_warm_stacks", ["stack", "cache hit", "ms"])
+    stacks = ([64, 512], [48, 192, 768], [100, 400, 1600])
+    for idx, caps in enumerate(stacks):
+        result = session.hierarchy(
+            HierarchyRequest.from_json(
+                {"problem": "matmul", "sizes": [20 + idx, 20, 20],
+                 "capacities": caps}
+            )
+        )
+        assert result.meta["cache_hit"] is (idx > 0)
+        t.add(":".join(map(str, caps)), result.meta["cache_hit"],
+              f"{result.elapsed_ms:.1f}")
+    assert session.stats.structure_solves == 1

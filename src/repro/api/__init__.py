@@ -27,6 +27,7 @@ True
 from .requests import (
     AnalyzeRequest,
     DistributedRequest,
+    HierarchyRequest,
     SimulateRequest,
     SweepRequest,
     TuneRequest,
@@ -41,6 +42,7 @@ __all__ = [
     "SimulateRequest",
     "SweepRequest",
     "TuneRequest",
+    "HierarchyRequest",
     "DistributedRequest",
     "RequestError",
     "Result",

@@ -1,6 +1,6 @@
 """Typed request schema of the façade (schema v1).
 
-Five request dataclasses cover the service surface:
+Six request dataclasses cover the service surface:
 
 * :class:`AnalyzeRequest` — bound + optimal tile (+ certificate) for
   one (nest, cache) query; the unit ``Session.batch`` fans over.
@@ -10,6 +10,8 @@ Five request dataclasses cover the service surface:
   (sizes x cache sizes), expanded server-side.
 * :class:`TuneRequest` — simulation-in-the-loop integer tile
   autotuning with a lower-bound optimality certificate.
+* :class:`HierarchyRequest` — nested tilings for a whole memory
+  hierarchy, certified per boundary, with an optional tune budget.
 * :class:`DistributedRequest` — processor-grid traffic vs the
   memory-dependent distributed lower bound.
 
@@ -39,6 +41,7 @@ __all__ = [
     "SimulateRequest",
     "SweepRequest",
     "TuneRequest",
+    "HierarchyRequest",
     "DistributedRequest",
 ]
 
@@ -373,6 +376,87 @@ class TuneRequest:
                 capacities=(
                     tuple(int(c) for c in capacities) if capacities is not None else None
                 ),
+            ).validate()
+
+        return _build_request(where, build)
+
+
+@dataclass(frozen=True)
+class HierarchyRequest:
+    """Multi-level hierarchy query (``/v1/hierarchy``).
+
+    Plans nested communication-optimal integer tilings for a stack of
+    strictly increasing cache ``capacities`` (innermost first), measures
+    the innermost tile walk's traffic across *every* boundary from one
+    trace pass, and certifies each boundary against its Theorem bound.
+    ``tune_budget > 0`` additionally searches innermost tiles (capped
+    componentwise by the next level's tile, so the hierarchy never
+    un-nests) minimising the total boundary traffic; ``0`` serves the
+    analytic nested plan, measured once.  Deterministic: the same
+    request yields the same payload on every surface.
+    """
+
+    nest: LoopNest
+    capacities: tuple[int, ...]
+    budget: str = "aggregate"
+    tune_budget: int = 0
+    strategy: str = "exhaustive"
+    radius: int = 1
+
+    def validate(self) -> "HierarchyRequest":
+        _require(bool(self.capacities), "hierarchy needs at least one capacity")
+        for c in self.capacities:
+            _require(c >= 2, f"capacities must be >= 2, got {c}")
+        _require(
+            all(a < b for a, b in zip(self.capacities, self.capacities[1:])),
+            f"capacities must be strictly increasing, got {list(self.capacities)}",
+        )
+        _check_budget(self.budget)
+        if self.budget == "aggregate":
+            _require(
+                self.capacities[0] >= self.nest.num_arrays,
+                f"aggregate budget needs the innermost level >= "
+                f"{self.nest.num_arrays} words (one per array), got {self.capacities[0]}",
+            )
+        _require(
+            self.strategy in STRATEGIES,
+            f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}",
+        )
+        _require(
+            0 <= self.tune_budget <= MAX_TUNE_EVALUATIONS,
+            f"tune_budget must be in [0, {MAX_TUNE_EVALUATIONS}], "
+            f"got {self.tune_budget}",
+        )
+        _require(0 <= self.radius <= 8, f"radius must be in [0, 8], got {self.radius}")
+        # Every boundary is priced from a measured trace; guard its length.
+        accesses = trace_length(self.nest)
+        _require(
+            accesses <= MAX_TRACE_ACCESSES,
+            f"trace of {accesses} accesses exceeds the {MAX_TRACE_ACCESSES} guard; "
+            "analyze a smaller instance",
+        )
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "nest": self.nest.to_json(),
+            "capacities": list(self.capacities),
+            "budget": self.budget,
+            "tune_budget": self.tune_budget,
+            "strategy": self.strategy,
+            "radius": self.radius,
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping, where: str = "hierarchy request") -> "HierarchyRequest":
+        def build():
+            return cls(
+                nest=nest_from_json(blob, where),
+                capacities=tuple(int(c) for c in blob["capacities"]),
+                budget=str(blob.get("budget", "aggregate")),
+                tune_budget=int(blob.get("tune_budget", 0)),
+                strategy=str(blob.get("strategy", "exhaustive")),
+                radius=int(blob.get("radius", 1)),
             ).validate()
 
         return _build_request(where, build)

@@ -31,7 +31,16 @@ from .wire import SCHEMA_VERSION, RequestError, json_safe, parse_fraction
 __all__ = ["Result", "SCHEMA_VERSION"]
 
 #: The envelope kinds schema v1 defines.
-KINDS = ("analyze", "simulate", "sweep", "tune", "distributed", "health", "error")
+KINDS = (
+    "analyze",
+    "simulate",
+    "sweep",
+    "tune",
+    "hierarchy",
+    "distributed",
+    "health",
+    "error",
+)
 
 
 @dataclass(frozen=True)

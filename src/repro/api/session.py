@@ -8,7 +8,8 @@ A :class:`Session` owns the machinery a stream of queries shares —
 * a worker-count default for parallel cold-structure solves —
 
 and exposes the typed entry points ``analyze``/``batch``/``sweep``/
-``simulate``/``tune``/``distributed``/``health``, each returning a versioned
+``simulate``/``tune``/``hierarchy``/``distributed``/``health``, each
+returning a versioned
 :class:`~repro.api.Result` envelope with timing and cache-hit metadata.
 The CLI, the HTTP service (:mod:`repro.serve`), the benchmarks and the
 examples all go through this class; the flat top-level helpers
@@ -34,10 +35,11 @@ from ..parallel.distributed import DistributedReport, simulate_grid
 from ..plan.batch import plan_batch
 from ..plan.planner import Planner, PlanRequest, TilePlan
 from ..simulate.trace_sim import run_trace_simulation
-from ..tune.tuner import tune_tile
+from ..tune.tuner import tune_hierarchy, tune_tile
 from .requests import (
     AnalyzeRequest,
     DistributedRequest,
+    HierarchyRequest,
     SimulateRequest,
     SweepRequest,
     TuneRequest,
@@ -318,6 +320,38 @@ class Session:
             "cache_hit": report.plan.cache_hit,
         }
         return Result(kind="tune", payload=payload, meta=meta, detail=report)
+
+    def hierarchy(self, request: HierarchyRequest, *, workers: int | None = None) -> Result:
+        """Hierarchy-native planning; the ``/v1/hierarchy`` core.
+
+        Plans one nested tiling per level through the plan cache (one
+        cached mpLP piece evaluation per level — structurally identical
+        nests at different capacity stacks are warm hits), measures the
+        innermost walk across every boundary from a single one-pass
+        trace, certifies each boundary against its Theorem bound, and —
+        when the request carries a tune budget — searches innermost
+        tiles that never un-nest the hierarchy.  Returns a
+        :class:`~repro.tune.HierarchyReport` payload; like tune, the
+        payload is byte-identical across surfaces and worker counts.
+        """
+        t0 = time.perf_counter()
+        request = request.validate()
+        report = tune_hierarchy(
+            request.nest,
+            request.capacities,
+            budget=request.budget,
+            strategy=request.strategy,
+            max_evaluations=max(1, request.tune_budget),
+            radius=request.radius,
+            planner=self.planner,
+            workers=self.workers if workers is None else workers,
+        )
+        payload = report.to_json()
+        meta = {
+            "elapsed_ms": _ms(time.perf_counter() - t0),
+            "cache_hit": report.cache_hit,
+        }
+        return Result(kind="hierarchy", payload=payload, meta=meta, detail=report)
 
     def distributed(self, request: DistributedRequest) -> Result:
         """Processor-grid traffic against the distributed lower bound."""

@@ -27,6 +27,12 @@ JSON line; ``--smoke`` clamps the budget for CI)::
 
     repro-tile tune --problem matmul --sizes 24,24,24 -M 128 --workers 0
 
+Plan (and optionally tune) a nested tiling for a whole memory
+hierarchy, certified per boundary (one Result JSON line)::
+
+    repro-tile hierarchy --problem matmul --sizes 24,24,24 \
+        --capacities 48:192:768 --tune 16 --workers 0
+
 Run the JSON service (see :mod:`repro.serve`)::
 
     repro-tile serve --port 8787
@@ -43,7 +49,7 @@ import json
 import sys
 from typing import Sequence
 
-from .api import AnalyzeRequest, RequestError, Session, TuneRequest
+from .api import AnalyzeRequest, HierarchyRequest, RequestError, Session, TuneRequest
 from .api import default_session as _session
 from .core.loopnest import LoopNest, LoopNestError
 from .core.mplp import parametric_tile_exponent
@@ -52,7 +58,13 @@ from .library.problems import CATALOG_BUILDERS, build_problem
 from .machine.model import MachineModel
 from .simulate.executor import best_order_traffic, simulate_untiled_traffic
 
-__all__ = ["main", "build_arg_parser", "build_serve_parser", "build_tune_parser"]
+__all__ = [
+    "main",
+    "build_arg_parser",
+    "build_serve_parser",
+    "build_tune_parser",
+    "build_hierarchy_parser",
+]
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -129,8 +141,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
 def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tile serve",
-        description="Serve /v1/{health,analyze,batch,sweep,simulate,distributed} "
-        "as JSON over HTTP",
+        description="Serve /v1/{health,analyze,batch,sweep,simulate,tune,hierarchy,"
+        "distributed} as JSON over HTTP",
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
     parser.add_argument(
@@ -147,12 +159,8 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def build_tune_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-tile tune",
-        description="Autotune the integer tile with the trace simulator in the loop; "
-        "emits one schema-v1 Result JSON line (kind 'tune')",
-    )
+def _add_nest_arguments(parser: argparse.ArgumentParser) -> None:
+    """The statement/--problem nest spelling shared by the subcommands."""
     parser.add_argument(
         "statement",
         nargs="?",
@@ -167,15 +175,10 @@ def build_tune_parser() -> argparse.ArgumentParser:
         help="use a catalog problem instead of a statement",
     )
     parser.add_argument("--sizes", help="comma-separated sizes for the catalog problem")
-    parser.add_argument(
-        "-M", "--cache-words", help="fast-memory capacity in words", required=False
-    )
-    parser.add_argument(
-        "--budget",
-        choices=("per-array", "aggregate"),
-        default="aggregate",
-        help="memory-budget convention for candidate feasibility (default aggregate)",
-    )
+
+
+def _add_search_arguments(parser: argparse.ArgumentParser, smoke_help: str) -> None:
+    """The tuning-search knobs shared by ``tune`` and ``hierarchy``."""
     parser.add_argument(
         "--strategy",
         choices=("exhaustive", "coordinate", "random"),
@@ -183,20 +186,10 @@ def build_tune_parser() -> argparse.ArgumentParser:
         help="search strategy (default exhaustive)",
     )
     parser.add_argument(
-        "--max-evals",
-        type=int,
-        default=64,
-        help="evaluation budget: distinct tiles simulated (default 64)",
-    )
-    parser.add_argument(
         "--radius",
         type=int,
         default=1,
         help="lattice neighbourhood radius around the analytic seed (default 1)",
-    )
-    parser.add_argument(
-        "--capacities",
-        help="':'-separated Pareto capacities (default: powers of two up to -M)",
     )
     parser.add_argument(
         "--workers",
@@ -209,12 +202,111 @@ def build_tune_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="persistent JSON plan cache to load before and save after the run",
     )
+    parser.add_argument("--smoke", action="store_true", help=smoke_help)
+
+
+def build_tune_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tile tune",
+        description="Autotune the integer tile with the trace simulator in the loop; "
+        "emits one schema-v1 Result JSON line (kind 'tune')",
+    )
+    _add_nest_arguments(parser)
     parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="CI smoke mode: clamp the evaluation budget to 8 tiles",
+        "-M", "--cache-words", help="fast-memory capacity in words", required=False
+    )
+    parser.add_argument(
+        "--budget",
+        choices=("per-array", "aggregate"),
+        default="aggregate",
+        help="memory-budget convention for candidate feasibility (default aggregate)",
+    )
+    parser.add_argument(
+        "--max-evals",
+        type=int,
+        default=64,
+        help="evaluation budget: distinct tiles simulated (default 64)",
+    )
+    parser.add_argument(
+        "--capacities",
+        help="':'-separated Pareto capacities (default: powers of two up to -M)",
+    )
+    _add_search_arguments(
+        parser, smoke_help="CI smoke mode: clamp the evaluation budget to 8 tiles"
     )
     return parser
+
+
+def build_hierarchy_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tile hierarchy",
+        description="Plan (and optionally tune) a nested tiling for a whole memory "
+        "hierarchy, certified per boundary; emits one schema-v1 Result JSON line "
+        "(kind 'hierarchy')",
+    )
+    _add_nest_arguments(parser)
+    parser.add_argument(
+        "--capacities",
+        required=True,
+        help="':'-separated strictly increasing cache capacities in words, "
+        "innermost first, e.g. 48:192:768",
+    )
+    parser.add_argument(
+        "--budget",
+        choices=("per-array", "aggregate"),
+        default="aggregate",
+        help="memory-budget convention per level (default aggregate)",
+    )
+    parser.add_argument(
+        "--tune",
+        type=int,
+        default=0,
+        metavar="N",
+        help="evaluation budget for innermost-tile tuning "
+        "(default 0 = serve the analytic nested plan)",
+    )
+    _add_search_arguments(
+        parser, smoke_help="CI smoke mode: clamp the tune budget to 8 tiles"
+    )
+    return parser
+
+
+def _nest_from_args(args, parser: argparse.ArgumentParser) -> LoopNest:
+    """The shared statement/--problem nest spelling of the subcommands."""
+    if args.problem:
+        sizes = tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None
+        return build_problem(args.problem, sizes)
+    if args.statement:
+        if not args.bounds:
+            parser.error("--bounds is required with a statement")
+        return parse_nest(args.statement, _parse_bounds(args.bounds))
+    parser.error("give a statement or --problem")
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _run_hierarchy(argv: Sequence[str]) -> int:
+    """One hierarchy request through a Session; one Result JSON line."""
+    parser = build_hierarchy_parser()
+    args = parser.parse_args(list(argv))
+    try:
+        nest = _nest_from_args(args, parser)
+        request = HierarchyRequest(
+            nest=nest,
+            capacities=tuple(_parse_choices(args.capacities, "--capacities")),
+            budget=args.budget,
+            tune_budget=min(args.tune, 8) if args.smoke else args.tune,
+            strategy=args.strategy,
+            radius=args.radius,
+        ).validate()
+        session = Session(plan_cache=args.plan_cache, workers=args.workers)
+        print(session.hierarchy(request).to_json_str())
+        if args.plan_cache:
+            session.save_plans()
+    except (ParseError, LoopNestError, RequestError, OSError,
+            json.JSONDecodeError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _run_tune(argv: Sequence[str]) -> int:
@@ -223,16 +315,7 @@ def _run_tune(argv: Sequence[str]) -> int:
     args = parser.parse_args(list(argv))
     cache_words = _single_cache_words(args, parser)
     try:
-        if args.problem:
-            sizes = tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None
-            nest = build_problem(args.problem, sizes)
-        elif args.statement:
-            if not args.bounds:
-                parser.error("--bounds is required with a statement")
-            nest = parse_nest(args.statement, _parse_bounds(args.bounds))
-        else:
-            parser.error("give a statement or --problem")
-            return 2  # unreachable; parser.error raises
+        nest = _nest_from_args(args, parser)
         request = TuneRequest(
             nest=nest,
             cache_words=cache_words,
@@ -384,6 +467,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_serve(argv[1:])
     if argv[:1] == ["tune"]:
         return _run_tune(argv[1:])
+    if argv[:1] == ["hierarchy"]:
+        return _run_hierarchy(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)

@@ -26,6 +26,7 @@ from typing import Sequence
 
 from ..util.rationals import log_ratio
 from .bounds import CommunicationLowerBound, communication_lower_bound
+from .integer import nested_integer_repair
 from .loopnest import LoopNest
 from .lp import LinearProgram
 from .tiling import BUDGETS, TileShape
@@ -101,7 +102,22 @@ def _solve_level(
     lower_u: Sequence[Fraction] | None,
     budget: str,
 ) -> tuple[tuple[Fraction, ...], Fraction]:
-    """Tiling LP in log base 2 with optional per-variable lower bounds."""
+    """Tiling LP in log base 2 with optional per-variable lower bounds.
+
+    Two degeneracies make constraints go *slack* rather than infeasible:
+
+    * a variable's upper bound is ``max(lo, log2 L_i)`` — when the level
+      capacity meets or exceeds the full iteration-space footprint every
+      capacity row is slack and the optimum is the whole nest;
+    * a capacity row's right-hand side is raised to the previous level's
+      footprint in that row when the (grown, integer) previous tile
+      already exceeds this level's *effective* capacity — possible under
+      the aggregate budget when adjacent capacities are nearly equal,
+      because the integer grow packs the sum-of-footprints budget with
+      individual array footprints above ``M / n``.  Relaxing the row to
+      the point it contains keeps the LP feasible; the level tile then
+      simply starts at the previous level's blocks.
+    """
     effective = capacity if budget == "per-array" else max(2, capacity // nest.num_arrays)
     log_m = log_ratio(effective, 2)
     log_l = [log_ratio(L, 2) for L in nest.bounds]
@@ -115,15 +131,20 @@ def _solve_level(
     for arr in nest.arrays:
         if not arr.support:
             continue
+        floor_rhs = (
+            sum((lower_u[i] for i in arr.support), start=Fraction(0))
+            if lower_u is not None
+            else Fraction(0)
+        )
         lp.add_constraint(
             f"cap[{arr.name}]",
             {f"u[{nest.loops[i]}]": 1 for i in arr.support},
             "<=",
-            log_m,
+            max(log_m, floor_rhs),
         )
     lp.set_objective({f"u[{nest.loops[i]}]": 1 for i in range(nest.depth)})
     report = lp.solve()
-    if not report.is_optimal:
+    if not report.is_optimal:  # pragma: no cover - feasible by construction
         raise RuntimeError(
             f"level LP {report.status}: capacity {capacity} cannot nest the previous level"
         )
@@ -140,9 +161,10 @@ def solve_hierarchical_tiling(
 
     Levels are solved innermost-out; each level maximises its tile
     volume subject to (a) its own capacity rows and (b) containing the
-    previous level's (integer) tile.  Integer repair per level uses the
-    same floor-then-grow scheme as :func:`repro.core.tiling.solve_tiling`
-    but grows from the previous level's blocks, preserving nesting.
+    previous level's (integer) tile.  Integer repair per level is the
+    shared :func:`repro.core.integer.nested_integer_repair` — the same
+    round-and-grow scheme as :func:`repro.core.tiling.solve_tiling` but
+    floored at the previous level's blocks, preserving nesting.
     """
     if budget not in BUDGETS:
         raise ValueError(f"unknown budget {budget!r}; expected one of {BUDGETS}")
@@ -155,31 +177,10 @@ def solve_hierarchical_tiling(
     prev_u: tuple[Fraction, ...] | None = None
     for capacity in hierarchy.capacities:
         u, exponent = _solve_level(nest, capacity, prev_u, budget)
-        # Integer blocks: floor of 2^u, clamped into [prev_block, L].
-        blocks = []
-        for i in range(nest.depth):
-            raw = int(2 ** float(u[i]) + 1e-9)
-            lo = prev_blocks[i] if prev_blocks is not None else 1
-            blocks.append(max(lo, min(nest.bounds[i], max(1, raw))))
-        # Grow coordinates while the level stays feasible (order: by
-        # ascending block so small dims get first chance to grow).
-        changed = True
-        while changed:
-            changed = False
-            for i in sorted(range(nest.depth), key=lambda k: blocks[k]):
-                lo, hi = blocks[i], nest.bounds[i]
-                while lo < hi:
-                    mid = (lo + hi + 1) // 2
-                    trial = blocks.copy()
-                    trial[i] = mid
-                    if TileShape(nest=nest, blocks=tuple(trial)).is_feasible(capacity, budget):
-                        lo = mid
-                    else:
-                        hi = mid - 1
-                if lo > blocks[i]:
-                    blocks[i] = lo
-                    changed = True
-        tile = TileShape(nest=nest, blocks=tuple(blocks))
+        fractional = tuple(2.0 ** float(ui) for ui in u)
+        (tile,) = nested_integer_repair(
+            nest, [fractional], [capacity], budget, floors=prev_blocks
+        )
         if not tile.is_feasible(capacity, budget):  # pragma: no cover - by construction
             raise AssertionError("level tile infeasible after repair")
         levels.append(

@@ -14,6 +14,13 @@ last few percent:
 * :func:`best_integer_tile` — the above, plus exhaustive search when
   the instance is small enough to afford ground truth.
 
+plus the multi-level variant of the default repair:
+
+* :func:`nested_integer_repair` — round-and-grow one fractional tile
+  *per hierarchy level*, innermost first, keeping each repaired level
+  componentwise inside the next (level-l blocks never exceed
+  level-(l+1) blocks), so the integer tiles realise a nested execution.
+
 All searches preserve feasibility invariantly (they only test-and-grow
 feasible configurations), so any returned tile is valid for the given
 budget.
@@ -28,12 +35,13 @@ from typing import Iterable, Sequence
 from ..util.rationals import pow_fraction
 from .alpha_family import optimal_tile_family
 from .loopnest import LoopNest
-from .tiling import BUDGETS, TileShape, solve_tiling
+from .tiling import BUDGETS, TileShape, integer_repair, solve_tiling
 
 __all__ = [
     "coordinate_descent_tile",
     "multi_seed_tile",
     "best_integer_tile",
+    "nested_integer_repair",
 ]
 
 
@@ -154,3 +162,45 @@ def best_integer_tile(
         assert res.blocks is not None
         return TileShape(nest=nest, blocks=res.blocks)
     return multi_seed_tile(nest, cache_words, budget=budget)
+
+
+def nested_integer_repair(
+    nest: LoopNest,
+    fractional_levels: Sequence[Sequence[float]],
+    capacities: Sequence[int],
+    budget: str = "per-array",
+    floors: Sequence[int] | None = None,
+) -> tuple[TileShape, ...]:
+    """Round-and-grow one fractional tile per level, preserving nesting.
+
+    ``fractional_levels[l]`` is level ``l``'s LP-optimal fractional tile
+    and ``capacities[l]`` its budget (innermost first, non-decreasing).
+    Each level is :func:`~repro.core.tiling.integer_repair` — the one
+    shared implementation — floored at the previous level's repaired
+    blocks, so the returned tiles satisfy the hierarchy invariant
+    ``tiles[l].blocks[i] <= tiles[l+1].blocks[i]`` for every loop ``i``
+    — repaired level-l blocks stay inside repaired level-(l+1) blocks,
+    which is what lets one nested execution realise every level's
+    blocking at once.  Every level is feasible because the previous
+    level's blocks fit a smaller capacity under the same budget.
+
+    ``floors`` optionally seeds the innermost level's lower bounds (used
+    by the level-by-level LP driver in :mod:`repro.core.hierarchy`);
+    the default is the unit tile, making the single-level call
+    identical to ``integer_repair`` by construction.
+    """
+    if budget not in BUDGETS:
+        raise ValueError(f"unknown budget {budget!r}; expected one of {BUDGETS}")
+    if len(fractional_levels) != len(capacities):
+        raise ValueError("need one fractional tile per capacity")
+    if any(a > b for a, b in zip(capacities, capacities[1:])):
+        raise ValueError(f"capacities must be non-decreasing, got {tuple(capacities)}")
+    current = tuple(int(b) for b in floors) if floors is not None else tuple(
+        1 for _ in range(nest.depth)
+    )
+    tiles: list[TileShape] = []
+    for fractional, capacity in zip(fractional_levels, capacities):
+        tile = integer_repair(nest, fractional, int(capacity), budget, floors=current)
+        tiles.append(tile)
+        current = tile.blocks
+    return tuple(tiles)

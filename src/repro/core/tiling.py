@@ -250,6 +250,7 @@ def integer_repair(
     fractional: Sequence[float],
     cache_words: int,
     budget: str = "per-array",
+    floors: Sequence[int] | None = None,
 ) -> TileShape:
     """Round-and-grow an LP-optimal fractional tile into a feasible integer one.
 
@@ -267,15 +268,31 @@ def integer_repair(
     Shared by :func:`solve_tiling` and the plan cache (:mod:`repro.plan`),
     which substitutes cached parametric exponents instead of re-solving
     the LP.
+
+    ``floors`` optionally lower-bounds every side (default: the unit
+    tile) — the multi-level repair
+    (:func:`repro.core.integer.nested_integer_repair`) passes the
+    previous hierarchy level's blocks, which are feasible here by
+    monotonicity (they fit a smaller capacity under the same budget), so
+    the shrink pre-pass can always retreat to them.  With non-trivial
+    floors the only infeasible-return case is the floors themselves
+    busting the budget, exactly as the unit tile can.
     """
-    blocks = [clamp_block(f, L) for f, L in zip(fractional, nest.bounds)]
+    lo = (
+        tuple(int(b) for b in floors)
+        if floors is not None
+        else tuple(1 for _ in range(nest.depth))
+    )
+    blocks = [max(f_lo, clamp_block(f, L)) for f, L, f_lo in zip(fractional, nest.bounds, lo)]
     while not TileShape(nest=nest, blocks=tuple(blocks)).is_feasible(cache_words, budget):
-        i = max(range(nest.depth), key=lambda k: blocks[k])
-        if blocks[i] <= 1:
-            # Even the unit tile busts the budget (cache smaller than one
-            # word per array under "aggregate"); return it as the minimum.
+        shrinkable = [k for k in range(nest.depth) if blocks[k] > lo[k]]
+        if not shrinkable:
+            # Even the floor tile busts the budget (a unit tile under
+            # "aggregate" with a cache smaller than one word per array);
+            # return it as the minimum.
             return TileShape(nest=nest, blocks=tuple(blocks))
-        blocks[i] //= 2
+        i = max(shrinkable, key=lambda k: blocks[k])
+        blocks[i] = max(lo[i], blocks[i] // 2)
     changed = True
     while changed:
         changed = False

@@ -16,9 +16,10 @@ simplex per call is what this package does:
 """
 
 from .batch import plan_batch, sweep_requests
-from .planner import Planner, PlannerStats, PlanRequest, TilePlan
+from .planner import HierarchyPlan, Planner, PlannerStats, PlanRequest, TilePlan
 
 __all__ = [
+    "HierarchyPlan",
     "Planner",
     "PlannerStats",
     "PlanRequest",

@@ -34,7 +34,7 @@ import os
 import tempfile
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -47,6 +47,8 @@ from ..core.duality import (
     _complementary_slackness,
     theorem3_certificate,
 )
+from ..core.hierarchy import MemoryHierarchy
+from ..core.integer import nested_integer_repair
 from ..core.loopnest import LoopNest
 from ..core.mplp import AffinePiece, PiecewiseValueFunction, parametric_tile_exponent
 from ..core.tiling import (
@@ -59,7 +61,7 @@ from ..core.tiling import (
 )
 from ..util.rationals import log_ratio, pow_fraction
 
-__all__ = ["PlanRequest", "TilePlan", "Planner", "PlannerStats"]
+__all__ = ["PlanRequest", "TilePlan", "HierarchyPlan", "Planner", "PlannerStats"]
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)
@@ -194,6 +196,58 @@ class TilePlan:
             lower_bound=lower_bound,
             # Result payloads move cache_hit to the envelope meta; accept
             # both spellings so those payloads reconstruct too.
+            cache_hit=bool(blob.get("cache_hit", False)),
+        )
+
+
+@dataclass(frozen=True)
+class HierarchyPlan:
+    """Nested per-level plans for one (nest, capacity stack) query.
+
+    ``levels`` holds one :class:`TilePlan` per hierarchy level, innermost
+    (smallest capacity) first, with the tiles repaired *jointly* by
+    :func:`~repro.core.integer.nested_integer_repair` so the hierarchy
+    invariant holds: ``levels[l].tile.blocks[i] <=
+    levels[l+1].tile.blocks[i]`` for every loop ``i``.  Every level's
+    exponent, lambdas and lower bound carry the exact same semantics as
+    a single-level :meth:`Planner.plan` answer at that capacity — a
+    one-level hierarchy *is* that answer, tile included.
+    """
+
+    nest: LoopNest
+    capacities: tuple[int, ...]
+    budget: str
+    canonical_key: str
+    levels: tuple[TilePlan, ...]
+    cache_hit: bool
+
+    @property
+    def innermost(self) -> TilePlan:
+        return self.levels[0]
+
+    def tiles(self) -> tuple[tuple[int, ...], ...]:
+        """Per-level integer blocks, innermost first."""
+        return tuple(level.tile.blocks for level in self.levels)
+
+    def to_json(self) -> dict:
+        """Lossless wire form (one analyze-shaped payload per level)."""
+        return {
+            "nest": self.nest.to_json(),
+            "capacities": list(self.capacities),
+            "budget": self.budget,
+            "canonical_key": self.canonical_key,
+            "levels": [level.to_json() for level in self.levels],
+            "cache_hit": self.cache_hit,
+        }
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "HierarchyPlan":
+        return cls(
+            nest=LoopNest.from_json(blob["nest"]),
+            capacities=tuple(int(c) for c in blob["capacities"]),
+            budget=str(blob["budget"]),
+            canonical_key=str(blob["canonical_key"]),
+            levels=tuple(TilePlan.from_json(dict(entry)) for entry in blob["levels"]),
             cache_hit=bool(blob.get("cache_hit", False)),
         )
 
@@ -632,6 +686,50 @@ class Planner:
     def plan_request(self, request: PlanRequest, include_bound: bool = True) -> TilePlan:
         return self.plan(
             request.nest, request.cache_words, request.budget, include_bound=include_bound
+        )
+
+    def plan_hierarchy(
+        self,
+        nest: LoopNest,
+        hierarchy: "MemoryHierarchy | Sequence[int]",
+        budget: str = "per-array",
+        include_bound: bool = True,
+    ) -> HierarchyPlan:
+        """Nested plans for a whole memory hierarchy, one cache walk.
+
+        Every level shares the nest's canonical structure, so the stack
+        costs one multiparametric solve *ever* (the first level of the
+        first query on a cold structure) and one cached piece evaluation
+        per level afterwards — structurally identical nests at different
+        capacity stacks are warm hits.  Tiles are repaired jointly by
+        :func:`~repro.core.integer.nested_integer_repair`, so level-l
+        blocks never exceed level-(l+1) blocks; everything else about
+        each level (exponent, lambdas, lower bound) is exactly the
+        single-level :meth:`plan` answer at that capacity.
+        """
+        if not isinstance(hierarchy, MemoryHierarchy):
+            hierarchy = MemoryHierarchy(capacities=tuple(int(c) for c in hierarchy))
+        capacities = hierarchy.capacities
+        if budget == "aggregate" and capacities[0] < nest.num_arrays:
+            raise ValueError(
+                f"aggregate budget needs the innermost level >= {nest.num_arrays} "
+                f"words (one per array), got {capacities[0]}"
+            )
+        plans = [
+            self.plan(nest, capacity, budget, include_bound=include_bound)
+            for capacity in capacities
+        ]
+        tiles = nested_integer_repair(
+            nest, [plan.fractional_blocks for plan in plans], capacities, budget
+        )
+        levels = tuple(replace(plan, tile=tile) for plan, tile in zip(plans, tiles))
+        return HierarchyPlan(
+            nest=nest,
+            capacities=capacities,
+            budget=budget,
+            canonical_key=plans[0].canonical_key,
+            levels=levels,
+            cache_hit=plans[0].cache_hit,
         )
 
     def certificate(self, nest: LoopNest, cache_words: int) -> Theorem3Certificate:

@@ -14,6 +14,7 @@ HTTP, with zero dependencies beyond the standard library:
 ``/v1/sweep``         POST    one :class:`~repro.api.SweepRequest` grid
 ``/v1/simulate``      POST    one :class:`~repro.api.SimulateRequest`
 ``/v1/tune``          POST    one :class:`~repro.api.TuneRequest`
+``/v1/hierarchy``     POST    one :class:`~repro.api.HierarchyRequest`
 ``/v1/distributed``   POST    one :class:`~repro.api.DistributedRequest`
 ====================  ======  =============================================
 
@@ -42,7 +43,12 @@ from .api import (
     Session,
     SweepRequest,
 )
-from .api.requests import DistributedRequest, SimulateRequest, TuneRequest
+from .api.requests import (
+    DistributedRequest,
+    HierarchyRequest,
+    SimulateRequest,
+    TuneRequest,
+)
 from .core.loopnest import LoopNestError
 from .core.parser import ParseError
 
@@ -131,7 +137,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._guarded(lambda: (200, self.session.health().to_json()))
         elif route in (
             "/v1/analyze", "/v1/batch", "/v1/sweep", "/v1/simulate", "/v1/tune",
-            "/v1/distributed",
+            "/v1/hierarchy", "/v1/distributed",
         ):
             self._send(405, _error_body("use POST with a JSON body", 405))
         else:
@@ -149,6 +155,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._guarded(self._post_simulate)
         elif route == "/v1/tune":
             self._guarded(self._post_tune)
+        elif route == "/v1/hierarchy":
+            self._guarded(self._post_hierarchy)
         elif route == "/v1/distributed":
             self._guarded(self._post_distributed)
         elif route == "/v1/health":
@@ -191,6 +199,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         # Serial candidate evaluation: worker pools belong to offline
         # jobs, not to a threaded request handler (same as batch).
         return 200, self.session.tune(request, workers=0).to_json()
+
+    def _post_hierarchy(self) -> tuple[int, dict]:
+        request = HierarchyRequest.from_json(self._read_json(), "hierarchy")
+        # Serial candidate evaluation, same reason as tune.
+        return 200, self.session.hierarchy(request, workers=0).to_json()
 
     def _post_distributed(self) -> tuple[int, dict]:
         request = DistributedRequest.from_json(self._read_json(), "distributed")

@@ -18,24 +18,46 @@ same evaluations.
 * :mod:`repro.tune.evaluate` — parallel candidate scoring via
   :func:`repro.simulate.nest_miss_curve` (all capacities in one pass);
 * :mod:`repro.tune.tuner` — :func:`tune_tile`, the orchestration behind
-  ``Session.tune``, ``/v1/tune`` and ``repro-tile tune``;
-* :mod:`repro.tune.result` — the :class:`TuneReport` wire shape.
+  ``Session.tune``, ``/v1/tune`` and ``repro-tile tune``, and
+  :func:`tune_hierarchy`, its multi-level sibling: one
+  ``nest_miss_curve`` pass scores a nested candidate at *every* cache
+  boundary at once, candidates stay inside the next level's tile
+  (never un-nesting the hierarchy), and the objective is the total
+  boundary traffic;
+* :mod:`repro.tune.result` — the :class:`TuneReport` and
+  :class:`HierarchyReport` wire shapes.
 """
 
-from .evaluate import TileEvaluation, evaluate_candidates, evaluate_tile
-from .result import ParetoPoint, TuneReport, build_pareto
+from .evaluate import (
+    TileEvaluation,
+    best_evaluation,
+    best_evaluation_multi,
+    evaluate_candidates,
+    evaluate_tile,
+)
+from .result import (
+    HierarchyBoundary,
+    HierarchyReport,
+    ParetoPoint,
+    TuneReport,
+    build_pareto,
+)
 from .search import STRATEGIES, BudgetedEvaluator, SearchOutcome, search_tiles
 from .space import GENERATORS, candidate_tiles, clamp_block
-from .tuner import default_capacities, tune_tile
+from .tuner import default_capacities, tune_hierarchy, tune_tile
 
 __all__ = [
     "GENERATORS",
     "STRATEGIES",
     "BudgetedEvaluator",
+    "HierarchyBoundary",
+    "HierarchyReport",
     "ParetoPoint",
     "SearchOutcome",
     "TileEvaluation",
     "TuneReport",
+    "best_evaluation",
+    "best_evaluation_multi",
     "build_pareto",
     "candidate_tiles",
     "clamp_block",
@@ -43,5 +65,6 @@ __all__ = [
     "evaluate_candidates",
     "evaluate_tile",
     "search_tiles",
+    "tune_hierarchy",
     "tune_tile",
 ]

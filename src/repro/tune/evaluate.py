@@ -27,7 +27,13 @@ from ..core.loopnest import LoopNest
 from ..core.tiling import TileShape
 from ..simulate.multilevel import nest_miss_curve
 
-__all__ = ["TileEvaluation", "best_evaluation", "evaluate_tile", "evaluate_candidates"]
+__all__ = [
+    "TileEvaluation",
+    "best_evaluation",
+    "best_evaluation_multi",
+    "evaluate_tile",
+    "evaluate_candidates",
+]
 
 #: Below this many candidates a process pool cannot pay for its own
 #: startup (fork + numpy import per worker dwarfs a few tiny traces), so
@@ -51,6 +57,15 @@ class TileEvaluation:
 
     def traffic_at(self, capacity: int) -> int:
         return self.traffic[int(capacity)]
+
+    def total_traffic(self, capacities: Sequence[int]) -> int:
+        """Summed traffic across several boundaries (multi-level objective).
+
+        The words crossing *every* cache boundary of a hierarchy, priced
+        from the same one-pass curve — what the multi-level tuner
+        minimises and what the hierarchy report totals.
+        """
+        return sum(self.traffic[int(c)] for c in capacities)
 
     def to_json(self) -> dict:
         return {
@@ -142,8 +157,24 @@ def best_evaluation(
     never-worse-than-seed guarantee.  Shared by the search driver
     (overall winner) and the Pareto front (per-capacity winners).
     """
+    return best_evaluation_multi(evaluations, (capacity,))
+
+
+def best_evaluation_multi(
+    evaluations: Sequence[TileEvaluation], capacities: Sequence[int]
+) -> TileEvaluation:
+    """Minimum *summed* traffic over ``capacities``; earliest wins ties.
+
+    The multi-boundary generalisation of :func:`best_evaluation` (one
+    capacity reduces to it exactly): the winner moves the fewest words
+    across all the hierarchy's boundaries together, and the seed-first
+    tie-break keeps the tuned-never-worse-than-seed guarantee for the
+    *total* just as it does per capacity.
+    """
     best = evaluations[0]
+    best_total = best.total_traffic(capacities)
     for evaluation in evaluations[1:]:
-        if evaluation.traffic_at(capacity) < best.traffic_at(capacity):
-            best = evaluation
+        total = evaluation.total_traffic(capacities)
+        if total < best_total:
+            best, best_total = evaluation, total
     return best

@@ -23,7 +23,13 @@ from typing import Mapping, Sequence
 from ..plan.planner import TilePlan
 from .evaluate import TileEvaluation, best_evaluation
 
-__all__ = ["ParetoPoint", "TuneReport", "build_pareto"]
+__all__ = [
+    "HierarchyBoundary",
+    "HierarchyReport",
+    "ParetoPoint",
+    "TuneReport",
+    "build_pareto",
+]
 
 
 @dataclass(frozen=True)
@@ -152,6 +158,210 @@ class TuneReport:
             lower_bound_words=float(blob["lower_bound_words"]),
             accesses=int(blob["accesses"]),
             pareto=tuple(ParetoPoint.from_json(p) for p in blob["pareto"]),
+            candidates=tuple(
+                TileEvaluation.from_json(c) for c in blob.get("candidates", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class HierarchyBoundary:
+    """One cache boundary of a hierarchy run, certified.
+
+    ``plan`` is this level's :class:`~repro.plan.TilePlan` with the
+    *nested* integer tile (at the innermost level, the tuned winner);
+    ``traffic_words`` is the measured one-pass traffic of the winning
+    innermost walk across this boundary, ``seed_traffic_words`` the
+    analytic seed walk's.  The certificate ratio compares measured
+    traffic against the level's Theorem bound (``>= 1`` always — the
+    bound holds for any schedule).
+    """
+
+    plan: TilePlan
+    seed_blocks: tuple[int, ...]
+    traffic_words: int
+    seed_traffic_words: int
+
+    @property
+    def cache_words(self) -> int:
+        return self.plan.cache_words
+
+    @property
+    def blocks(self) -> tuple[int, ...]:
+        return self.plan.tile.blocks
+
+    @property
+    def lower_bound_words(self) -> float:
+        assert self.plan.lower_bound is not None
+        return self.plan.lower_bound.value
+
+    @property
+    def certificate_ratio(self) -> float:
+        bound = self.lower_bound_words
+        return self.traffic_words / bound if bound > 0 else float("inf")
+
+    @property
+    def seed_certificate_ratio(self) -> float:
+        bound = self.lower_bound_words
+        return self.seed_traffic_words / bound if bound > 0 else float("inf")
+
+    def to_json(self) -> dict:
+        plan_json = self.plan.to_json()
+        plan_json.pop("cache_hit", None)
+        # The nest rides once on the report envelope; repeating its
+        # loops/bounds/arrays in every level's plan would grow the wire
+        # payload linearly in redundant copies (from_json reinjects it).
+        for key in ("name", "loops", "bounds", "arrays"):
+            plan_json.pop(key, None)
+        return {
+            "cache_words": self.cache_words,
+            "plan": plan_json,
+            "tile": list(self.blocks),
+            "seed_tile": list(self.seed_blocks),
+            "traffic_words": self.traffic_words,
+            "seed_traffic_words": self.seed_traffic_words,
+            "lower_bound_words": self.lower_bound_words,
+            "certificate_ratio": self.certificate_ratio,
+            "seed_certificate_ratio": self.seed_certificate_ratio,
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping, nest_json: Mapping | None = None) -> "HierarchyBoundary":
+        """Inverse of :meth:`to_json` (ratios are derived, not stored).
+
+        ``nest_json`` reinjects the report-level nest the serializer
+        stripped from each level's plan payload.
+        """
+        plan_blob = dict(blob["plan"])
+        if nest_json is not None:
+            plan_blob.update(dict(nest_json))
+        return cls(
+            plan=TilePlan.from_json(plan_blob),
+            seed_blocks=tuple(int(b) for b in blob["seed_tile"]),
+            traffic_words=int(blob["traffic_words"]),
+            seed_traffic_words=int(blob["seed_traffic_words"]),
+        )
+
+
+@dataclass(frozen=True)
+class HierarchyReport:
+    """One hierarchy run: nested plans, per-boundary certificates, tuning.
+
+    ``boundaries`` is innermost-first; all levels share one measured
+    trace (the innermost tile walk — outer levels only group its tiles),
+    so every boundary's traffic comes from the same one-pass curve.
+    With ``evaluations_used == 1`` only the analytic seed was measured
+    (``tuned == seed``): the report is then a pure serving answer.  The
+    tuning objective is the *total* boundary traffic, and the seed-first
+    tie-break guarantees ``tuned_total_traffic_words <=
+    seed_total_traffic_words``.
+    """
+
+    strategy: str
+    max_evaluations: int
+    evaluations_used: int
+    accesses: int
+    canonical_key: str
+    boundaries: tuple[HierarchyBoundary, ...]
+    candidates: tuple[TileEvaluation, ...] = ()
+
+    @property
+    def nest(self):
+        return self.boundaries[0].plan.nest
+
+    @property
+    def budget(self) -> str:
+        return self.boundaries[0].plan.budget
+
+    @property
+    def capacities(self) -> tuple[int, ...]:
+        return tuple(b.cache_words for b in self.boundaries)
+
+    @property
+    def seed_blocks(self) -> tuple[int, ...]:
+        """The analytic nested innermost tile (candidate #0)."""
+        return self.boundaries[0].seed_blocks
+
+    @property
+    def tuned_blocks(self) -> tuple[int, ...]:
+        """The winning innermost tile (equals the seed when untuned)."""
+        return self.boundaries[0].blocks
+
+    @property
+    def tiles(self) -> tuple[tuple[int, ...], ...]:
+        """Per-level integer blocks, innermost first (nested)."""
+        return tuple(b.blocks for b in self.boundaries)
+
+    @property
+    def seed_total_traffic_words(self) -> int:
+        return sum(b.seed_traffic_words for b in self.boundaries)
+
+    @property
+    def tuned_total_traffic_words(self) -> int:
+        return sum(b.traffic_words for b in self.boundaries)
+
+    @property
+    def improvement(self) -> float:
+        """Seed-over-tuned total-traffic factor (1.0 = tuning found nothing)."""
+        return self.seed_total_traffic_words / self.tuned_total_traffic_words
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.boundaries[0].plan.cache_hit
+
+    def summary(self) -> str:
+        caps = " < ".join(str(c) for c in self.capacities)
+        rows = ", ".join(
+            f"M={b.cache_words}: {b.traffic_words} ({b.certificate_ratio:.2f}x bound)"
+            for b in self.boundaries
+        )
+        return (
+            f"{self.nest.name} on {caps} words [{self.budget}]: "
+            f"tile={list(self.tuned_blocks)} {rows} "
+            f"[{self.strategy}, {self.evaluations_used} evaluations]"
+        )
+
+    def to_json(self) -> dict:
+        """The wire payload — deterministic for one request, like tune.
+
+        ``cache_hit`` is session provenance and rides on the Result
+        envelope's ``meta``, never the payload.
+        """
+        return {
+            "nest": self.nest.to_json(),
+            "capacities": list(self.capacities),
+            "budget": self.budget,
+            "canonical_key": self.canonical_key,
+            "strategy": self.strategy,
+            "max_evaluations": self.max_evaluations,
+            "evaluations_used": self.evaluations_used,
+            "accesses": self.accesses,
+            "seed": {
+                "tile": list(self.seed_blocks),
+                "total_traffic_words": self.seed_total_traffic_words,
+            },
+            "tuned": {
+                "tile": list(self.tuned_blocks),
+                "total_traffic_words": self.tuned_total_traffic_words,
+            },
+            "improvement": self.improvement,
+            "boundaries": [b.to_json() for b in self.boundaries],
+            "candidates": [c.to_json() for c in self.candidates],
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping) -> "HierarchyReport":
+        """Inverse of :meth:`to_json` (totals and ratios are derived)."""
+        return cls(
+            strategy=str(blob["strategy"]),
+            max_evaluations=int(blob["max_evaluations"]),
+            evaluations_used=int(blob["evaluations_used"]),
+            accesses=int(blob["accesses"]),
+            canonical_key=str(blob["canonical_key"]),
+            boundaries=tuple(
+                HierarchyBoundary.from_json(b, nest_json=blob["nest"])
+                for b in blob["boundaries"]
+            ),
             candidates=tuple(
                 TileEvaluation.from_json(c) for c in blob.get("candidates", ())
             ),

@@ -31,7 +31,7 @@ from typing import Sequence
 
 from ..core.loopnest import LoopNest
 from ..core.tiling import TileShape
-from .evaluate import TileEvaluation, best_evaluation, evaluate_candidates
+from .evaluate import TileEvaluation, best_evaluation_multi, evaluate_candidates
 from .space import GENERATORS, axis_values, candidate_tiles, clamp_block
 
 __all__ = ["STRATEGIES", "BudgetedEvaluator", "SearchOutcome", "search_tiles"]
@@ -113,10 +113,11 @@ def _run_exhaustive(
     budget_conv: str,
     seed: tuple[int, ...],
     radius: int,
+    ceiling: tuple[int, ...],
 ) -> None:
     candidates = candidate_tiles(
         ev.nest, cache_words, seed, budget=budget_conv,
-        radius=radius, generators=GENERATORS, limit=ev.budget,
+        radius=radius, generators=GENERATORS, limit=ev.budget, ceiling=ceiling,
     )
     ev.evaluate(candidates)
 
@@ -127,16 +128,20 @@ def _run_coordinate(
     budget_conv: str,
     seed: tuple[int, ...],
     radius: int,
+    ceiling: tuple[int, ...],
+    objective: tuple[int, ...],
 ) -> None:
     nest = ev.nest
     current = seed
-    current_traffic = ev.evaluations[seed].traffic_at(cache_words)
+    current_traffic = ev.evaluations[seed].total_traffic(objective)
     improved = True
     while improved and ev.remaining:
         improved = False
         for i in range(nest.depth):
             variants = []
             for value in axis_values(nest, current, i, radius=radius):
+                if value > ceiling[i]:
+                    continue
                 blocks = current[:i] + (value,) + current[i + 1:]
                 if blocks != current and TileShape(
                     nest=nest, blocks=blocks
@@ -145,9 +150,9 @@ def _run_coordinate(
             if not variants:
                 continue
             for evaluation in ev.evaluate(variants):
-                if evaluation.traffic_at(cache_words) < current_traffic:
+                if evaluation.total_traffic(objective) < current_traffic:
                     current = evaluation.blocks
-                    current_traffic = evaluation.traffic_at(cache_words)
+                    current_traffic = evaluation.total_traffic(objective)
                     improved = True
             if not ev.remaining:
                 return
@@ -159,6 +164,7 @@ def _run_random(
     budget_conv: str,
     seed: tuple[int, ...],
     rng_seed: int,
+    ceiling: tuple[int, ...],
 ) -> None:
     nest = ev.nest
     rng = random.Random(rng_seed)
@@ -177,7 +183,7 @@ def _run_random(
                     value = min(axis_values(nest, seed, i), key=lambda v: abs(v - value))
                 elif snap < 0.5:
                     value = clamp_block(1 << max(0, value.bit_length() - 1), bound)
-                blocks.append(value)
+                blocks.append(min(value, ceiling[i]))
             blocks = tuple(blocks)
             if TileShape(nest=nest, blocks=blocks).is_feasible(cache_words, budget_conv):
                 batch.append(blocks)
@@ -202,14 +208,20 @@ def search_tiles(
     workers: int | None = None,
     use_native: bool | None = None,
     rng_seed: int = 0,
+    ceiling: Sequence[int] | None = None,
+    objective_capacities: Sequence[int] | None = None,
 ) -> SearchOutcome:
     """Run one strategy from the analytic seed; return every evaluation.
 
     ``capacities`` is the Pareto axis every evaluation is priced on (it
     always includes ``cache_words``); ``max_evaluations`` caps distinct
     simulated tiles including the seed.  The returned ``best`` minimises
-    measured traffic at ``cache_words`` — by construction never worse
-    than the seed, which is always evaluated first.
+    the *summed* measured traffic over ``objective_capacities``
+    (defaulting to ``cache_words`` alone — the classic single-cache
+    objective) — by construction never worse than the seed, which is
+    always evaluated first.  ``ceiling`` upper-bounds every candidate
+    componentwise (the multi-level tuner passes the next hierarchy
+    level's tile so candidates never un-nest the hierarchy).
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
@@ -218,7 +230,18 @@ def search_tiles(
     if radius < 0:
         raise ValueError("radius must be >= 0")
     seed = tuple(int(b) for b in seed)
+    if ceiling is not None and len(ceiling) != nest.depth:
+        raise ValueError(f"ceiling must have {nest.depth} entries, got {len(ceiling)}")
+    lid = tuple(nest.bounds) if ceiling is None else tuple(
+        min(int(c), bound) for c, bound in zip(ceiling, nest.bounds)
+    )
+    if any(s > c for s, c in zip(seed, lid)):
+        raise ValueError(f"seed {seed} exceeds the ceiling {lid}")
+    objective = tuple(
+        sorted({int(c) for c in (objective_capacities or (cache_words,))})
+    )
     caps = {int(cache_words)}
+    caps.update(objective)
     caps.update(int(c) for c in capacities or ())
     ev = BudgetedEvaluator(
         nest=nest,
@@ -229,14 +252,14 @@ def search_tiles(
     )
     ev.evaluate([seed])  # the seed is always candidate #0
     if strategy == "exhaustive":
-        _run_exhaustive(ev, cache_words, budget_conv, seed, radius)
+        _run_exhaustive(ev, cache_words, budget_conv, seed, radius, lid)
     elif strategy == "coordinate":
-        _run_coordinate(ev, cache_words, budget_conv, seed, radius)
+        _run_coordinate(ev, cache_words, budget_conv, seed, radius, lid, objective)
     else:
-        _run_random(ev, cache_words, budget_conv, seed, rng_seed)
+        _run_random(ev, cache_words, budget_conv, seed, rng_seed, lid)
     evaluations = tuple(ev.evaluations.values())
     return SearchOutcome(
         strategy=strategy,
-        best=best_evaluation(evaluations, int(cache_words)),
+        best=best_evaluation_multi(evaluations, objective),
         evaluations=evaluations,
     )

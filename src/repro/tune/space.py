@@ -142,6 +142,7 @@ def candidate_tiles(
     radius: int = 1,
     generators: Iterable[str] = GENERATORS,
     limit: int | None = None,
+    ceiling: Sequence[int] | None = None,
 ) -> list[tuple[int, ...]]:
     """The deduplicated, feasible candidate list — seed always first.
 
@@ -150,12 +151,22 @@ def candidate_tiles(
     most promising region.  Every returned tile satisfies the block
     bounds and is feasible for ``(cache_words, budget)``; the seed is
     included unconditionally when itself feasible.
+
+    ``ceiling`` adds a per-dimension upper bound below the loop bounds —
+    the multi-level tuner passes the next hierarchy level's tile so no
+    candidate ever un-nests the hierarchy (level-0 blocks stay inside
+    level-1 blocks).
     """
     if budget not in BUDGETS:
         raise ValueError(f"unknown budget {budget!r}; expected one of {BUDGETS}")
     unknown = [g for g in generators if g not in GENERATORS]
     if unknown:
         raise ValueError(f"unknown generators {unknown}; expected among {GENERATORS}")
+    if ceiling is not None and len(ceiling) != nest.depth:
+        raise ValueError(f"ceiling must have {nest.depth} entries, got {len(ceiling)}")
+    caps = tuple(nest.bounds) if ceiling is None else tuple(
+        min(int(c), bound) for c, bound in zip(ceiling, nest.bounds)
+    )
     streams = {
         "neighborhood": lambda: neighborhood(nest, seed, radius=radius),
         "divisor": lambda: divisor_snapped(nest, seed),
@@ -168,7 +179,7 @@ def candidate_tiles(
         if blocks in seen:
             return False
         seen.add(blocks)
-        if not all(1 <= b <= bound for b, bound in zip(blocks, nest.bounds)):
+        if not all(1 <= b <= cap for b, cap in zip(blocks, caps)):
             return False
         if not TileShape(nest=nest, blocks=blocks).is_feasible(cache_words, budget):
             return False

@@ -25,13 +25,14 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Sequence
 
+from ..core.hierarchy import MemoryHierarchy
 from ..core.loopnest import LoopNest
 from ..core.tiling import BUDGETS, TileShape
 from ..plan.planner import Planner, TilePlan
-from .result import TuneReport, build_pareto
+from .result import HierarchyBoundary, HierarchyReport, TuneReport, build_pareto
 from .search import STRATEGIES, search_tiles
 
-__all__ = ["default_capacities", "tune_tile"]
+__all__ = ["default_capacities", "tune_hierarchy", "tune_tile"]
 
 
 def default_capacities(cache_words: int) -> tuple[int, ...]:
@@ -139,5 +140,104 @@ def tune_tile(
         lower_bound_words=bounds_by_capacity[int(cache_words)],
         accesses=seed_eval.accesses,
         pareto=build_pareto(outcome.evaluations, caps, bounds_by_capacity),
+        candidates=outcome.evaluations if include_candidates else (),
+    )
+
+
+def tune_hierarchy(
+    nest: LoopNest,
+    hierarchy: "MemoryHierarchy | Sequence[int]",
+    *,
+    budget: str = "aggregate",
+    strategy: str = "exhaustive",
+    max_evaluations: int = 1,
+    radius: int = 1,
+    include_candidates: bool = False,
+    planner: Planner | None = None,
+    workers: int | None = None,
+    use_native: bool | None = None,
+    rng_seed: int = 0,
+) -> HierarchyReport:
+    """Plan (and optionally tune) a nested tiling for a whole hierarchy.
+
+    The orchestration behind ``Session.hierarchy``, ``/v1/hierarchy``
+    and ``repro-tile hierarchy``:
+
+    1. **Plan.**  :meth:`~repro.plan.Planner.plan_hierarchy` answers
+       every level from the shared canonical structure (one cached mpLP
+       piece evaluation per level; warm across capacity stacks) and
+       repairs the integer tiles jointly so levels nest.
+    2. **Measure / tune.**  Because the executed schedule is the
+       *innermost* tile walk (outer levels only group its tiles), one
+       :func:`~repro.simulate.nest_miss_curve` pass prices **every**
+       boundary of a candidate at once.  The search minimises the total
+       boundary traffic over innermost candidates capped componentwise
+       by the next level's tile — candidates never un-nest the
+       hierarchy.  ``max_evaluations=1`` measures the analytic seed
+       only (the pure serving path).
+    3. **Certify.**  Each boundary reports measured traffic against its
+       Theorem bound (``certificate_ratio >= 1`` always), and the
+       seed-first tie-break guarantees the tuned total never exceeds
+       the seed total.
+
+    Deterministic for a fixed request — all three service surfaces
+    return byte-identical payloads.
+    """
+    if budget not in BUDGETS:
+        raise ValueError(f"unknown budget {budget!r}; expected one of {BUDGETS}")
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    if max_evaluations < 1:
+        raise ValueError("max_evaluations must be >= 1")
+    if planner is None:
+        # Deferred import, same reason as tune_tile (api imports us).
+        from ..api.session import default_session
+
+        planner = default_session().planner
+    if not isinstance(hierarchy, MemoryHierarchy):
+        hierarchy = MemoryHierarchy(capacities=tuple(int(c) for c in hierarchy))
+
+    hplan = planner.plan_hierarchy(nest, hierarchy, budget, include_bound=True)
+    capacities = hplan.capacities
+    seed = hplan.levels[0].tile.blocks
+    ceiling = hplan.levels[1].tile.blocks if len(hplan.levels) > 1 else nest.bounds
+    outcome = search_tiles(
+        nest,
+        capacities[0],
+        seed,
+        strategy,
+        budget_conv=budget,
+        max_evaluations=max_evaluations,
+        radius=radius,
+        capacities=capacities,
+        workers=workers,
+        use_native=use_native,
+        rng_seed=rng_seed,
+        ceiling=ceiling,
+        objective_capacities=capacities,
+    )
+    seed_eval = outcome.evaluations[0]
+    assert seed_eval.blocks == seed
+    best = outcome.best
+    boundaries = []
+    for idx, level in enumerate(hplan.levels):
+        plan = level
+        if idx == 0 and best.blocks != level.tile.blocks:
+            plan = replace(level, tile=TileShape(nest=nest, blocks=best.blocks))
+        boundaries.append(
+            HierarchyBoundary(
+                plan=plan,
+                seed_blocks=level.tile.blocks,
+                traffic_words=best.traffic_at(level.cache_words),
+                seed_traffic_words=seed_eval.traffic_at(level.cache_words),
+            )
+        )
+    return HierarchyReport(
+        strategy=strategy,
+        max_evaluations=max_evaluations,
+        evaluations_used=outcome.evaluations_used,
+        accesses=seed_eval.accesses,
+        canonical_key=hplan.canonical_key,
+        boundaries=tuple(boundaries),
         candidates=outcome.evaluations if include_candidates else (),
     )

@@ -107,3 +107,53 @@ class TestHierarchicalTiling:
         ht = solve_hierarchical_tiling(nest, MemoryHierarchy(capacities=(2**10,)))
         single = solve_tiling(nest, 2**10)
         assert ht.levels[0].tile.volume == single.tile.volume
+
+
+class TestNestedLPEdgeCases:
+    """Degenerate capacity stacks must relax to slack, never raise."""
+
+    def test_equal_capacity_adjacent_aggregate(self):
+        # The grown level-1 tile packs the sum-of-footprints budget with
+        # individual footprints above M/n; the next (barely larger)
+        # level's effective capacity rows must go slack, not infeasible.
+        nest = matmul(16, 16, 16)
+        ht = solve_hierarchical_tiling(
+            nest, MemoryHierarchy(capacities=(300, 301)), budget="aggregate"
+        )
+        inner, outer = ht.levels
+        assert all(a <= b for a, b in zip(inner.tile.blocks, outer.tile.blocks))
+        for lvl in ht.levels:
+            assert lvl.tile.total_footprint() <= lvl.capacity
+
+    def test_adjacent_capacities_sweep_never_raises(self):
+        nest = matmul(16, 16, 16)
+        for m in range(250, 320):
+            ht = solve_hierarchical_tiling(
+                nest, MemoryHierarchy(capacities=(m, m + 1)), budget="aggregate"
+            )
+            inner, outer = ht.levels
+            assert all(a <= b for a, b in zip(inner.tile.blocks, outer.tile.blocks))
+
+    def test_huge_top_level_is_whole_nest(self):
+        # A capacity at or above the full iteration-space footprint makes
+        # every constraint slack: the level tile is the whole nest.
+        nest = matmul(16, 16, 16)
+        ht = solve_hierarchical_tiling(
+            nest, MemoryHierarchy(capacities=(64, 2**30))
+        )
+        assert ht.levels[1].tile.blocks == nest.bounds
+
+    def test_all_levels_above_footprint(self):
+        nest = matmul(12, 12, 12)
+        ht = solve_hierarchical_tiling(
+            nest, MemoryHierarchy(capacities=(10**6, 10**7)), budget="aggregate"
+        )
+        for lvl in ht.levels:
+            assert lvl.tile.blocks == nest.bounds
+
+    def test_capacity_exactly_at_footprint(self):
+        nest = matmul(16, 16, 16)
+        # per-array: each array's footprint is 256 at the whole nest.
+        ht = solve_hierarchical_tiling(nest, MemoryHierarchy(capacities=(256, 257)))
+        assert ht.levels[0].tile.blocks == nest.bounds
+        assert ht.levels[1].tile.blocks == nest.bounds

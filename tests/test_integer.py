@@ -76,3 +76,66 @@ class TestBestIntegerTile:
         best = best_integer_tile(nest, 10)
         oracle = best_rectangle(nest, 10)
         assert best.volume == oracle.volume
+
+
+class TestNestedIntegerRepair:
+    def test_single_level_matches_integer_repair(self):
+        from repro.core.integer import nested_integer_repair
+        from repro.core.tiling import integer_repair
+
+        for nest, M, budget in [
+            (matmul(24, 24, 6), 96, "aggregate"),
+            (matmul(100, 100, 100), 1024, "per-array"),
+            (nbody(50, 7), 32, "aggregate"),
+            (tensor_contraction((8, 8), (8,), (8, 8)), 100, "per-array"),
+        ]:
+            fractional = solve_tiling(nest, M, budget=budget).fractional_blocks
+            (nested,) = nested_integer_repair(nest, [fractional], [M], budget)
+            assert nested.blocks == integer_repair(nest, fractional, M, budget).blocks
+
+    def test_levels_stay_nested_and_feasible(self):
+        from repro.core.integer import nested_integer_repair
+
+        nest = matmul(40, 40, 12)
+        capacities = (32, 33, 256, 4096)
+        fractionals = [
+            solve_tiling(nest, M, budget="aggregate").fractional_blocks
+            for M in capacities
+        ]
+        tiles = nested_integer_repair(nest, fractionals, capacities, "aggregate")
+        for inner, outer in zip(tiles, tiles[1:]):
+            assert all(a <= b for a, b in zip(inner.blocks, outer.blocks))
+        for tile, M in zip(tiles, capacities):
+            assert tile.is_feasible(M, "aggregate")
+
+    def test_floors_respected(self):
+        from repro.core.integer import nested_integer_repair
+
+        nest = matmul(16, 16, 16)
+        (tile,) = nested_integer_repair(
+            nest, [(1.0, 1.0, 1.0)], [4096], "per-array", floors=(5, 3, 2)
+        )
+        assert all(b >= f for b, f in zip(tile.blocks, (5, 3, 2)))
+        assert tile.is_feasible(4096, "per-array")
+
+    def test_non_nestable_fractional_still_nests(self):
+        # Fractional optima that shrink a dimension between levels must
+        # not un-nest the integer tiles: the floor wins.
+        from repro.core.integer import nested_integer_repair
+
+        nest = matmul(32, 32, 32)
+        tiles = nested_integer_repair(
+            nest, [(16.0, 2.0, 2.0), (2.0, 16.0, 2.0)], (128, 256), "aggregate"
+        )
+        assert all(a <= b for a, b in zip(tiles[0].blocks, tiles[1].blocks))
+
+    def test_validation(self):
+        from repro.core.integer import nested_integer_repair
+
+        nest = matmul(8, 8, 8)
+        with pytest.raises(ValueError, match="budget"):
+            nested_integer_repair(nest, [(1.0,) * 3], [16], "bogus")
+        with pytest.raises(ValueError, match="per capacity"):
+            nested_integer_repair(nest, [(1.0,) * 3], [16, 64])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            nested_integer_repair(nest, [(1.0,) * 3] * 2, [64, 16])

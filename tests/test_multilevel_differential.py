@@ -1,0 +1,181 @@
+"""Randomized differential tests for the one-pass multi-level simulator.
+
+The claim under test (the stack property turned into an algorithm): for
+an inclusive LRU hierarchy, **one** stack-distance pass over a trace
+answers every level's boundary traffic exactly — the same counts an
+independent LRU simulation per level would produce.  This suite pins
+that equivalence bit-for-bit on randomized nests, tiles and capacity
+stacks:
+
+* :func:`repro.simulate.multilevel.simulate_hierarchy_trace` boundary
+  words equal independent per-level :class:`repro.machine.cache.BatchLRU`
+  runs (misses and write-backs compared separately via the curve);
+* miss counts are monotone non-increasing in capacity (the LRU stack
+  property itself).
+
+A seeded ``random.Random`` loop guarantees a fixed population of 60
+nest x hierarchy cases on every run; a hypothesis layer explores
+further.
+"""
+
+import random
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import MemoryHierarchy
+from repro.core.loopnest import ArrayRef, LoopNest
+from repro.core.tiling import TileShape
+from repro.machine.cache import BatchLRU
+from repro.simulate.multilevel import nest_miss_curve, simulate_hierarchy_trace
+from repro.simulate.trace import AddressMap, generate_trace_batched
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def reference_level_counts(nest, capacity, tile=None):
+    """Independent single-level BatchLRU run: (misses, writebacks)."""
+    lru = BatchLRU(capacity, AddressMap(nest).total_words)
+    for batch in generate_trace_batched(nest, tile=tile):
+        lru.process(batch.addresses, np.asarray(batch.is_write))
+    lru.flush()
+    return lru.stats.misses, lru.stats.writebacks
+
+
+def random_nest(rng: random.Random) -> LoopNest:
+    """A small random projective nest the trace engine can chew fast."""
+    depth = rng.randint(1, 3)
+    n_arrays = rng.randint(1, 3)
+    supports = []
+    for _ in range(n_arrays):
+        k = rng.randint(0, depth)
+        supports.append(sorted(rng.sample(range(depth), k)))
+    covered = {i for s in supports for i in s}
+    for loop in range(depth):
+        if loop not in covered:
+            supports[rng.randrange(n_arrays)] = sorted(
+                set(supports[rng.randrange(n_arrays)]) | {loop}
+            )
+    # Re-check coverage (the random merge above may pick two different
+    # array slots); force the remainder onto array 0.
+    covered = {i for s in supports for i in s}
+    supports[0] = sorted(set(supports[0]) | (set(range(depth)) - covered))
+    bounds = tuple(rng.randint(1, 12) for _ in range(depth))
+    arrays = tuple(
+        ArrayRef(name=f"A{j}", support=tuple(s), is_output=(j == 0))
+        for j, s in enumerate(supports)
+    )
+    return LoopNest(
+        name="random",
+        loops=tuple(f"x{i}" for i in range(depth)),
+        bounds=bounds,
+        arrays=arrays,
+    )
+
+
+def random_hierarchy(rng: random.Random, nest: LoopNest) -> MemoryHierarchy:
+    """2-4 strictly increasing capacities spanning tiny to oversized."""
+    top = max(4, 2 * nest.total_footprint())
+    levels = rng.randint(2, 4)
+    caps = sorted(rng.sample(range(2, top + 2), min(levels, top)))
+    return MemoryHierarchy(capacities=tuple(caps))
+
+
+def random_tile(rng: random.Random, nest: LoopNest) -> TileShape | None:
+    if rng.random() < 0.4:
+        return None  # untiled lexicographic schedule
+    return TileShape(
+        nest=nest, blocks=tuple(rng.randint(1, L) for L in nest.bounds)
+    )
+
+
+class TestDifferentialSeededPopulation:
+    """60 fixed random cases: one-pass counts == per-level LRU counts."""
+
+    CASES = 60
+
+    def test_one_pass_matches_per_level_reference(self):
+        rng = random.Random(20260726)
+        for case in range(self.CASES):
+            nest = random_nest(rng)
+            hierarchy = random_hierarchy(rng, nest)
+            tile = random_tile(rng, nest)
+            curve = nest_miss_curve(nest, tile=tile)
+            report = simulate_hierarchy_trace(
+                nest, hierarchy, tile=tile, schedule="differential"
+            )
+            for boundary in report.boundaries:
+                misses, writebacks = reference_level_counts(
+                    nest, boundary.capacity, tile=tile
+                )
+                label = (case, nest.describe(), hierarchy.capacities, boundary.capacity)
+                assert curve.misses_at(boundary.capacity) == misses, label
+                assert curve.writebacks_at(boundary.capacity) == writebacks, label
+                assert boundary.words == misses + writebacks, label
+
+    def test_traffic_monotone_in_capacity(self):
+        rng = random.Random(826)
+        for _ in range(self.CASES):
+            nest = random_nest(rng)
+            hierarchy = random_hierarchy(rng, nest)
+            tile = random_tile(rng, nest)
+            curve = nest_miss_curve(nest, tile=tile)
+            misses = [curve.misses_at(c) for c in hierarchy.capacities]
+            writebacks = [curve.writebacks_at(c) for c in hierarchy.capacities]
+            assert misses == sorted(misses, reverse=True)
+            assert writebacks == sorted(writebacks, reverse=True)
+
+
+@st.composite
+def nest_and_stack(draw):
+    depth = draw(st.integers(1, 3))
+    n = draw(st.integers(1, 3))
+    supports = []
+    for _ in range(n):
+        support = draw(
+            st.sets(st.integers(0, depth - 1), min_size=0, max_size=depth).map(
+                lambda s: tuple(sorted(s))
+            )
+        )
+        supports.append(set(support))
+    covered = {i for s in supports for i in s}
+    for loop in range(depth):
+        if loop not in covered:
+            supports[draw(st.integers(0, n - 1))].add(loop)
+    bounds = tuple(draw(st.integers(1, 10)) for _ in range(depth))
+    arrays = tuple(
+        ArrayRef(name=f"A{j}", support=tuple(sorted(s)), is_output=(j == 0))
+        for j, s in enumerate(supports)
+    )
+    nest = LoopNest(
+        name="hyp", loops=tuple(f"x{i}" for i in range(depth)), bounds=bounds,
+        arrays=arrays,
+    )
+    caps = draw(
+        st.lists(st.integers(2, 200), min_size=2, max_size=4, unique=True).map(sorted)
+    )
+    tile = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(*(st.integers(1, L) for L in bounds)),
+        )
+    )
+    return nest, tuple(caps), tile
+
+
+class TestDifferentialHypothesis:
+    @SETTINGS
+    @given(case=nest_and_stack())
+    def test_one_pass_matches_reference(self, case):
+        nest, capacities, blocks = case
+        tile = None if blocks is None else TileShape(nest=nest, blocks=blocks)
+        curve = nest_miss_curve(nest, tile=tile)
+        for capacity in capacities:
+            misses, writebacks = reference_level_counts(nest, capacity, tile=tile)
+            assert curve.misses_at(capacity) == misses
+            assert curve.writebacks_at(capacity) == writebacks
