@@ -1,0 +1,197 @@
+"""Concurrent HTTP soak for the failure-hardened service surface.
+
+Spins up the stdlib server in-process with a deliberately small
+in-flight limit, then hammers it from many client threads for a fixed
+wall-clock window with a mix of traffic:
+
+* valid analyze/batch/simulate requests (warm and cold structures),
+* requests carrying tiny ``deadline_ms`` budgets (may map to 504),
+* malformed bodies and unknown paths (must map to 400/404),
+
+so the server is continuously shedding load (429), finishing real work
+(200), and rejecting garbage — all at once.  The pass criterion is the
+resilience contract, not throughput: **every** response must be a
+well-formed schema-v1 envelope with a status from the documented
+catalogue, and no request may hang, reset the connection, or return an
+unstructured 500.  Any violation fails the process (exit 1).
+
+Run directly (CI's chaos-smoke job uses ``--seconds 30``)::
+
+    python benchmarks/soak_service.py --seconds 30 --threads 8 --max-inflight 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import random
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.api import SCHEMA_VERSION, Session
+from repro.serve import make_server
+
+#: Statuses the resilience contract allows under fault-free soak load.
+#: 500 is deliberately absent: a structured internal error would still
+#: be an envelope, but the soak runs no injected faults, so any 500 is
+#: a real regression.
+ALLOWED_STATUSES = {200, 400, 404, 429, 503, 504}
+
+RESULT_KINDS = {
+    "analyze", "simulate", "sweep", "tune", "hierarchy", "distributed",
+    "health", "error", "batch",
+}
+
+
+def _request_mix(rng: random.Random) -> tuple[str, bytes | None]:
+    """One (path, body) draw from the soak traffic mix."""
+    roll = rng.random()
+    if roll < 0.40:  # plain analyze, rotating sizes: warm + cold structures
+        size = rng.choice((16, 24, 32, 48, 64))
+        body = {"problem": "matmul", "sizes": [size, size, size],
+                "cache_words": rng.choice((64, 256, 1024))}
+        return "/v1/analyze", json.dumps(body).encode()
+    if roll < 0.55:  # tiny deadline: 200 when warm, structured 504 when not
+        size = rng.choice((20, 28, 36))
+        body = {"problem": "nbody", "sizes": [size, size],
+                "cache_words": 64, "deadline_ms": rng.choice((1, 5, 10_000))}
+        return "/v1/analyze", json.dumps(body).encode()
+    if roll < 0.70:  # small ordered batch
+        body = {"requests": [
+            {"problem": "matmul", "sizes": [16, 16, 16], "cache_words": 64},
+            {"problem": "nbody", "sizes": [24, 24], "cache_words": 64},
+        ]}
+        return "/v1/batch", json.dumps(body).encode()
+    if roll < 0.80:  # trace simulation (the heavyweight request)
+        body = {"problem": "nbody", "sizes": [48, 48], "cache_words": 64}
+        return "/v1/simulate", json.dumps(body).encode()
+    if roll < 0.87:  # health probe: must always land, even when shedding
+        return "/v1/health", json.dumps({}).encode()
+    if roll < 0.94:  # garbage body: structured 400
+        return "/v1/analyze", b"{this is not json"
+    return "/v2/nope", json.dumps({}).encode()  # unknown path: structured 404
+
+
+def _check_envelope(status: int, body: dict) -> str | None:
+    """Return a violation description, or None when the envelope is sound."""
+    if status not in ALLOWED_STATUSES:
+        return f"status {status} outside the documented catalogue"
+    if body.get("schema_version") != SCHEMA_VERSION:
+        return f"schema_version {body.get('schema_version')!r}"
+    kind = body.get("kind")
+    if kind not in RESULT_KINDS:
+        return f"unknown kind {kind!r}"
+    if kind in ("batch", "sweep"):
+        if not isinstance(body.get("results"), list):
+            return "batch envelope without a results list"
+        return None
+    payload = body.get("payload")
+    if not isinstance(payload, dict):
+        return "payload is not an object"
+    if kind == "error" and payload.get("status") != status:
+        return f"error payload status {payload.get('status')} != HTTP {status}"
+    if status != 200 and kind != "error":
+        return f"non-200 status {status} with kind {kind!r}"
+    return None
+
+
+def _soak_worker(base: str, stop_at: float, seed: int,
+                 counts: collections.Counter, violations: list,
+                 lock: threading.Lock) -> None:
+    rng = random.Random(seed)
+    while time.monotonic() < stop_at:
+        path, data = _request_mix(rng)
+        request = urllib.request.Request(
+            base + path, data=data,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        try:
+            try:
+                with urllib.request.urlopen(request, timeout=60) as resp:
+                    status, raw = resp.status, resp.read()
+            except urllib.error.HTTPError as exc:
+                status, raw = exc.code, exc.read()
+        except Exception as exc:  # connection reset, timeout, ...: a hang/crash
+            with lock:
+                violations.append(f"{path}: transport failure {exc!r}")
+                counts["transport-error"] += 1
+            continue
+        try:
+            body = json.loads(raw)
+            problem = _check_envelope(status, body)
+        except (ValueError, AttributeError):
+            problem = f"body is not JSON ({raw[:80]!r})"
+        with lock:
+            counts[status] += 1
+            if problem is not None:
+                counts["malformed"] += 1
+                if len(violations) < 20:
+                    violations.append(f"{path} -> {status}: {problem}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=30.0,
+                        help="soak duration (default 30)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="concurrent client threads (default 8)")
+    parser.add_argument("--max-inflight", type=int, default=4,
+                        help="server in-flight limit; small values force "
+                             "continuous load shedding (default 4)")
+    args = parser.parse_args(argv)
+
+    server = make_server(port=0, session=Session(), max_inflight=args.max_inflight)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+
+    counts: collections.Counter = collections.Counter()
+    violations: list[str] = []
+    lock = threading.Lock()
+    stop_at = time.monotonic() + args.seconds
+    workers = [
+        threading.Thread(
+            target=_soak_worker,
+            args=(base, stop_at, seed, counts, violations, lock),
+            daemon=True,
+        )
+        for seed in range(args.threads)
+    ]
+    t0 = time.monotonic()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join(timeout=args.seconds + 90)
+    elapsed = time.monotonic() - t0
+
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+    total = sum(v for k, v in counts.items() if isinstance(k, int))
+    print(f"soak: {total} responses in {elapsed:.1f}s "
+          f"({args.threads} threads, max_inflight={args.max_inflight})")
+    for key in sorted(counts, key=str):
+        print(f"  {key}: {counts[key]}")
+    if any(w.is_alive() for w in workers):
+        print("FAIL: a client thread never finished (hung request)")
+        return 1
+    if counts["malformed"] or counts["transport-error"]:
+        print(f"FAIL: {counts['malformed']} malformed responses, "
+              f"{counts['transport-error']} transport failures")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    if total == 0:
+        print("FAIL: the soak produced no responses at all")
+        return 1
+    print("PASS: zero malformed responses")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

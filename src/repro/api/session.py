@@ -36,6 +36,7 @@ from ..plan.batch import plan_batch
 from ..plan.planner import Planner, PlanRequest, TilePlan
 from ..simulate.trace_sim import run_trace_simulation
 from ..tune.tuner import tune_hierarchy, tune_tile
+from ..util.deadline import DeadlineExceeded, deadline_scope
 from .requests import (
     AnalyzeRequest,
     DistributedRequest,
@@ -52,6 +53,35 @@ __all__ = ["Session", "default_session", "reset_default_session"]
 
 def _ms(seconds: float) -> float:
     return round(seconds * 1000.0, 3)
+
+
+def _deadline_error(exc: DeadlineExceeded) -> Result:
+    """The structured 504 envelope for an expired request deadline."""
+    return Result.error(
+        str(exc),
+        status=504,
+        detail={
+            "reason": "deadline_exceeded",
+            "deadline_ms": exc.budget_ms,
+            "where": exc.where,
+        },
+    )
+
+
+def _degraded_meta(events: dict) -> dict | None:
+    """Meta fields describing observed degradation; None when clean.
+
+    Returning ``None`` on the clean path keeps fault-free payloads
+    byte-identical to the historical golden envelopes — ``degraded``
+    never appears unless something actually degraded.
+    """
+    if not events.get("degraded"):
+        return None
+    extra: dict = {"degraded": True}
+    reasons = events.get("degraded_reasons")
+    if reasons:
+        extra["degraded_reasons"] = sorted(set(reasons))
+    return extra
 
 
 class Session:
@@ -173,6 +203,7 @@ class Session:
         plan: TilePlan,
         t0: float | None = None,
         elapsed_ms: float | None = None,
+        extra_meta: dict | None = None,
     ) -> Result:
         payload = plan.to_json()
         payload.pop("cache_hit", None)
@@ -185,10 +216,13 @@ class Session:
         )
         if elapsed_ms is None:
             elapsed_ms = _ms(time.perf_counter() - t0)
+        meta = {"elapsed_ms": elapsed_ms, "cache_hit": plan.cache_hit}
+        if extra_meta:
+            meta.update(extra_meta)
         return Result(
             kind="analyze",
             payload=payload,
-            meta={"elapsed_ms": elapsed_ms, "cache_hit": plan.cache_hit},
+            meta=meta,
             detail=plan,
         )
 
@@ -201,17 +235,25 @@ class Session:
         *,
         budget: str = "per-array",
         certificate: bool = False,
+        deadline_ms: float | None = None,
     ) -> Result:
         """One query through the plan cache; the ``/v1/analyze`` core.
 
         Accepts an :class:`AnalyzeRequest`, a
         :class:`~repro.plan.PlanRequest`, a bare nest plus
         ``cache_words``, or a ``(nest, cache_words[, budget])`` tuple.
+        ``deadline_ms`` bounds the solve cooperatively: a cold structure
+        whose simplex outruns the budget yields a structured 504
+        envelope instead of blocking indefinitely.
         """
         t0 = time.perf_counter()
         request = self._as_analyze(request, cache_words, budget, certificate)
-        plan = self.planner.plan(request.nest, request.cache_words, request.budget)
-        return self._analyze_result(request, plan, t0)
+        try:
+            with deadline_scope(deadline_ms):
+                plan = self.planner.plan(request.nest, request.cache_words, request.budget)
+                return self._analyze_result(request, plan, t0)
+        except DeadlineExceeded as exc:
+            return _deadline_error(exc)
 
     def batch(
         self,
@@ -219,6 +261,7 @@ class Session:
         *,
         workers: int | None = None,
         budget: str = "per-array",
+        deadline_ms: float | None = None,
     ) -> list[Result]:
         """Serve many analyze queries in request order.
 
@@ -227,28 +270,55 @@ class Session:
         setting), then every request is answered from the warm cache.
         Each result's ``meta.elapsed_ms`` is the *amortised* per-request
         batch time (total batch wall clock / request count).
+
+        If a worker pool breaks mid-run (a crashed worker), surviving
+        solves are kept, the rest are re-solved serially, and every
+        result's meta carries ``degraded: true``.  If ``deadline_ms``
+        expires mid-batch, every request maps to the structured 504
+        envelope (the batch is one unit of work — per-request partial
+        answers would break positional zipping).
         """
         t0 = time.perf_counter()
         reqs = [self._as_analyze(item, budget=budget) for item in requests]
-        plans = plan_batch(
-            [PlanRequest(r.nest, r.cache_words, r.budget) for r in reqs],
-            planner=self.planner,
-            max_workers=self.workers if workers is None else workers,
-        )
+        events: dict = {}
+        try:
+            with deadline_scope(deadline_ms):
+                plans = plan_batch(
+                    [PlanRequest(r.nest, r.cache_words, r.budget) for r in reqs],
+                    planner=self.planner,
+                    max_workers=self.workers if workers is None else workers,
+                    events=events,
+                )
+        except DeadlineExceeded as exc:
+            return [_deadline_error(exc) for _ in reqs]
         per_request_ms = _ms((time.perf_counter() - t0) / max(1, len(reqs)))
+        extra = _degraded_meta(events)
         return [
-            self._analyze_result(req, plan, elapsed_ms=per_request_ms)
+            self._analyze_result(req, plan, elapsed_ms=per_request_ms, extra_meta=extra)
             for req, plan in zip(reqs, plans)
         ]
 
-    def sweep(self, request: SweepRequest, *, workers: int | None = None) -> list[Result]:
+    def sweep(
+        self,
+        request: SweepRequest,
+        *,
+        workers: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> list[Result]:
         """Expand a :class:`SweepRequest` grid and serve it as a batch."""
-        return self.batch(request.expand(), workers=workers)
+        return self.batch(request.expand(), workers=workers, deadline_ms=deadline_ms)
 
-    def simulate(self, request: SimulateRequest) -> Result:
+    def simulate(self, request: SimulateRequest, *, deadline_ms: float | None = None) -> Result:
         """Trace-driven cache simulation; the ``/v1`` story's ground truth."""
         t0 = time.perf_counter()
         request = request.validate()
+        try:
+            with deadline_scope(deadline_ms):
+                return self._simulate_inner(request, t0)
+        except DeadlineExceeded as exc:
+            return _deadline_error(exc)
+
+    def _simulate_inner(self, request: SimulateRequest, t0: float) -> Result:
         planned: TilePlan | None = None
         if request.tile is not None:
             tile = TileShape(nest=request.nest, blocks=request.tile)
@@ -291,7 +361,13 @@ class Session:
         }
         return Result(kind="simulate", payload=payload, meta=meta, detail=report)
 
-    def tune(self, request: TuneRequest, *, workers: int | None = None) -> Result:
+    def tune(
+        self,
+        request: TuneRequest,
+        *,
+        workers: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> Result:
         """Simulation-in-the-loop tile autotuning; the ``/v1/tune`` core.
 
         Seeds at the plan cache's analytic optimum, searches the integer
@@ -299,29 +375,46 @@ class Session:
         returns a :class:`~repro.tune.TuneReport` payload certified
         against the Theorem lower bound.  ``workers`` parallelises
         candidate evaluation (defaults to the session setting; the
-        payload is identical either way).
+        payload is identical either way).  A crashed evaluation pool is
+        survived serially (``meta.degraded``); an expired ``deadline_ms``
+        yields the structured 504 envelope.
         """
         t0 = time.perf_counter()
         request = request.validate()
-        report = tune_tile(
-            request.nest,
-            request.cache_words,
-            budget=request.budget,
-            strategy=request.strategy,
-            max_evaluations=request.max_evaluations,
-            radius=request.radius,
-            capacities=request.capacities,
-            planner=self.planner,
-            workers=self.workers if workers is None else workers,
-        )
+        events: dict = {}
+        try:
+            with deadline_scope(deadline_ms):
+                report = tune_tile(
+                    request.nest,
+                    request.cache_words,
+                    budget=request.budget,
+                    strategy=request.strategy,
+                    max_evaluations=request.max_evaluations,
+                    radius=request.radius,
+                    capacities=request.capacities,
+                    planner=self.planner,
+                    workers=self.workers if workers is None else workers,
+                    events=events,
+                )
+        except DeadlineExceeded as exc:
+            return _deadline_error(exc)
         payload = report.to_json()
         meta = {
             "elapsed_ms": _ms(time.perf_counter() - t0),
             "cache_hit": report.plan.cache_hit,
         }
+        extra = _degraded_meta(events)
+        if extra:
+            meta.update(extra)
         return Result(kind="tune", payload=payload, meta=meta, detail=report)
 
-    def hierarchy(self, request: HierarchyRequest, *, workers: int | None = None) -> Result:
+    def hierarchy(
+        self,
+        request: HierarchyRequest,
+        *,
+        workers: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> Result:
         """Hierarchy-native planning; the ``/v1/hierarchy`` core.
 
         Plans one nested tiling per level through the plan cache (one
@@ -336,30 +429,45 @@ class Session:
         """
         t0 = time.perf_counter()
         request = request.validate()
-        report = tune_hierarchy(
-            request.nest,
-            request.capacities,
-            budget=request.budget,
-            strategy=request.strategy,
-            max_evaluations=max(1, request.tune_budget),
-            radius=request.radius,
-            planner=self.planner,
-            workers=self.workers if workers is None else workers,
-        )
+        events: dict = {}
+        try:
+            with deadline_scope(deadline_ms):
+                report = tune_hierarchy(
+                    request.nest,
+                    request.capacities,
+                    budget=request.budget,
+                    strategy=request.strategy,
+                    max_evaluations=max(1, request.tune_budget),
+                    radius=request.radius,
+                    planner=self.planner,
+                    workers=self.workers if workers is None else workers,
+                    events=events,
+                )
+        except DeadlineExceeded as exc:
+            return _deadline_error(exc)
         payload = report.to_json()
         meta = {
             "elapsed_ms": _ms(time.perf_counter() - t0),
             "cache_hit": report.cache_hit,
         }
+        extra = _degraded_meta(events)
+        if extra:
+            meta.update(extra)
         return Result(kind="hierarchy", payload=payload, meta=meta, detail=report)
 
-    def distributed(self, request: DistributedRequest) -> Result:
+    def distributed(
+        self, request: DistributedRequest, *, deadline_ms: float | None = None
+    ) -> Result:
         """Processor-grid traffic against the distributed lower bound."""
         t0 = time.perf_counter()
         request = request.validate()
-        report: DistributedReport = simulate_grid(
-            request.nest, request.processors, request.memory_words, grid=request.grid
-        )
+        try:
+            with deadline_scope(deadline_ms):
+                report: DistributedReport = simulate_grid(
+                    request.nest, request.processors, request.memory_words, grid=request.grid
+                )
+        except DeadlineExceeded as exc:
+            return _deadline_error(exc)
         payload = {
             "nest": request.nest.to_json(),
             "processors": report.P,

@@ -156,6 +156,21 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logging"
     )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="bound on concurrently-processed POSTs; excess load is shed "
+        "with a structured 429 (default 64)",
+    )
+    parser.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="deadline applied to requests that do not carry their own "
+        "deadline_ms (default: none)",
+    )
     return parser
 
 
@@ -201,6 +216,14 @@ def _add_search_arguments(parser: argparse.ArgumentParser, smoke_help: str) -> N
         "--plan-cache",
         metavar="FILE",
         help="persistent JSON plan cache to load before and save after the run",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="cooperative deadline for the whole run; on expiry the emitted "
+        "Result is a structured 504 error envelope and the exit code is 3",
     )
     parser.add_argument("--smoke", action="store_true", help=smoke_help)
 
@@ -299,14 +322,17 @@ def _run_hierarchy(argv: Sequence[str]) -> int:
             radius=args.radius,
         ).validate()
         session = Session(plan_cache=args.plan_cache, workers=args.workers)
-        print(session.hierarchy(request).to_json_str())
+        result = session.hierarchy(request, deadline_ms=args.deadline_ms)
+        print(result.to_json_str())
         if args.plan_cache:
             session.save_plans()
     except (ParseError, LoopNestError, RequestError, OSError,
             json.JSONDecodeError, TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return 0
+    # An error envelope (e.g. an expired deadline) is still one valid
+    # Result JSON line on stdout, but the exit code tells scripts apart.
+    return 0 if result.ok else 3
 
 
 def _run_tune(argv: Sequence[str]) -> int:
@@ -330,14 +356,17 @@ def _run_tune(argv: Sequence[str]) -> int:
             ),
         ).validate()
         session = Session(plan_cache=args.plan_cache, workers=args.workers)
-        print(session.tune(request).to_json_str())
+        result = session.tune(request, deadline_ms=args.deadline_ms)
+        print(result.to_json_str())
         if args.plan_cache:
             session.save_plans()
     except (ParseError, LoopNestError, RequestError, OSError,
             json.JSONDecodeError, TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return 0
+    # An error envelope (e.g. an expired deadline) is still one valid
+    # Result JSON line on stdout, but the exit code tells scripts apart.
+    return 0 if result.ok else 3
 
 
 def _parse_bounds(blob: str) -> dict[str, int]:
@@ -448,9 +477,19 @@ def _run_serve(argv: Sequence[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        return serve(host=args.host, port=args.port, session=session, verbose=not args.quiet)
-    except OSError as exc:
-        # Bind failures (port in use, bad host) follow the CLI contract.
+        from .serve import DEFAULT_MAX_INFLIGHT
+
+        return serve(
+            host=args.host,
+            port=args.port,
+            session=session,
+            verbose=not args.quiet,
+            max_inflight=args.max_inflight if args.max_inflight else DEFAULT_MAX_INFLIGHT,
+            default_deadline_ms=args.default_deadline_ms,
+        )
+    except (OSError, ValueError) as exc:
+        # Bind failures (port in use, bad host) and bad admission/deadline
+        # settings follow the CLI contract.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:

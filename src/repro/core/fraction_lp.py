@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
 
+from ..util.deadline import checkpoint
+
 __all__ = ["LPSolution", "LPError", "solve_lp"]
 
 _ZERO = Fraction(0)
@@ -356,6 +358,7 @@ def _simplex_loop(
     limit = total if forbidden_from is None else forbidden_from
     zrow = T[m]
     while True:
+        checkpoint("lp-pivot")
         enter = -1
         for j in range(limit):
             if zrow[j] < 0:

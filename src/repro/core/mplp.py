@@ -35,6 +35,7 @@ from fractions import Fraction
 from itertools import combinations
 from typing import Sequence
 
+from ..util.deadline import checkpoint
 from ..util.linalg import SingularMatrixError, solve_square
 from ..util.rationals import format_affine, pow_fraction
 from .fraction_lp import solve_lp
@@ -186,7 +187,9 @@ def _dual_vertices(nest: LoopNest) -> list[tuple[tuple[Fraction, ...], tuple[Fra
 
     vertices: list[tuple[tuple[Fraction, ...], tuple[Fraction, ...]]] = []
     seen: set[tuple[Fraction, ...]] = set()
-    for combo in combinations(range(len(facets)), dim):
+    for n_combo, combo in enumerate(combinations(range(len(facets)), dim)):
+        if n_combo % 32 == 0:
+            checkpoint("mplp-enumeration")
         A = [facets[idx][0] for idx in combo]
         b = [facets[idx][1] for idx in combo]
         try:

@@ -11,7 +11,7 @@ from .cache import (
 )
 from .counters import ArrayTraffic, TrafficReport
 from .model import MachineModel
-from .native import native_available
+from .native import NativeKernelError, native_available
 from .stackdist import stack_distances, write_interval_maxima
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "miss_curve",
     "stack_distances",
     "write_interval_maxima",
+    "NativeKernelError",
     "native_available",
     "ArrayTraffic",
     "TrafficReport",

@@ -273,22 +273,35 @@ class BatchLRU:
     def _process_native(self, lines: np.ndarray, writes: np.ndarray, n: int) -> np.ndarray:
         import ctypes
 
+        from ..util import faults
+        from .native import NativeKernelError, mark_unavailable
+
         i64p = ctypes.POINTER(ctypes.c_int64)
         u8p = ctypes.POINTER(ctypes.c_uint8)
         miss = np.empty(n, dtype=np.uint8)
-        self._kernel.lru_process(
-            self._state.ctypes.data_as(i64p),
-            ctypes.c_int64(self.capacity),
-            self._slot.ctypes.data_as(i64p),
-            self._node_line.ctypes.data_as(i64p),
-            self._node_prev.ctypes.data_as(i64p),
-            self._node_next.ctypes.data_as(i64p),
-            self._node_dirty.ctypes.data_as(u8p),
-            lines.ctypes.data_as(i64p),
-            writes.ctypes.data_as(u8p),
-            ctypes.c_int64(n),
-            miss.ctypes.data_as(u8p),
-        )
+        try:
+            if faults.active("native-kernel"):
+                raise faults.InjectedFault("native-kernel")
+            self._kernel.lru_process(
+                self._state.ctypes.data_as(i64p),
+                ctypes.c_int64(self.capacity),
+                self._slot.ctypes.data_as(i64p),
+                self._node_line.ctypes.data_as(i64p),
+                self._node_prev.ctypes.data_as(i64p),
+                self._node_next.ctypes.data_as(i64p),
+                self._node_dirty.ctypes.data_as(u8p),
+                lines.ctypes.data_as(i64p),
+                writes.ctypes.data_as(u8p),
+                ctypes.c_int64(n),
+                miss.ctypes.data_as(u8p),
+            )
+        except (OSError, AttributeError, ctypes.ArgumentError, faults.InjectedFault) as exc:
+            # Mid-stream failure: this instance's LRU state is suspect, so
+            # demote the process and let a computation-level entry point
+            # (nest_miss_curve, run_trace_simulation) redo the whole run
+            # on the numpy path — partial state is never mixed.
+            mark_unavailable(f"runtime kernel failure: {exc}")
+            raise NativeKernelError(str(exc)) from exc
         self._sync_native_stats()
         return miss.view(bool)
 

@@ -8,10 +8,15 @@ compiles ``_lru_kernel.c`` into a shared library next to the package the
 first time it is needed — plain ``cc -O2 -shared -fPIC``, no build system,
 no third-party dependency — and exposes the entry points through ctypes.
 
-Everything degrades gracefully: if no C compiler is available, compilation
-fails, or ``REPRO_NO_NATIVE`` is set in the environment, :func:`get_kernel`
-returns ``None`` and callers fall back to the pure-Python/numpy
-implementations.  The cross-check test-suite exercises both paths.
+Everything degrades gracefully: if no C compiler is available, the
+compile times out or fails, or ``REPRO_NO_NATIVE`` is set in the
+environment, :func:`get_kernel` returns ``None`` and callers fall back
+to the pure-Python/numpy implementations.  The "native unavailable"
+decision is cached once per process (with a single warning naming the
+reason), so a missing compiler costs one probe, not one per call —
+and a *runtime* kernel failure can demote the whole process the same
+way through :func:`mark_unavailable`.  The cross-check test-suite
+exercises both paths.
 """
 
 from __future__ import annotations
@@ -22,9 +27,18 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import warnings
 from pathlib import Path
 
-__all__ = ["get_kernel", "native_available"]
+from ..util import faults
+
+__all__ = [
+    "NativeKernelError",
+    "get_kernel",
+    "mark_unavailable",
+    "native_available",
+    "reset",
+]
 
 _SOURCE = Path(__file__).with_name("_lru_kernel.c")
 _SONAME = f"_lru_kernel-{sys.implementation.cache_tag}.so"
@@ -32,18 +46,32 @@ _SONAME = f"_lru_kernel-{sys.implementation.cache_tag}.so"
 # tri-state cache: unset / kernel / None (= unavailable)
 _KERNEL: "ctypes.CDLL | None" = None
 _RESOLVED = False
+#: Why the kernel is unavailable (set at most once per process).
+_UNAVAILABLE_REASON: str | None = None
 
 
-def _compile() -> Path | None:
+class NativeKernelError(RuntimeError):
+    """A native kernel call failed at runtime.
+
+    Raised by callers (e.g. :class:`repro.machine.cache.BatchLRU`) after
+    they have demoted the process with :func:`mark_unavailable`; the
+    computation-level entry points catch it and re-run on the numpy
+    path, so the caller still gets the exact same answer.
+    """
+
+
+def _compile(reasons: list[str]) -> Path | None:
     """Build the shared library next to the source; return its path or None."""
     so_path = _SOURCE.with_name(_SONAME)
     try:
         if so_path.exists() and so_path.stat().st_mtime >= _SOURCE.stat().st_mtime:
             return so_path
-    except OSError:
+    except OSError as exc:
+        reasons.append(f"cannot stat kernel source: {exc}")
         return None
     compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
     if compiler is None:
+        reasons.append("no C compiler (cc/gcc/clang) on PATH")
         return None
     # Compile to a temp file and rename atomically so concurrent test
     # processes never load a half-written library.
@@ -55,25 +83,30 @@ def _compile() -> Path | None:
         proc = subprocess.run(cmd, capture_output=True, timeout=120)
         if proc.returncode != 0:
             os.unlink(tmp)
+            reasons.append(f"compile failed (exit {proc.returncode})")
             return None
         os.replace(tmp, so_path)
         return so_path
-    except (OSError, subprocess.SubprocessError):
-        if tmp is not None:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-        return None
+    except subprocess.TimeoutExpired:
+        reasons.append("compile timed out after 120 s")
+    except (OSError, subprocess.SubprocessError) as exc:
+        reasons.append(f"compile error: {exc}")
+    if tmp is not None:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+    return None
 
 
-def _load() -> "ctypes.CDLL | None":
-    so_path = _compile()
+def _load(reasons: list[str]) -> "ctypes.CDLL | None":
+    so_path = _compile(reasons)
     if so_path is None:
         return None
     try:
         lib = ctypes.CDLL(str(so_path))
-    except OSError:
+    except OSError as exc:
+        reasons.append(f"cannot load shared library: {exc}")
         return None
     i64p = ctypes.POINTER(ctypes.c_int64)
     i32p = ctypes.POINTER(ctypes.c_int32)
@@ -89,8 +122,37 @@ def _load() -> "ctypes.CDLL | None":
         lib.reuse_distances.argtypes = [i64p, ctypes.c_int64, i32p, i64p]
         lib.reuse_distances.restype = None
     except AttributeError:
+        reasons.append("library is missing expected entry points")
         return None
     return lib
+
+
+def mark_unavailable(reason: str) -> None:
+    """Demote the whole process to the numpy path, warning exactly once.
+
+    Idempotent: the first caller records the reason and emits the
+    warning; later callers (and later :func:`get_kernel` probes) see the
+    cached decision silently.
+    """
+    global _KERNEL, _RESOLVED, _UNAVAILABLE_REASON
+    _KERNEL = None
+    _RESOLVED = True
+    if _UNAVAILABLE_REASON is None:
+        _UNAVAILABLE_REASON = reason
+        warnings.warn(
+            f"native LRU kernel unavailable ({reason}); "
+            "falling back to the numpy implementation for this process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
+def reset() -> None:
+    """Forget the cached availability decision (test hook)."""
+    global _KERNEL, _RESOLVED, _UNAVAILABLE_REASON
+    _KERNEL = None
+    _RESOLVED = False
+    _UNAVAILABLE_REASON = None
 
 
 def get_kernel() -> "ctypes.CDLL | None":
@@ -98,9 +160,15 @@ def get_kernel() -> "ctypes.CDLL | None":
     global _KERNEL, _RESOLVED
     if os.environ.get("REPRO_NO_NATIVE"):
         return None
+    if faults.active("native-kernel"):
+        mark_unavailable("injected native-kernel fault")
+        return None
     if not _RESOLVED:
-        _KERNEL = _load()
+        reasons: list[str] = []
+        _KERNEL = _load(reasons)
         _RESOLVED = True
+        if _KERNEL is None:
+            mark_unavailable(reasons[0] if reasons else "unknown load failure")
     return _KERNEL
 
 

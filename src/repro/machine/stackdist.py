@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .native import get_kernel
+from ..util import faults
+from .native import NativeKernelError, get_kernel, mark_unavailable
 
 __all__ = ["previous_occurrences", "stack_distances", "write_interval_maxima"]
 
@@ -68,12 +69,18 @@ def _distances_native(prev: np.ndarray, kernel) -> np.ndarray:
     dist = np.empty(n, dtype=np.int64)
     i64p = ctypes.POINTER(ctypes.c_int64)
     i32p = ctypes.POINTER(ctypes.c_int32)
-    kernel.reuse_distances(
-        prev.ctypes.data_as(i64p),
-        ctypes.c_int64(n),
-        bit.ctypes.data_as(i32p),
-        dist.ctypes.data_as(i64p),
-    )
+    try:
+        if faults.active("native-kernel"):
+            raise faults.InjectedFault("native-kernel")
+        kernel.reuse_distances(
+            prev.ctypes.data_as(i64p),
+            ctypes.c_int64(n),
+            bit.ctypes.data_as(i32p),
+            dist.ctypes.data_as(i64p),
+        )
+    except (OSError, AttributeError, ctypes.ArgumentError, faults.InjectedFault) as exc:
+        mark_unavailable(f"runtime kernel failure: {exc}")
+        raise NativeKernelError(str(exc)) from exc
     return dist
 
 
@@ -155,7 +162,12 @@ def stack_distances(
     if use_native is True and kernel is None:
         raise RuntimeError("native kernel requested but unavailable")
     if kernel is not None:
-        dist = _distances_native(prev, kernel)
+        try:
+            dist = _distances_native(prev, kernel)
+        except NativeKernelError:
+            # The distance pass is stateless, so the degradation retry
+            # happens right here: same inputs, numpy path, same answer.
+            return _distances_numpy(prev, order, lines), order
         dist[dist < 0] = n + 1  # cold sentinel
         return dist, order
     return _distances_numpy(prev, order, lines), order

@@ -16,12 +16,15 @@ way).
 from __future__ import annotations
 
 import itertools
+import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
 
 from ..core.canonical import CanonicalForm
 from ..core.loopnest import LoopNest
 from ..core.mplp import parametric_tile_exponent
+from ..util import deadline, faults
 from .planner import Planner, PlanRequest, TilePlan, _piece_to_json
 
 __all__ = ["plan_batch", "sweep_requests"]
@@ -33,6 +36,10 @@ def _solve_structure(key: str) -> tuple[str, list[dict]]:
     Only strings and JSON-able dicts cross the process boundary, so the
     pool works under any start method (fork or spawn).
     """
+    if faults.active("worker-crash"):
+        # Hard exit (no unwinding), like a real OOM kill or segfault:
+        # this is what produces BrokenProcessPool in the parent.
+        os._exit(17)
     form = CanonicalForm.from_key(key)
     pvf = parametric_tile_exponent(form.to_nest())
     return key, [_piece_to_json(p) for p in pvf.pieces]
@@ -54,6 +61,7 @@ def plan_batch(
     planner: Planner | None = None,
     max_workers: int | None = None,
     include_bound: bool = True,
+    events: dict | None = None,
 ) -> list[TilePlan]:
     """Serve a batch of plan queries, in request order.
 
@@ -70,6 +78,12 @@ def plan_batch(
         disables the pool; ``None`` lets the executor pick.  The pool is
         only spun up when at least two distinct structures are missing —
         otherwise fork/pool overhead cannot pay for itself.
+    events:
+        Optional out-dict: ``events["degraded"]`` is set when a pool
+        broke mid-run (worker crash) and the surviving structure solves
+        were kept while the rest were re-solved serially.  A pool that
+        never starts (restricted sandbox) is *not* degradation — the
+        serial path is this module's documented fallback.
     """
     reqs = [_as_request(item) for item in requests]
     if planner is None:
@@ -84,13 +98,26 @@ def plan_batch(
     if len(missing) >= 2 and max_workers not in (0, 1):
         try:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                for key, pieces in pool.map(_solve_structure, missing):
+                futures = [pool.submit(_solve_structure, key) for key in missing]
+                for future in futures:
+                    key, pieces = future.result()
                     planner.install_structure(key, pieces)
+        except BrokenProcessPool:
+            # A worker crashed mid-run.  Structures installed before the
+            # crash stay installed; the serial serving loop below solves
+            # whatever is still missing on demand — slower, same answers.
+            if events is not None:
+                events["degraded"] = True
+                events.setdefault("degraded_reasons", []).append("plan-pool-crash")
         except (OSError, RuntimeError):
             # No usable process pool (restricted sandbox, missing
             # semaphores, ...): the serial path below fills the cache.
             pass
-    return [planner.plan_request(req, include_bound=include_bound) for req in reqs]
+    out = []
+    for req in reqs:
+        deadline.checkpoint("plan-batch")
+        out.append(planner.plan_request(req, include_bound=include_bound))
+    return out
 
 
 def sweep_requests(

@@ -29,7 +29,9 @@ acceptance margin, then settled exactly).
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
 import tempfile
 import threading
@@ -59,6 +61,7 @@ from ..core.tiling import (
     integer_repair,
     lvar,
 )
+from ..util import faults
 from ..util.rationals import log_ratio, pow_fraction
 
 __all__ = ["PlanRequest", "TilePlan", "HierarchyPlan", "Planner", "PlannerStats"]
@@ -82,6 +85,14 @@ _FLOAT_MARGIN = 1e-7
 _MAPS_PER_PIECE = 8
 
 _SCHEMA_VERSION = 1
+
+_log = logging.getLogger(__name__)
+
+
+def _entries_checksum(entries: dict) -> str:
+    """Content hash of the cache's entry map (canonical JSON, sha256)."""
+    canon = json.dumps(entries, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -796,7 +807,11 @@ class Planner:
                     key: {"pieces": [_piece_to_json(p) for p in plan.pvf.pieces]}
                     for key, plan in self._structures.items()
                 }
-            payload = {"version": _SCHEMA_VERSION, "entries": entries}
+            payload = {
+                "version": _SCHEMA_VERSION,
+                "checksum": _entries_checksum(entries),
+                "entries": entries,
+            }
             target.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=str(target.parent), suffix=".tmp")
             try:
@@ -819,18 +834,77 @@ class Planner:
         I/O lock, so a load never reads a file mid-write through a
         non-atomic filesystem and never interleaves with this planner's
         own writer.
+
+        A corrupt cache is **never fatal**: a truncated/empty file,
+        wrong schema version, checksum mismatch, or malformed entry is
+        quarantined to ``<path>.corrupt`` (for post-mortem) and the
+        planner starts with an empty cache — the solves it would have
+        warmed simply happen again.  Validation is two-phase (parse
+        everything, then install), so a file that goes bad halfway never
+        installs a partial structure set.  Caches written before the
+        checksum field existed are accepted.
         """
+        path = Path(path)
         with self._io_lock:
-            blob = json.loads(Path(path).read_text())
+            text = path.read_text()
+        if faults.active("corrupt-cache-read"):
+            # Simulate a torn read / truncated file: keep half the bytes.
+            text = text[: len(text) // 2]
+        staged, reason = self._parse_cache(text, path)
+        if reason is not None:
+            self._quarantine(path, reason)
+            return 0
+        for key, pieces in staged:
+            self.install_structure(key, pieces)
+        return len(staged)
+
+    def _parse_cache(
+        self, text: str, path: Path
+    ) -> tuple[list[tuple[str, list[dict]]], str | None]:
+        """Validate a cache file's full content; never raises.
+
+        Returns ``(staged_entries, None)`` on success or ``([], reason)``
+        when the file cannot be trusted.
+        """
+        if not text.strip():
+            return [], "empty file"
+        try:
+            blob = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return [], f"invalid JSON: {exc}"
+        if not isinstance(blob, dict):
+            return [], "top level is not a JSON object"
         if blob.get("version") != _SCHEMA_VERSION:
-            raise ValueError(f"unsupported plan-cache version {blob.get('version')!r} in {path}")
-        count = 0
-        for key, entry in blob.get("entries", {}).items():
+            return [], f"unsupported plan-cache version {blob.get('version')!r}"
+        entries = blob.get("entries", {})
+        if not isinstance(entries, dict):
+            return [], "entries is not a JSON object"
+        checksum = blob.get("checksum")
+        if checksum is not None and checksum != _entries_checksum(entries):
+            return [], "checksum mismatch"
+        staged: list[tuple[str, list[dict]]] = []
+        for key, entry in entries.items():
             try:
-                self.install_structure(key, entry["pieces"])
-            except (KeyError, TypeError) as exc:
-                raise ValueError(
-                    f"malformed plan-cache entry {key!r} in {path}: {exc}"
-                ) from exc
-            count += 1
-        return count
+                pieces = entry["pieces"]
+                CanonicalForm.from_key(key)
+                parsed = [_piece_from_json(piece) for piece in pieces]
+                if not parsed:
+                    raise ValueError("no pieces")
+            except Exception as exc:
+                return [], f"malformed entry {key!r}: {exc}"
+            staged.append((key, pieces))
+        return staged, None
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt cache aside and continue with an empty cache."""
+        corrupt = path.with_name(path.name + ".corrupt")
+        moved = ""
+        try:
+            os.replace(path, corrupt)
+            moved = f"; original preserved at {corrupt}"
+        except OSError:
+            pass
+        _log.warning(
+            "plan cache %s is unusable (%s); starting with an empty cache%s",
+            path, reason, moved,
+        )

@@ -20,18 +20,38 @@ HTTP, with zero dependencies beyond the standard library:
 
 Every response body is a schema-versioned envelope
 (:class:`repro.api.Result` for single answers; batch/sweep wrap a
-result list).  Request validation failures map to structured 4xx
-payloads of kind ``"error"`` — never a bare traceback.
+result list) — including every failure.  The error catalogue (see
+``docs/resilience.md``): validation ``400``, unknown path ``404``,
+wrong method ``405``, over capacity ``429`` (+ ``Retry-After``),
+draining ``503`` (+ ``Retry-After``), expired deadline ``504``, and a
+structured ``500`` carrying an ``error_id`` whose traceback goes to the
+server log — never into the body.
+
+**Deadlines**: a request may carry ``"deadline_ms"`` (stripped before
+schema validation); otherwise the server's ``default_deadline_ms``
+applies.  The budget is enforced cooperatively at solver checkpoints
+(:mod:`repro.util.deadline`), so a cold exact-rational solve cannot pin
+a handler thread past its budget.
+
+**Backpressure**: at most ``max_inflight`` POST bodies are processed
+concurrently; excess load is shed immediately with ``429`` rather than
+queued into memory, and a draining server sheds everything with
+``503``.  ``/v1/health`` bypasses admission control so load balancers
+can always probe.
 
 The server is intentionally an in-process building block: ``make_server``
-returns a ``ThreadingHTTPServer`` bound to an ephemeral port when
-``port=0``, which is exactly how the test suite and the service
-benchmark drive it.
+returns a :class:`ServiceServer` (a ``ThreadingHTTPServer``) bound to an
+ephemeral port when ``port=0``, which is exactly how the test suite and
+the service benchmark drive it.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import threading
+import traceback
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 
@@ -51,14 +71,29 @@ from .api.requests import (
 )
 from .core.loopnest import LoopNestError
 from .core.parser import ParseError
+from .util.deadline import Deadline, DeadlineExceeded, activate, deactivate
+from .util.faults import InjectedFault
 
-__all__ = ["make_server", "serve", "ServiceHandler", "MAX_BODY_BYTES", "MAX_BATCH_REQUESTS"]
+__all__ = [
+    "make_server",
+    "serve",
+    "ServiceHandler",
+    "ServiceServer",
+    "MAX_BODY_BYTES",
+    "MAX_BATCH_REQUESTS",
+    "DEFAULT_MAX_INFLIGHT",
+]
+
+_log = logging.getLogger("repro.serve")
 
 #: Request-body guard: tiling queries are tiny; anything bigger is abuse.
 MAX_BODY_BYTES = 8 << 20
 
 #: One POST may expand to at most this many analyze queries.
 MAX_BATCH_REQUESTS = 10_000
+
+#: Default bound on concurrently-processed POST requests.
+DEFAULT_MAX_INFLIGHT = 64
 
 
 def _error_body(message: str, status: int, detail: dict | None = None) -> dict:
@@ -73,6 +108,53 @@ def _results_body(kind: str, results: list[Result]) -> dict:
         "count": len(results),
         "results": [r.to_json() for r in results],
     }
+
+
+def _result_response(result: Result) -> tuple[int, dict]:
+    """HTTP status + body for one Result (error envelopes carry their own)."""
+    blob = result.to_json()
+    if result.kind == "error":
+        return int(blob["payload"].get("status", 500)), blob
+    return 200, blob
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer + admission control state.
+
+    ``max_inflight`` bounds concurrently-processed POSTs (load beyond it
+    is shed with 429); ``default_deadline_ms`` applies to requests that
+    do not carry their own ``deadline_ms``; :meth:`drain` flips the
+    server into load-shedding-everything mode (503) ahead of shutdown.
+    """
+
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    default_deadline_ms: float | None = None
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.draining = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def drain(self) -> None:
+        """Start refusing new work (503) while in-flight requests finish."""
+        self.draining = True
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -90,15 +172,25 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- plumbing -----------------------------------------------------------
 
-    def _send(self, status: int, body: dict) -> None:
+    def _send(self, status: int, body: dict, headers: dict | None = None) -> None:
         data = json.dumps(body).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
     def _read_json(self) -> dict:
+        """Parse the POST body; install the request's deadline as a side effect.
+
+        ``deadline_ms`` is an envelope-level field shared by every POST
+        schema, so it is validated and stripped here (before per-request
+        ``from_json``), and the cooperative :class:`Deadline` it names —
+        or the server default — becomes ambient for the rest of the
+        request.  :meth:`_guarded` clears it in its ``finally``.
+        """
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
             raise RequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
@@ -111,19 +203,65 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise RequestError(f"request body is not valid JSON: {exc}") from exc
         if not isinstance(blob, dict):
             raise RequestError("request body must be a JSON object")
+        deadline_ms = blob.pop("deadline_ms", None)
+        if deadline_ms is not None:
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0
+            ):
+                raise RequestError("deadline_ms must be a positive number of milliseconds")
+        else:
+            deadline_ms = getattr(self.server, "default_deadline_ms", None)
+        if deadline_ms is not None:
+            self._deadline_token = activate(Deadline(float(deadline_ms)))
         return blob
 
     def _guarded(self, handler: Callable[[], tuple[int, dict]]) -> None:
+        self._deadline_token = None
         try:
             status, body = handler()
         except RequestError as exc:
             self._send(400, _error_body(str(exc), 400, exc.detail or None))
+        except DeadlineExceeded as exc:
+            # Normally the Session converts expiry into a 504 Result;
+            # this catches expiry in serve-layer code outside a Session
+            # entry point, so a deadline can never surface as a 500.
+            self._send(504, _error_body(str(exc), 504, {
+                "reason": "deadline_exceeded",
+                "deadline_ms": exc.budget_ms,
+                "where": exc.where,
+            }))
         except (LoopNestError, ParseError, ValueError, TypeError, KeyError) as exc:
             self._send(400, _error_body(str(exc) or type(exc).__name__, 400))
-        except Exception as exc:  # pragma: no cover - defensive 500
-            self._send(500, _error_body(f"internal error: {exc}", 500))
+        except InjectedFault as exc:
+            # The chaos suite's escape hatch: an armed fault that nothing
+            # degraded around still maps to a structured envelope.
+            self._send(500, _error_body(str(exc), 500, {
+                "reason": "injected-fault", "point": exc.point,
+            }))
+        except Exception as exc:
+            # The defensive 500: a structured envelope with an error id;
+            # the traceback goes to the log, never into the body.
+            error_id = uuid.uuid4().hex[:12]
+            _log.error(
+                "internal error %s serving %s\n%s",
+                error_id, self.path, traceback.format_exc(),
+            )
+            self._send(500, _error_body(
+                f"internal error (id {error_id})", 500,
+                {
+                    "reason": "internal",
+                    "error_id": error_id,
+                    "exception": type(exc).__name__,
+                },
+            ))
         else:
             self._send(status, body)
+        finally:
+            if self._deadline_token is not None:
+                deactivate(self._deadline_token)
+                self._deadline_token = None
 
     # -- endpoints ----------------------------------------------------------
 
@@ -143,30 +281,56 @@ class ServiceHandler(BaseHTTPRequestHandler):
         else:
             self._send(404, _error_body(f"unknown path {self.path!r}", 404))
 
+    _POST_ROUTES = {
+        "/v1/analyze": "_post_analyze",
+        "/v1/batch": "_post_batch",
+        "/v1/sweep": "_post_sweep",
+        "/v1/simulate": "_post_simulate",
+        "/v1/tune": "_post_tune",
+        "/v1/hierarchy": "_post_hierarchy",
+        "/v1/distributed": "_post_distributed",
+    }
+
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         route = self._route()
-        if route == "/v1/analyze":
-            self._guarded(self._post_analyze)
-        elif route == "/v1/batch":
-            self._guarded(self._post_batch)
-        elif route == "/v1/sweep":
-            self._guarded(self._post_sweep)
-        elif route == "/v1/simulate":
-            self._guarded(self._post_simulate)
-        elif route == "/v1/tune":
-            self._guarded(self._post_tune)
-        elif route == "/v1/hierarchy":
-            self._guarded(self._post_hierarchy)
-        elif route == "/v1/distributed":
-            self._guarded(self._post_distributed)
-        elif route == "/v1/health":
+        if route == "/v1/health":
+            # Health bypasses admission control: probes must always land.
             self._guarded(lambda: (200, self.session.health().to_json()))
-        else:
+            return
+        name = self._POST_ROUTES.get(route)
+        if name is None:
             self._send(404, _error_body(f"unknown path {self.path!r}", 404))
+            return
+        server = self.server
+        if getattr(server, "draining", False):
+            self._send(
+                503,
+                _error_body("server is draining; retry against another instance",
+                            503, {"reason": "draining"}),
+                headers={"Retry-After": "5"},
+            )
+            return
+        if hasattr(server, "try_acquire") and not server.try_acquire():
+            self._send(
+                429,
+                _error_body(
+                    f"server is over its in-flight limit of {server.max_inflight}; "
+                    "retry after a short backoff",
+                    429,
+                    {"reason": "overloaded", "max_inflight": server.max_inflight},
+                ),
+                headers={"Retry-After": "1"},
+            )
+            return
+        try:
+            self._guarded(getattr(self, name))
+        finally:
+            if hasattr(server, "release"):
+                server.release()
 
     def _post_analyze(self) -> tuple[int, dict]:
         request = AnalyzeRequest.from_json(self._read_json(), "analyze")
-        return 200, self.session.analyze(request).to_json()
+        return _result_response(self.session.analyze(request))
 
     def _post_batch(self) -> tuple[int, dict]:
         blob = self._read_json()
@@ -181,33 +345,42 @@ class ServiceHandler(BaseHTTPRequestHandler):
         ]
         # Serial structure solves: worker pools belong to offline batch
         # jobs, not to a threaded request handler.
-        return 200, _results_body("batch", self.session.batch(requests, workers=0))
+        return self._batch_response("batch", self.session.batch(requests, workers=0))
 
     def _post_sweep(self) -> tuple[int, dict]:
         sweep = SweepRequest.from_json(self._read_json(), "sweep")
         expanded = sweep.expand()
         if len(expanded) > MAX_BATCH_REQUESTS:
             raise RequestError(f"sweep grid exceeds {MAX_BATCH_REQUESTS} requests")
-        return 200, _results_body("sweep", self.session.batch(expanded, workers=0))
+        return self._batch_response("sweep", self.session.batch(expanded, workers=0))
+
+    @staticmethod
+    def _batch_response(kind: str, results: list[Result]) -> tuple[int, dict]:
+        if results and all(not r.ok for r in results):
+            # The batch failed as one unit (an expired deadline maps every
+            # request to the same envelope): answer with that envelope and
+            # its own status rather than a 200 wrapping N copies.
+            return _result_response(results[0])
+        return 200, _results_body(kind, results)
 
     def _post_simulate(self) -> tuple[int, dict]:
         request = SimulateRequest.from_json(self._read_json(), "simulate")
-        return 200, self.session.simulate(request).to_json()
+        return _result_response(self.session.simulate(request))
 
     def _post_tune(self) -> tuple[int, dict]:
         request = TuneRequest.from_json(self._read_json(), "tune")
         # Serial candidate evaluation: worker pools belong to offline
         # jobs, not to a threaded request handler (same as batch).
-        return 200, self.session.tune(request, workers=0).to_json()
+        return _result_response(self.session.tune(request, workers=0))
 
     def _post_hierarchy(self) -> tuple[int, dict]:
         request = HierarchyRequest.from_json(self._read_json(), "hierarchy")
         # Serial candidate evaluation, same reason as tune.
-        return 200, self.session.hierarchy(request, workers=0).to_json()
+        return _result_response(self.session.hierarchy(request, workers=0))
 
     def _post_distributed(self) -> tuple[int, dict]:
         request = DistributedRequest.from_json(self._read_json(), "distributed")
-        return 200, self.session.distributed(request).to_json()
+        return _result_response(self.session.distributed(request))
 
 
 def make_server(
@@ -215,18 +388,30 @@ def make_server(
     port: int = 0,
     session: Session | None = None,
     verbose: bool = False,
-) -> ThreadingHTTPServer:
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    default_deadline_ms: float | None = None,
+) -> ServiceServer:
     """Bound, ready-to-``serve_forever`` server (``port=0`` = ephemeral).
 
     The handler class is specialised per server so concurrent servers
     (tests, benchmarks) never share a session by accident.
+    ``max_inflight`` bounds concurrently-processed POSTs (excess load is
+    shed with 429); ``default_deadline_ms`` deadline-bounds requests
+    that do not set their own ``deadline_ms``.
     """
+    if max_inflight < 1:
+        raise ValueError("max_inflight must be >= 1")
+    if default_deadline_ms is not None and default_deadline_ms <= 0:
+        raise ValueError("default_deadline_ms must be positive")
     handler = type(
         "BoundServiceHandler",
         (ServiceHandler,),
         {"session": session if session is not None else Session(), "verbose": verbose},
     )
-    return ThreadingHTTPServer((host, port), handler)
+    server = ServiceServer((host, port), handler)
+    server.max_inflight = int(max_inflight)
+    server.default_deadline_ms = default_deadline_ms
+    return server
 
 
 def serve(
@@ -234,15 +419,21 @@ def serve(
     port: int = 8787,
     session: Session | None = None,
     verbose: bool = True,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    default_deadline_ms: float | None = None,
 ) -> int:
     """Run the JSON service until interrupted (the CLI entry point)."""
-    server = make_server(host, port, session=session, verbose=verbose)
+    server = make_server(
+        host, port, session=session, verbose=verbose,
+        max_inflight=max_inflight, default_deadline_ms=default_deadline_ms,
+    )
     bound_host, bound_port = server.server_address[:2]
     print(f"repro-tile serve: listening on http://{bound_host}:{bound_port}/v1/ "
           f"(schema v{SCHEMA_VERSION}; Ctrl-C to stop)", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        server.drain()
         print("repro-tile serve: shutting down")
     finally:
         server.server_close()

@@ -40,6 +40,7 @@ from ..machine.cache import (
 )
 from ..machine.counters import ArrayTraffic, TrafficReport
 from ..machine.model import MachineModel
+from ..machine.native import NativeKernelError
 from .trace import AddressMap, generate_trace, generate_trace_batched
 
 __all__ = ["run_trace_simulation"]
@@ -84,9 +85,18 @@ def run_trace_simulation(
     stores = [0] * n_arrays
 
     if policy == "lru" and engine == "batched":
-        stats, dirty_owner, miss_by_array = _lru_batched(
-            nest, amap, machine, tile, order, chunk, use_native
-        )
+        try:
+            stats, dirty_owner, miss_by_array = _lru_batched(
+                nest, amap, machine, tile, order, chunk, use_native
+            )
+        except NativeKernelError:
+            # A kernel that dies mid-stream leaves the BatchLRU state
+            # suspect, so degrade by re-running the whole trace on the
+            # numpy engine: bit-identical result, no mixed state.  The
+            # process is already demoted, so this pays once.
+            stats, dirty_owner, miss_by_array = _lru_batched(
+                nest, amap, machine, tile, order, chunk, False
+            )
         for j in range(n_arrays):
             loads[j] = int(miss_by_array[j]) * lw
         _attribute_writebacks(stats.writebacks, dirty_owner, stores, lw, nest)

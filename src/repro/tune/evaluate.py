@@ -17,7 +17,9 @@ only, serial fallback when no usable pool exists).
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -26,6 +28,7 @@ import numpy as np
 from ..core.loopnest import LoopNest
 from ..core.tiling import TileShape
 from ..simulate.multilevel import nest_miss_curve
+from ..util import deadline, faults
 
 __all__ = [
     "TileEvaluation",
@@ -105,6 +108,11 @@ def evaluate_tile(
 
 def _evaluate_worker(payload: tuple[dict, list[int], list[int], bool | None]) -> dict:
     """Worker entry point: JSON in, JSON out (start-method agnostic)."""
+    if faults.active("worker-crash"):
+        # Hard exit, not an exception: a real crashed worker (OOM kill,
+        # segfault) takes the process down without unwinding, which is
+        # exactly what produces BrokenProcessPool in the parent.
+        os._exit(17)
     nest_json, blocks, capacities, use_native = payload
     nest = LoopNest.from_json(nest_json)
     return evaluate_tile(nest, blocks, capacities, use_native=use_native).to_json()
@@ -116,6 +124,7 @@ def evaluate_candidates(
     capacities: Sequence[int],
     workers: int | None = None,
     use_native: bool | None = None,
+    events: dict | None = None,
 ) -> list[TileEvaluation]:
     """Evaluate many candidates, in order; parallel when it can pay.
 
@@ -123,8 +132,16 @@ def evaluate_candidates(
     the serial path, ``None`` lets the executor pick.  A pool is only
     attempted for :data:`MIN_PARALLEL_CANDIDATES` or more candidates
     (below that, pool startup costs more than the simulations), and any
-    pool failure (restricted sandbox, missing semaphores) falls back to
-    serial — the answers are identical either way.
+    pool failure falls back to serial — the answers are identical either
+    way.  Two failure classes are told apart:
+
+    * the pool never starts (restricted sandbox, missing semaphores) —
+      the silent serial fallback this module always had;
+    * the pool **breaks mid-run** (a worker crashed) — completed
+      evaluations are kept, the missing candidates are re-evaluated
+      serially, and ``events["degraded"]`` is set so service surfaces
+      can report ``degraded: true`` without perturbing fault-free
+      payloads.
     """
     blocks_list = [tuple(int(b) for b in blocks) for blocks in candidates]
     if len(blocks_list) >= MIN_PARALLEL_CANDIDATES and workers not in (0, 1):
@@ -133,18 +150,32 @@ def evaluate_candidates(
             (nest_json, list(blocks), list(capacities), use_native)
             for blocks in blocks_list
         ]
+        done: dict[int, TileEvaluation] = {}
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return [
-                    TileEvaluation.from_json(blob)
-                    for blob in pool.map(_evaluate_worker, payloads)
-                ]
+                futures = [pool.submit(_evaluate_worker, p) for p in payloads]
+                for idx, future in enumerate(futures):
+                    done[idx] = TileEvaluation.from_json(future.result())
+                return [done[i] for i in range(len(blocks_list))]
+        except BrokenProcessPool:
+            # Mid-run crash: keep the survivors, finish the rest serially.
+            if events is not None:
+                events["degraded"] = True
+                events.setdefault("degraded_reasons", []).append("tune-pool-crash")
+            return [
+                done.get(i)
+                or evaluate_tile(
+                    nest, blocks_list[i], capacities, use_native=use_native
+                )
+                for i in range(len(blocks_list))
+            ]
         except (OSError, RuntimeError):
             pass
-    return [
-        evaluate_tile(nest, blocks, capacities, use_native=use_native)
-        for blocks in blocks_list
-    ]
+    out = []
+    for blocks in blocks_list:
+        deadline.checkpoint("tune-candidate")
+        out.append(evaluate_tile(nest, blocks, capacities, use_native=use_native))
+    return out
 
 
 def best_evaluation(

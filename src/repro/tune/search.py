@@ -31,6 +31,7 @@ from typing import Sequence
 
 from ..core.loopnest import LoopNest
 from ..core.tiling import TileShape
+from ..util.deadline import checkpoint
 from .evaluate import TileEvaluation, best_evaluation_multi, evaluate_candidates
 from .space import GENERATORS, axis_values, candidate_tiles, clamp_block
 
@@ -62,6 +63,9 @@ class BudgetedEvaluator:
     evaluations: "OrderedDict[tuple[int, ...], TileEvaluation]" = field(
         default_factory=OrderedDict
     )
+    #: Degradation events observed during evaluation (e.g. a pool crash
+    #: survived serially); service surfaces surface these in result meta.
+    events: dict = field(default_factory=dict)
 
     @property
     def spent(self) -> int:
@@ -82,9 +86,11 @@ class BudgetedEvaluator:
                 break
             seen_in_batch.add(key)
             fresh.append(key)
+        checkpoint("tune-batch")
         for evaluation in evaluate_candidates(
             self.nest, fresh, self.capacities,
             workers=self.workers, use_native=self.use_native,
+            events=self.events,
         ):
             self.evaluations[evaluation.blocks] = evaluation
         return [
@@ -210,6 +216,7 @@ def search_tiles(
     rng_seed: int = 0,
     ceiling: Sequence[int] | None = None,
     objective_capacities: Sequence[int] | None = None,
+    events: dict | None = None,
 ) -> SearchOutcome:
     """Run one strategy from the analytic seed; return every evaluation.
 
@@ -249,6 +256,7 @@ def search_tiles(
         budget=max_evaluations,
         workers=workers,
         use_native=use_native,
+        events=events if events is not None else {},
     )
     ev.evaluate([seed])  # the seed is always candidate #0
     if strategy == "exhaustive":

@@ -64,6 +64,7 @@ def tune_tile(
     workers: int | None = None,
     use_native: bool | None = None,
     rng_seed: int = 0,
+    events: dict | None = None,
 ) -> TuneReport:
     """Simulation-in-the-loop integer tile autotuning, certified.
 
@@ -114,6 +115,7 @@ def tune_tile(
         workers=workers,
         use_native=use_native,
         rng_seed=rng_seed,
+        events=events,
     )
 
     # The lower bound at every capacity of the axis, served through the
@@ -157,6 +159,7 @@ def tune_hierarchy(
     workers: int | None = None,
     use_native: bool | None = None,
     rng_seed: int = 0,
+    events: dict | None = None,
 ) -> HierarchyReport:
     """Plan (and optionally tune) a nested tiling for a whole hierarchy.
 
@@ -215,6 +218,7 @@ def tune_hierarchy(
         rng_seed=rng_seed,
         ceiling=ceiling,
         objective_capacities=capacities,
+        events=events,
     )
     seed_eval = outcome.evaluations[0]
     assert seed_eval.blocks == seed

@@ -1,1 +1,15 @@
-"""Shared exact-arithmetic and enumeration utilities."""
+"""Shared exact-arithmetic, enumeration, and resilience utilities."""
+
+from .deadline import Deadline, DeadlineExceeded, checkpoint, current_deadline, deadline_scope
+from .faults import FAULTS, InjectedFault, inject
+
+__all__ = [
+    "FAULTS",
+    "Deadline",
+    "DeadlineExceeded",
+    "InjectedFault",
+    "checkpoint",
+    "current_deadline",
+    "deadline_scope",
+    "inject",
+]

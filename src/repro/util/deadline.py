@@ -1,0 +1,130 @@
+"""Cooperative per-request deadlines for the serving stack.
+
+The exact-rational simplex has no preemption point the OS can use: a
+cold canonical structure is one long pure-Python loop.  Instead the
+solver loops poll :func:`checkpoint` at their natural boundaries (LP
+pivot, mpLP basis enumeration, plan-batch request, tune candidate
+batch), and a request that has outrun its budget raises
+:class:`DeadlineExceeded` there — which the Session/HTTP layers convert
+into a structured 504 envelope.
+
+The ambient deadline travels in a :class:`contextvars.ContextVar`, so
+it follows the request through nested calls without threading an
+argument through every solver signature, and it is inherited only
+within the requesting thread — concurrent HTTP handlers never see each
+other's budgets.  The no-deadline fast path is a single ContextVar read
+plus a falsy check.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar, Token
+from typing import Iterator
+
+from . import faults
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "checkpoint",
+    "current_deadline",
+    "deadline_scope",
+]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A cooperative checkpoint observed an expired deadline.
+
+    ``budget_ms`` is the original budget; ``where`` names the checkpoint
+    that noticed (e.g. ``"lp-pivot"``) for the error envelope's detail.
+    """
+
+    def __init__(self, budget_ms: float, where: str = ""):
+        at = f" at {where}" if where else ""
+        super().__init__(f"deadline of {budget_ms:g} ms exceeded{at}")
+        self.budget_ms = budget_ms
+        self.where = where
+
+
+class Deadline:
+    """A monotonic-clock budget of ``budget_ms`` milliseconds from creation."""
+
+    __slots__ = ("budget_ms", "_expires_at")
+
+    def __init__(self, budget_ms: float):
+        budget_ms = float(budget_ms)
+        if budget_ms <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget_ms = budget_ms
+        self._expires_at = time.monotonic() + budget_ms / 1000.0
+
+    def remaining_ms(self) -> float:
+        return max(0.0, (self._expires_at - time.monotonic()) * 1000.0)
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def check(self, where: str = "") -> None:
+        if self.expired():
+            raise DeadlineExceeded(self.budget_ms, where)
+
+
+_current: ContextVar[Deadline | None] = ContextVar("repro_deadline", default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline governing the current context, if any."""
+    return _current.get()
+
+
+def activate(deadline: Deadline | None) -> Token:
+    """Install ``deadline`` as the ambient deadline; pair with :func:`deactivate`.
+
+    The token API exists for callers whose enter/exit spans separate
+    methods (the HTTP handler installs in body parsing, clears in the
+    response guard); everything else should use :func:`deadline_scope`.
+    """
+    return _current.set(deadline)
+
+
+def deactivate(token: Token) -> None:
+    _current.reset(token)
+
+
+@contextmanager
+def deadline_scope(budget: "Deadline | float | int | None") -> Iterator[Deadline | None]:
+    """Run the block under a deadline (ms number or :class:`Deadline`).
+
+    ``None`` is a no-op scope, so call sites can pass an optional
+    ``deadline_ms`` straight through.  An already-ambient deadline is
+    replaced for the duration of the block (innermost wins; the service
+    layers only ever install one per request).
+    """
+    if budget is None:
+        yield None
+        return
+    deadline = budget if isinstance(budget, Deadline) else Deadline(float(budget))
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)
+
+
+def checkpoint(where: str = "") -> None:
+    """Poll the ambient deadline; raise :class:`DeadlineExceeded` if spent.
+
+    Also hosts the ``slow-lp`` injection point: with that fault armed,
+    each checkpoint stalls a few milliseconds, so tests can force a
+    deadline to expire mid-solve deterministically without a genuinely
+    huge problem instance.
+    """
+    deadline = _current.get()
+    if deadline is None and not faults.any_active():
+        return
+    if faults.active("slow-lp"):
+        time.sleep(0.005)
+    if deadline is not None:
+        deadline.check(where)

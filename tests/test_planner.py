@@ -180,11 +180,69 @@ class TestCacheMechanics:
         constants = {piece["c"] for piece in entry["pieces"]}
         assert "3/2" in constants  # the classical sqrt(M) piece, exactly
 
-    def test_unsupported_cache_version_rejected(self, tmp_path):
+    def test_unsupported_cache_version_quarantined(self, tmp_path):
+        # An unreadable cache must never take the planner down: the bad
+        # file is moved aside as <name>.corrupt and planning starts from
+        # an empty cache.
         path = tmp_path / "plans.json"
-        path.write_text(json.dumps({"version": 999, "entries": {}}))
-        with pytest.raises(ValueError):
-            Planner(cache_path=path)
+        original = json.dumps({"version": 999, "entries": {}})
+        path.write_text(original)
+        planner = Planner(cache_path=path)
+        assert planner.cached_keys() == []
+        assert not path.exists()
+        corrupt = tmp_path / "plans.json.corrupt"
+        assert corrupt.read_text() == original
+        # And the planner still works end to end afterwards.
+        plan = planner.plan(CATALOG["matmul"], 2**12)
+        assert plan.exponent > 0
+
+    def test_truncated_cache_quarantined(self, tmp_path):
+        # Simulates a crash mid-write by a non-atomic writer (or disk
+        # corruption): half a JSON document on disk.
+        path = tmp_path / "plans.json"
+        good = Planner(cache_path=path)
+        good.plan(CATALOG["matmul"], 2**12)
+        good.save()
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        planner = Planner(cache_path=path)
+        assert planner.cached_keys() == []
+        assert (tmp_path / "plans.json.corrupt").exists()
+        assert not path.exists()
+
+    def test_empty_cache_file_quarantined(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text("")
+        planner = Planner(cache_path=path)
+        assert planner.cached_keys() == []
+        assert (tmp_path / "plans.json.corrupt").exists()
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        # A bit-flipped entry is caught by the embedded sha256 even when
+        # the JSON itself still parses.
+        path = tmp_path / "plans.json"
+        good = Planner(cache_path=path)
+        good.plan(CATALOG["matmul"], 2**12)
+        good.save()
+        blob = json.loads(path.read_text())
+        key = next(iter(blob["entries"]))
+        blob["entries"][key]["pieces"][0]["c"] = "999999/7"
+        path.write_text(json.dumps(blob))
+        planner = Planner(cache_path=path)
+        assert planner.cached_keys() == []
+        assert (tmp_path / "plans.json.corrupt").exists()
+
+    def test_quarantine_then_save_round_trips(self, tmp_path):
+        # After quarantining, the same path is reusable for a fresh
+        # save/load cycle.
+        path = tmp_path / "plans.json"
+        path.write_text("{not json")
+        planner = Planner(cache_path=path)
+        planner.plan(CATALOG["nbody"], 2**12)
+        planner.save()
+        reloaded = Planner(cache_path=path)
+        assert reloaded.cached_keys() == planner.cached_keys()
+        assert (tmp_path / "plans.json.corrupt").exists()
 
     def test_save_is_atomic_no_tmp_droppings(self, tmp_path):
         # Crash-safety contract: the write goes to a mkstemp sibling and
