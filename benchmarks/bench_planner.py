@@ -23,6 +23,7 @@ vs load) comparison, so future PRs can track the service's trajectory.
 """
 
 import json
+import os
 import random
 import time
 from fractions import Fraction
@@ -80,13 +81,19 @@ def test_e17_warm_cache_speedup_json(table, smoke):
     session.batch(requests)  # warm the cache
     warm_stats_before = dict(session.stats.as_dict())
 
-    t0 = time.perf_counter()
-    results = session.batch(requests)
-    t_warm = time.perf_counter() - t0
+    # Smoke repeats the tiny warm workload so the CI regression gate
+    # compares a stable number, not a 12-query timing blip.
+    passes = 10 if smoke else 1
 
     t0 = time.perf_counter()
-    plan_batch(requests, planner=session.planner, max_workers=0)
-    t_warm_engine = time.perf_counter() - t0
+    for _ in range(passes):
+        results = session.batch(requests)
+    t_warm = (time.perf_counter() - t0) / passes
+
+    t0 = time.perf_counter()
+    for _ in range(passes):
+        plan_batch(requests, planner=session.planner, max_workers=0)
+    t_warm_engine = (time.perf_counter() - t0) / passes
 
     t0 = time.perf_counter()
     cold = [cold_solve(r.nest, r.cache_words, budget=r.budget) for r in requests]
@@ -123,39 +130,49 @@ def test_e17_warm_cache_speedup_json(table, smoke):
     t.add("service speedup vs solve_tiling", f"{speedup:.1f}x")
     t.add("service speedup vs solve+bound", f"{speedup_with_bound:.1f}x")
 
+    payload = {
+        "experiment": "planner_warm_cache",
+        "queries": n_queries,
+        "distinct_structures": structures,
+        "cold": {
+            "what": "per-query solve_tiling",
+            "seconds": round(t_cold, 4),
+            "ms_per_query": round(t_cold * 1000 / n_queries, 4),
+        },
+        "cold_with_bound": {
+            "what": "per-query solve_tiling + communication_lower_bound",
+            "seconds": round(t_cold_bound, 4),
+            "ms_per_query": round(t_cold_bound * 1000 / n_queries, 4),
+        },
+        "warm_engine": {
+            "what": "plan_batch on the warm planner (tile + exponent + bound)",
+            "seconds": round(t_warm_engine, 4),
+            "ms_per_query": round(t_warm_engine * 1000 / n_queries, 4),
+        },
+        "warm": {
+            "what": "Session.batch on a warm session (engine + versioned envelope)",
+            "seconds": round(t_warm, 4),
+            "ms_per_query": round(t_warm * 1000 / n_queries, 4),
+        },
+        "speedup_engine_vs_solve_tiling": round(speedup_engine, 2),
+        "speedup_vs_solve_tiling": round(speedup, 2),
+        "speedup_vs_solve_plus_bound": round(speedup_with_bound, 2),
+        "warm_batch_stats": {
+            k: stats[k] - warm_stats_before[k] for k in stats
+        },
+        "planner_stats_total": stats,
+    }
+    payload["warm_queries_per_second"] = round(n_queries / t_warm, 1)
+    out_dir = os.environ.get("REPRO_BENCH_DIR")
+    if out_dir:
+        # The CI regression gate reads fresh smoke numbers from here.
+        Path(out_dir).mkdir(parents=True, exist_ok=True)
+        (Path(out_dir) / "BENCH_planner.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+    # The warm batch re-solved nothing (any mode).
+    assert stats["structure_solves"] == warm_stats_before["structure_solves"]
     if not smoke:
-        payload = {
-            "experiment": "planner_warm_cache",
-            "queries": n_queries,
-            "distinct_structures": structures,
-            "cold": {
-                "what": "per-query solve_tiling",
-                "seconds": round(t_cold, 4),
-                "ms_per_query": round(t_cold * 1000 / n_queries, 4),
-            },
-            "cold_with_bound": {
-                "what": "per-query solve_tiling + communication_lower_bound",
-                "seconds": round(t_cold_bound, 4),
-                "ms_per_query": round(t_cold_bound * 1000 / n_queries, 4),
-            },
-            "warm_engine": {
-                "what": "plan_batch on the warm planner (tile + exponent + bound)",
-                "seconds": round(t_warm_engine, 4),
-                "ms_per_query": round(t_warm_engine * 1000 / n_queries, 4),
-            },
-            "warm": {
-                "what": "Session.batch on a warm session (engine + versioned envelope)",
-                "seconds": round(t_warm, 4),
-                "ms_per_query": round(t_warm * 1000 / n_queries, 4),
-            },
-            "speedup_engine_vs_solve_tiling": round(speedup_engine, 2),
-            "speedup_vs_solve_tiling": round(speedup, 2),
-            "speedup_vs_solve_plus_bound": round(speedup_with_bound, 2),
-            "warm_batch_stats": {
-                k: stats[k] - warm_stats_before[k] for k in stats
-            },
-            "planner_stats_total": stats,
-        }
         RESULTS.mkdir(exist_ok=True)
         (RESULTS / "BENCH_planner.json").write_text(json.dumps(payload, indent=2) + "\n")
         assert n_queries >= 100
@@ -164,8 +181,6 @@ def test_e17_warm_cache_speedup_json(table, smoke):
         # it must stay within 2x of the raw engine and >=7x over cold.
         assert speedup >= 7.0, payload
         assert t_warm <= 2.0 * t_warm_engine + 0.05, payload
-        # The warm batch re-solved nothing.
-        assert stats["structure_solves"] == warm_stats_before["structure_solves"]
 
 
 def test_e17_structure_sharing_across_disguises(table, smoke):

@@ -142,9 +142,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-inflight", type=int, default=4,
                         help="server in-flight limit; small values force "
                              "continuous load shedding (default 4)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="process-pool size for cold structure solves "
+                             "(default 0 = solve in the handler thread)")
+    parser.add_argument("--response-cache", type=int, default=256,
+                        help="full-request response cache entries "
+                             "(default 256; 0 = off)")
     args = parser.parse_args(argv)
 
-    server = make_server(port=0, session=Session(), max_inflight=args.max_inflight)
+    server = make_server(
+        port=0, session=Session(), max_inflight=args.max_inflight,
+        workers=args.workers, response_cache=args.response_cache,
+    )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     base = f"http://127.0.0.1:{server.server_address[1]}"
@@ -168,13 +177,38 @@ def main(argv: list[str] | None = None) -> int:
         w.join(timeout=args.seconds + 90)
     elapsed = time.monotonic() - t0
 
+    # The health payload is part of the soak contract: worker-pool and
+    # cache counters must reflect the configuration we ran with.
+    health_problems: list[str] = []
+    try:
+        with urllib.request.urlopen(
+            f"{base}/v1/health", timeout=30
+        ) as resp:
+            health = json.load(resp)
+        stats = health["payload"]["server"]
+        if stats["workers"]["configured"] != args.workers:
+            health_problems.append(
+                f"health reports workers={stats['workers']['configured']}, "
+                f"expected {args.workers}")
+        if args.workers and stats["workers"]["pool_started"] and not stats["workers"]["pool_alive"]:
+            health_problems.append("health reports a dead worker pool")
+        if stats["response_cache"]["capacity"] != args.response_cache:
+            health_problems.append(
+                f"health reports response cache capacity "
+                f"{stats['response_cache']['capacity']}, expected {args.response_cache}")
+        if args.response_cache and not stats["response_cache"]["hits"]:
+            health_problems.append("soak produced zero response-cache hits")
+    except Exception as exc:
+        health_problems.append(f"final health probe failed: {exc!r}")
+
     server.shutdown()
     server.server_close()
     thread.join(timeout=10)
 
     total = sum(v for k, v in counts.items() if isinstance(k, int))
     print(f"soak: {total} responses in {elapsed:.1f}s "
-          f"({args.threads} threads, max_inflight={args.max_inflight})")
+          f"({args.threads} threads, max_inflight={args.max_inflight}, "
+          f"workers={args.workers}, response_cache={args.response_cache})")
     for key in sorted(counts, key=str):
         print(f"  {key}: {counts[key]}")
     if any(w.is_alive() for w in workers):
@@ -188,6 +222,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if total == 0:
         print("FAIL: the soak produced no responses at all")
+        return 1
+    if health_problems:
+        print("FAIL: health endpoint contract violated")
+        for problem in health_problems:
+            print(f"  {problem}")
         return 1
     print("PASS: zero malformed responses")
     return 0

@@ -97,6 +97,13 @@ class Session:
     plan_cache:
         Optional JSON path for plan persistence (loaded eagerly, written
         by :meth:`save_plans`).
+    shared_cache:
+        Optional cross-process plan store — a
+        :class:`~repro.util.sharedstore.SharedPlanStore` or a directory
+        path for one.  Structure misses consult it before solving and
+        fresh solves publish back, so concurrent server processes warm
+        each other.  Only valid for the private planner (pass a
+        pre-wired planner otherwise).
     line_words:
         Cache-line granularity for :meth:`simulate` (1 = paper model).
     engine:
@@ -113,6 +120,7 @@ class Session:
         *,
         plan_capacity: int = 128,
         plan_cache=None,
+        shared_cache=None,
         line_words: int = 1,
         engine: str = "batched",
         workers: int | None = None,
@@ -121,8 +129,12 @@ class Session:
             raise ValueError(f"unknown engine {engine!r}")
         if line_words < 1:
             raise ValueError("line_words must be >= 1")
+        if planner is not None and shared_cache is not None:
+            raise ValueError(
+                "pass shared_cache to the planner itself, not alongside one"
+            )
         self.planner = planner if planner is not None else Planner(
-            capacity=plan_capacity, cache_path=plan_cache
+            capacity=plan_capacity, cache_path=plan_cache, shared_store=shared_cache
         )
         self.line_words = line_words
         self.engine = engine
@@ -486,6 +498,7 @@ class Session:
         from .. import __version__
 
         stats = self.planner.stats.as_dict()
+        store = getattr(self.planner, "shared_store", None)
         return Result(
             kind="health",
             payload={
@@ -494,6 +507,7 @@ class Session:
                 "engine": self.engine,
                 "structures_cached": len(self.planner.cached_keys()),
                 "planner_stats": stats,
+                "shared_cache": store.stats_dict() if store is not None else None,
                 "uptime_s": round(time.time() - self._started, 3),
             },
         )

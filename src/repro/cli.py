@@ -154,6 +154,28 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="persistent JSON plan cache loaded into the shared session",
     )
     parser.add_argument(
+        "--shared-cache",
+        metavar="DIR",
+        help="sharded cross-process plan store; concurrent server "
+        "processes pointing at the same directory warm each other",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for cold structure solves "
+        "(default: $REPRO_SERVE_WORKERS or 0 = solve in the handler thread)",
+    )
+    parser.add_argument(
+        "--response-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="full-request response cache entries; verbatim repeats are "
+        "answered without touching the solver (default 1024; 0 = off)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logging"
     )
     parser.add_argument(
@@ -472,12 +494,12 @@ def _run_serve(argv: Sequence[str]) -> int:
 
     args = build_serve_parser().parse_args(list(argv))
     try:
-        session = Session(plan_cache=args.plan_cache)
+        session = Session(plan_cache=args.plan_cache, shared_cache=args.shared_cache)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        from .serve import DEFAULT_MAX_INFLIGHT
+        from .serve import DEFAULT_MAX_INFLIGHT, DEFAULT_RESPONSE_CACHE
 
         return serve(
             host=args.host,
@@ -486,6 +508,12 @@ def _run_serve(argv: Sequence[str]) -> int:
             verbose=not args.quiet,
             max_inflight=args.max_inflight if args.max_inflight else DEFAULT_MAX_INFLIGHT,
             default_deadline_ms=args.default_deadline_ms,
+            workers=args.workers,
+            response_cache=(
+                DEFAULT_RESPONSE_CACHE
+                if args.response_cache is None
+                else args.response_cache
+            ),
         )
     except (OSError, ValueError) as exc:
         # Bind failures (port in use, bad host) and bad admission/deadline

@@ -92,7 +92,9 @@ def plan_batch(
     seen: set[str] = set()
     for req in reqs:
         key = planner.canonicalization(req.nest).form.key()
-        if key not in seen and not planner.has_structure(key):
+        # probe_structure also adopts shared-store entries, so a sibling
+        # process's solve never re-runs here.
+        if key not in seen and not planner.probe_structure(key):
             seen.add(key)
             missing.append(key)
     if len(missing) >= 2 and max_workers not in (0, 1):

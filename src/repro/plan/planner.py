@@ -61,8 +61,10 @@ from ..core.tiling import (
     integer_repair,
     lvar,
 )
+from ..util import deadline as _deadline
 from ..util import faults
 from ..util.rationals import log_ratio, pow_fraction
+from ..util.sharedstore import SharedPlanStore
 
 __all__ = ["PlanRequest", "TilePlan", "HierarchyPlan", "Planner", "PlannerStats"]
 
@@ -273,6 +275,10 @@ class PlannerStats:
     primal_map_hits: int = 0
     primal_lp_solves: int = 0
     evictions: int = 0
+    #: Structures adopted from a cross-process shared store instead of solved.
+    shared_hits: int = 0
+    #: Callers that waited on another thread's in-flight solve of the same key.
+    coalesced: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -418,13 +424,26 @@ class Planner:
         Optional JSON file.  When given and present, structures are
         loaded eagerly on construction; :meth:`save` writes the current
         cache back (primal maps are derived data and are not persisted).
+    shared_store:
+        Optional :class:`~repro.util.sharedstore.SharedPlanStore` (or a
+        directory path for one).  Structure misses consult the store
+        before solving, and fresh solves publish back, so concurrent
+        planner processes warm each other.
     """
 
-    def __init__(self, capacity: int = 128, cache_path: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        capacity: int = 128,
+        cache_path: str | os.PathLike | None = None,
+        shared_store: SharedPlanStore | str | os.PathLike | None = None,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.cache_path = Path(cache_path) if cache_path is not None else None
+        if shared_store is not None and not isinstance(shared_store, SharedPlanStore):
+            shared_store = SharedPlanStore(shared_store)
+        self.shared_store = shared_store
         self.stats = PlannerStats()
         self._structures: OrderedDict[str, _StructurePlan] = OrderedDict()
         self._canon_memo: dict[tuple, Canonicalization] = {}
@@ -434,6 +453,9 @@ class Planner:
         # lru_cache, so fractional-block evaluation needs no twin here.)
         self._log_memo: dict[tuple[int, int], Fraction] = {}
         self._lock = threading.RLock()
+        # In-flight structure solves, for coalescing: canonical key ->
+        # Event set when the leading solver finishes (or fails).
+        self._solving: dict[str, threading.Event] = {}
         # Serialises whole save()/load() calls: concurrent Session users
         # sharing one planner must not interleave persistence I/O (the
         # structure lock above only protects in-memory state).
@@ -477,9 +499,17 @@ class Planner:
         with self._lock:
             return list(self._structures)
 
-    def install_structure(self, key: str, pieces_json: Iterable[dict]) -> None:
-        """Insert a pre-solved structure (parallel warmers, persistence)."""
+    def install_structure(
+        self, key: str, pieces_json: Iterable[dict], publish: bool = True
+    ) -> None:
+        """Insert a pre-solved structure (parallel warmers, persistence).
+
+        With ``publish`` (the default) the piece set is also offered to
+        the shared store, so pool workers' solves warm sibling
+        processes; persistence/adoption paths pass ``publish=False``.
+        """
         form = CanonicalForm.from_key(key)
+        pieces_json = list(pieces_json)
         pieces = tuple(sorted(
             (_piece_from_json(blob) for blob in pieces_json),
             key=lambda p: (p.constant, p.coeffs),
@@ -489,6 +519,34 @@ class Planner:
             self._structures[key] = _StructurePlan(form=form, pvf=pvf)
             self._structures.move_to_end(key)
             self._evict()
+        if publish and self.shared_store is not None:
+            self.shared_store.put(key, pieces_json)
+
+    def probe_structure(self, key: str) -> bool:
+        """Is ``key`` answerable without a solve (memory or shared store)?
+
+        A shared-store hit is adopted into the in-memory cache as a side
+        effect, so a True answer means subsequent queries are warm.
+        """
+        return self.has_structure(key) or self._adopt_shared(key)
+
+    def _adopt_shared(self, key: str) -> bool:
+        """Pull one structure from the shared store, if present there."""
+        if self.shared_store is None:
+            return False
+        pieces = self.shared_store.get(key)
+        if pieces is None:
+            return False
+        try:
+            self.install_structure(key, pieces, publish=False)
+        except Exception:
+            # A poisoned entry must degrade to a fresh solve, never an
+            # unstructured failure; invalidation stats live in the store.
+            _log.warning("discarding malformed shared-store entry %r", key)
+            return False
+        with self._lock:
+            self.stats.shared_hits += 1
+        return True
 
     def _evict(self) -> None:
         while len(self._structures) > self.capacity:
@@ -496,22 +554,53 @@ class Planner:
             self.stats.evictions += 1
 
     def _structure(self, canon: Canonicalization) -> tuple[_StructurePlan, bool]:
+        """The structure for ``canon``, coalescing concurrent misses.
+
+        Exactly one thread per canonical key runs the multiparametric
+        solve; concurrent callers for the same key wait on the leader's
+        event (respecting their own deadlines) and then re-read the
+        cache.  If the leader fails, its event is still set and one
+        waiter takes over as the new leader.
+        """
         key = canon.form.key()
-        with self._lock:
-            cached = self._structures.get(key)
-            if cached is not None:
+        waited = False
+        while True:
+            with self._lock:
+                cached = self._structures.get(key)
+                if cached is not None:
+                    self._structures.move_to_end(key)
+                    self.stats.structure_hits += 1
+                    return cached, True
+                event = self._solving.get(key)
+                if event is None:
+                    self._solving[key] = event = threading.Event()
+                    break  # this thread leads the solve
+                if not waited:
+                    waited = True
+                    self.stats.coalesced += 1
+            while not event.wait(0.02):
+                _deadline.checkpoint("structure-coalesce")
+        try:
+            if self._adopt_shared(key):
+                with self._lock:
+                    plan = self._structures.get(key)
+                if plan is not None:
+                    return plan, True
+            # Solve outside the lock: multiparametric solves are the slow part.
+            pvf = parametric_tile_exponent(canon.form.to_nest())
+            plan = _StructurePlan(form=canon.form, pvf=pvf)
+            with self._lock:
+                self.stats.structure_solves += 1
+                self._structures[key] = plan
                 self._structures.move_to_end(key)
-                self.stats.structure_hits += 1
-                return cached, True
-        # Solve outside the lock: multiparametric solves are the slow part.
-        pvf = parametric_tile_exponent(canon.form.to_nest())
-        plan = _StructurePlan(form=canon.form, pvf=pvf)
-        with self._lock:
-            self.stats.structure_solves += 1
-            self._structures[key] = plan
-            self._structures.move_to_end(key)
-            self._evict()
-        return plan, False
+                self._evict()
+            if self.shared_store is not None:
+                self.shared_store.put(key, [_piece_to_json(p) for p in pvf.pieces])
+            return plan, False
+        finally:
+            with self._lock:
+                self._solving.pop(key, None)
+            event.set()
 
     # -- exact piecewise evaluation -----------------------------------------
 
@@ -855,7 +944,9 @@ class Planner:
             self._quarantine(path, reason)
             return 0
         for key, pieces in staged:
-            self.install_structure(key, pieces)
+            # Snapshot loads stay local: publishing a whole file to the
+            # shared store belongs to whoever solved it, not every reader.
+            self.install_structure(key, pieces, publish=False)
         return len(staged)
 
     def _parse_cache(

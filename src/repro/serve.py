@@ -1,4 +1,4 @@
-"""``repro-tile serve`` — a stdlib JSON endpoint over one shared Session.
+"""``repro-tile serve`` — an asyncio JSON endpoint over one shared Session.
 
 The paper's value function is piecewise-linear in the loop bounds (§7),
 which makes "ask many questions about many nests" a natural service
@@ -8,7 +8,7 @@ query by exact piecewise evaluation.  This module is that shape over
 HTTP, with zero dependencies beyond the standard library:
 
 ====================  ======  =============================================
-``/v1/health``        GET     liveness + plan-cache stats
+``/v1/health``        GET     liveness + plan-cache + worker-pool stats
 ``/v1/analyze``       POST    one :class:`~repro.api.AnalyzeRequest`
 ``/v1/batch``         POST    ``{"requests": [...]}`` — ordered results
 ``/v1/sweep``         POST    one :class:`~repro.api.SweepRequest` grid
@@ -17,6 +17,23 @@ HTTP, with zero dependencies beyond the standard library:
 ``/v1/hierarchy``     POST    one :class:`~repro.api.HierarchyRequest`
 ``/v1/distributed``   POST    one :class:`~repro.api.DistributedRequest`
 ====================  ======  =============================================
+
+Architecture (see ``docs/serving.md``): an asyncio event loop owns the
+sockets (keep-alive, ``TCP_NODELAY``) and never blocks on solver work —
+request handling runs on a bounded thread pool, cold multiparametric
+solves can be dispatched to a **process pool** (``workers > 0``), and
+three caches stack in front of the solver:
+
+* a **response cache** (``response_cache > 0``): verbatim repeats of a
+  single-result request are answered on the event loop by splicing the
+  cached payload bytes under fresh ``meta`` — no thread handoff at all;
+* **request coalescing**: identical in-flight requests share one
+  execution (the planner additionally coalesces concurrent solves of
+  the same canonical structure, so N distinct requests needing one new
+  structure still cost one solve);
+* the planner's **shared cross-process plan store** (wire it via
+  ``Session(shared_cache=...)``), so sibling server processes warm each
+  other.
 
 Every response body is a schema-versioned envelope
 (:class:`repro.api.Result` for single answers; batch/sweep wrap a
@@ -40,20 +57,30 @@ queued into memory, and a draining server sheds everything with
 can always probe.
 
 The server is intentionally an in-process building block: ``make_server``
-returns a :class:`ServiceServer` (a ``ThreadingHTTPServer``) bound to an
-ephemeral port when ``port=0``, which is exactly how the test suite and
+returns a :class:`ServiceServer` bound to an ephemeral port when
+``port=0`` whose blocking ``serve_forever()``/thread-safe ``shutdown()``
+mirror the stdlib server API, which is exactly how the test suite and
 the service benchmark drive it.
 """
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import json
 import logging
+import os
+import signal
+import socket
+import sys
 import threading
+import time
 import traceback
 import uuid
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 
 from .api import (
     SCHEMA_VERSION,
@@ -71,17 +98,27 @@ from .api.requests import (
 )
 from .core.loopnest import LoopNestError
 from .core.parser import ParseError
-from .util.deadline import Deadline, DeadlineExceeded, activate, deactivate
+from .plan.batch import _solve_structure
+from .util import faults
+from .util.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    activate,
+    checkpoint,
+    current_deadline,
+    deactivate,
+)
 from .util.faults import InjectedFault
 
 __all__ = [
     "make_server",
     "serve",
-    "ServiceHandler",
     "ServiceServer",
     "MAX_BODY_BYTES",
     "MAX_BATCH_REQUESTS",
     "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_RESPONSE_CACHE",
+    "WORKERS_ENV_VAR",
 ]
 
 _log = logging.getLogger("repro.serve")
@@ -94,6 +131,36 @@ MAX_BATCH_REQUESTS = 10_000
 
 #: Default bound on concurrently-processed POST requests.
 DEFAULT_MAX_INFLIGHT = 64
+
+#: Response-cache capacity the CLI server runs with (``make_server``
+#: defaults to 0 = off, so tests opt in explicitly).
+DEFAULT_RESPONSE_CACHE = 1024
+
+#: ``make_server(workers=None)`` reads the worker-pool size from here,
+#: so an unmodified test suite can run against a multi-worker server.
+WORKERS_ENV_VAR = "REPRO_SERVE_WORKERS"
+
+#: Bodies larger than this skip response-cache/coalescing key building
+#: (hashing a huge batch on the event loop would defeat the point).
+_COALESCE_MAX_BODY = 64 << 10
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Routes answered from the response cache (single-Result 200 bodies;
+#: batch/sweep envelopes and health are excluded by construction).
+_CACHEABLE_ROUTES = frozenset(
+    {"/v1/analyze", "/v1/simulate", "/v1/tune", "/v1/hierarchy", "/v1/distributed"}
+)
 
 
 def _error_body(message: str, status: int, detail: dict | None = None) -> dict:
@@ -118,23 +185,109 @@ def _result_response(result: Result) -> tuple[int, dict]:
     return 200, blob
 
 
-class ServiceServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer + admission control state.
+def _dump(body: dict) -> bytes:
+    return json.dumps(body).encode()
+
+
+def _splice_envelope(kind: str, payload_json: str, meta: dict) -> bytes:
+    """A Result envelope assembled from pre-serialised payload bytes.
+
+    Key order and separators match ``json.dumps(Result.to_json())``
+    exactly (``schema_version``, ``kind``, ``payload``, ``meta``), so a
+    response-cache hit is byte-identical to a fresh response in
+    everything but ``meta``.
+    """
+    return (
+        f'{{"schema_version": {SCHEMA_VERSION}, "kind": {json.dumps(kind)}, '
+        f'"payload": {payload_json}, "meta": {json.dumps(meta)}}}'
+    ).encode()
+
+
+def _parse_head(header: bytes) -> tuple[str, str, str, dict]:
+    """(method, target, version, lowercased headers) of one request head."""
+    lines = header.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line {lines[0]!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return parts[0], parts[1], parts[2], headers
+
+
+class ServiceServer:
+    """Asyncio front-end + admission control behind the stdlib-server API.
+
+    The listening socket is bound in ``__init__`` (so ``server_address``
+    is final before ``serve_forever`` runs on its thread), the event
+    loop lives entirely inside :meth:`serve_forever`, and
+    :meth:`shutdown` is thread-safe and blocks until the loop exits —
+    the exact contract tests and benchmarks relied on with
+    ``ThreadingHTTPServer``.
 
     ``max_inflight`` bounds concurrently-processed POSTs (load beyond it
     is shed with 429); ``default_deadline_ms`` applies to requests that
     do not carry their own ``deadline_ms``; :meth:`drain` flips the
-    server into load-shedding-everything mode (503) ahead of shutdown.
+    server into load-shedding-everything mode (503) ahead of shutdown;
+    ``workers > 0`` adds a process pool for cold structure solves;
+    ``response_cache > 0`` turns on the full-request response cache.
     """
 
-    max_inflight: int = DEFAULT_MAX_INFLIGHT
-    default_deadline_ms: float | None = None
-
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
+    def __init__(
+        self,
+        address: tuple[str, int],
+        session: Session,
+        *,
+        verbose: bool = False,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        default_deadline_ms: float | None = None,
+        workers: int = 0,
+        response_cache: int = 0,
+    ):
+        self.session = session
+        self.verbose = verbose
+        self.max_inflight = int(max_inflight)
+        self.default_deadline_ms = default_deadline_ms
+        self.workers = int(workers)
         self.draining = False
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        self._socket = socket.create_server(address, backlog=128)
+        self.server_address = self._socket.getsockname()
+        # Handler threads: admission control bounds real work at
+        # max_inflight; the slack absorbs health probes and shed (429/
+        # 503) responses so probes never queue behind solver work.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_inflight + 4, thread_name_prefix="repro-serve"
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._pool_dispatched = 0
+        self._pool_failures = 0
+        #: Per-structure prewarm gate: concurrent same-structure
+        #: requests ride one pool dispatch (mirrors the planner's gate).
+        self._prewarming: dict[str, threading.Event] = {}
+        self._prewarm_lock = threading.Lock()
+        self._response_cache_cap = int(response_cache)
+        self._response_cache: OrderedDict[tuple, tuple[str, str]] = OrderedDict()
+        self._response_cache_lock = threading.Lock()
+        self._response_hits = 0
+        self._response_misses = 0
+        self._coalesced = 0
+        self._requests_served = 0
+        #: In-flight coalescing map (event-loop confined): key -> Future.
+        self._pending: dict[tuple, asyncio.Future] = {}
+        self._client_tasks: set[asyncio.Task] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._stop_requested = False
+        self._closed = False
+        self._done = threading.Event()
+        self._done.set()  # not running until serve_forever
+
+    # -- admission control (same contract as the stdlib-based server) -------
 
     def try_acquire(self) -> bool:
         with self._inflight_lock:
@@ -156,45 +309,421 @@ class ServiceServer(ThreadingHTTPServer):
         """Start refusing new work (503) while in-flight requests finish."""
         self.draining = True
 
+    # -- lifecycle -----------------------------------------------------------
 
-class ServiceHandler(BaseHTTPRequestHandler):
-    """Routes ``/v1/*`` onto the shared :class:`~repro.api.Session`."""
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Run the event loop on the calling thread until :meth:`shutdown`.
 
-    server_version = "repro-tile/1"
-    #: Installed by :func:`make_server`.
-    session: Session = None
-    #: Quiet by default; ``make_server(verbose=True)`` restores logging.
-    verbose = False
-
-    def log_message(self, format, *args):  # noqa: A002 - BaseHTTPRequestHandler API
-        if self.verbose:
-            super().log_message(format, *args)
-
-    # -- plumbing -----------------------------------------------------------
-
-    def _send(self, status: int, body: dict, headers: dict | None = None) -> None:
-        data = json.dumps(body).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(data)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(data)
-
-    def _read_json(self) -> dict:
-        """Parse the POST body; install the request's deadline as a side effect.
-
-        ``deadline_ms`` is an envelope-level field shared by every POST
-        schema, so it is validated and stripped here (before per-request
-        ``from_json``), and the cooperative :class:`Deadline` it names —
-        or the server default — becomes ambient for the rest of the
-        request.  :meth:`_guarded` clears it in its ``finally``.
+        ``poll_interval`` is accepted for stdlib-server signature
+        compatibility and ignored (the loop wakes on events, not polls).
         """
-        length = int(self.headers.get("Content-Length") or 0)
-        if length > MAX_BODY_BYTES:
-            raise RequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length) if length else b""
+        del poll_interval
+        if self._closed:
+            raise RuntimeError("server is closed")
+        self._done.clear()
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve_main())
+        finally:
+            try:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                self._loop = None
+                loop.close()
+                self._done.set()
+
+    async def _serve_main(self) -> None:
+        self._stop_event = asyncio.Event()
+        if self._stop_requested:
+            return
+        server = await asyncio.start_server(self._client_connected, sock=self._socket)
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            for task in list(self._client_tasks):
+                task.cancel()
+            if self._client_tasks:
+                await asyncio.gather(*list(self._client_tasks), return_exceptions=True)
+
+    def _request_stop(self) -> None:
+        self._stop_requested = True
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def shutdown(self) -> None:
+        """Stop ``serve_forever`` from any thread; blocks until it returns."""
+        self._stop_requested = True
+        loop = self._loop
+        if loop is not None:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._request_stop)
+        self._done.wait(timeout=30)
+
+    def server_close(self) -> None:
+        """Release the socket and the worker pools (idempotent)."""
+        self._closed = True
+        with contextlib.suppress(OSError):
+            self._socket.close()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling (event loop) ------------------------------------
+
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+        try:
+            await self._handle_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass  # server shutdown
+        except (ConnectionError, TimeoutError, OSError):
+            pass  # client went away mid-exchange
+        finally:
+            if task is not None:
+                self._client_tasks.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while True:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return  # clean close between requests
+            except asyncio.LimitOverrunError:
+                await self._write_response(
+                    writer, 431, _dump(_error_body("request head too large", 431)),
+                    close=True,
+                )
+                return
+            try:
+                method, target, version, headers = _parse_head(head)
+            except ValueError as exc:
+                await self._write_response(
+                    writer, 400, _dump(_error_body(str(exc), 400)), close=True
+                )
+                return
+            if "chunked" in headers.get("transfer-encoding", "").lower():
+                await self._write_response(
+                    writer, 400,
+                    _dump(_error_body("chunked request bodies are not supported", 400)),
+                    close=True,
+                )
+                return
+            try:
+                length = int(headers.get("content-length") or 0)
+            except ValueError:
+                length = -1
+            if length < 0:
+                await self._write_response(
+                    writer, 400, _dump(_error_body("bad Content-Length", 400)),
+                    close=True,
+                )
+                return
+            if length > MAX_BODY_BYTES:
+                # The old server let RequestError produce this message;
+                # keep the wording but refuse to read the body at all.
+                await self._write_response(
+                    writer, 400,
+                    _dump(_error_body(
+                        f"request body exceeds {MAX_BODY_BYTES} bytes", 400)),
+                    close=True,
+                )
+                return
+            if headers.get("expect", "").lower() == "100-continue":
+                writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+            body = b""
+            if length:
+                try:
+                    body = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    return
+            keep_alive = (
+                version != "HTTP/1.0"
+                and headers.get("connection", "").lower() != "close"
+                and not self._stop_requested
+            )
+            try:
+                status, payload, extra = await self._dispatch(method, target, body)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # Transport-layer defensive 500 (executor refused work,
+                # loop-side bug): still a structured envelope.
+                error_id = uuid.uuid4().hex[:12]
+                _log.error(
+                    "internal error %s dispatching %s\n%s",
+                    error_id, target, traceback.format_exc(),
+                )
+                status, extra = 500, None
+                payload = _dump(_error_body(
+                    f"internal error (id {error_id})", 500,
+                    {"reason": "internal", "error_id": error_id},
+                ))
+            if self.verbose:
+                peer = writer.get_extra_info("peername") or ("-",)
+                print(
+                    f'{peer[0]} - "{method} {target} {version}" {status} -',
+                    file=sys.stderr,
+                )
+            await self._write_response(
+                writer, status, payload, headers=extra, close=not keep_alive
+            )
+            if not keep_alive:
+                return
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        headers: dict | None = None,
+        close: bool = False,
+    ) -> None:
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Server: repro-tile/2\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        )
+        if headers:
+            head += "".join(f"{name}: {value}\r\n" for name, value in headers.items())
+        writer.write(head.encode("latin-1") + b"\r\n" + body)
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+            await writer.drain()
+
+    # -- routing (event loop) -------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, bytes, dict | None]:
+        route = target.partition("?")[0].rstrip("/")
+        loop = asyncio.get_running_loop()
+        if method == "GET":
+            if route == "/v1/health":
+                return await self._run_guarded(loop, "/v1/health", b"")
+            if route in self._POST_ROUTES or route == "/v1/batch":
+                return 405, _dump(_error_body("use POST with a JSON body", 405)), None
+            return 404, _dump(_error_body(f"unknown path {target!r}", 404)), None
+        if method != "POST":
+            return 405, _dump(_error_body(f"method {method} not supported", 405)), None
+        if route == "/v1/health":
+            # Health bypasses admission control: probes must always land.
+            return await self._run_guarded(loop, "/v1/health", b"")
+        if route not in self._POST_ROUTES:
+            return 404, _dump(_error_body(f"unknown path {target!r}", 404)), None
+        if self.draining:
+            return (
+                503,
+                _dump(_error_body(
+                    "server is draining; retry against another instance",
+                    503, {"reason": "draining"})),
+                {"Retry-After": "5"},
+            )
+        if not self.try_acquire():
+            return (
+                429,
+                _dump(_error_body(
+                    f"server is over its in-flight limit of {self.max_inflight}; "
+                    "retry after a short backoff",
+                    429,
+                    {"reason": "overloaded", "max_inflight": self.max_inflight})),
+                {"Retry-After": "1"},
+            )
+        try:
+            return await self._admitted(loop, route, body)
+        finally:
+            self.release()
+
+    def _request_key(self, route: str, body: bytes) -> tuple | None:
+        """Stable identity of one request, for caching and coalescing."""
+        if len(body) > _COALESCE_MAX_BODY:
+            return None
+        try:
+            blob = json.loads(body)
+        except ValueError:
+            return None
+        if not isinstance(blob, dict):
+            return None
+        try:
+            return route, json.dumps(blob, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError):
+            return None
+
+    async def _admitted(
+        self, loop: asyncio.AbstractEventLoop, route: str, body: bytes
+    ) -> tuple[int, bytes, dict | None]:
+        started = time.perf_counter()
+        key = self._request_key(route, body)
+        if key is not None and self._response_cache_cap and route in _CACHEABLE_ROUTES:
+            entry = self._response_cache_get(key)
+            if entry is not None:
+                kind, payload_json = entry
+                meta = {
+                    "elapsed_ms": round((time.perf_counter() - started) * 1000, 3),
+                    "cache_hit": True,
+                    "response_cache": True,
+                }
+                self._requests_served += 1
+                return 200, _splice_envelope(kind, payload_json, meta), None
+        if key is not None:
+            pending = self._pending.get(key)
+            if pending is not None:
+                # Identical request already executing: wait for its
+                # outcome instead of burning a second handler thread.
+                self._coalesced += 1
+                try:
+                    status, payload, headers, _ = await asyncio.shield(pending)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    return await self._run_guarded(loop, route, body)
+                self._requests_served += 1
+                return status, payload, headers
+            fut: asyncio.Future = loop.create_future()
+            self._pending[key] = fut
+        outcome = None
+        try:
+            outcome = await loop.run_in_executor(
+                self._executor, self._handle_request, route, body
+            )
+        finally:
+            if key is not None:
+                pending = self._pending.pop(key, None)
+                if pending is not None and not pending.done():
+                    if outcome is not None:
+                        pending.set_result(outcome)
+                    else:
+                        pending.cancel()
+        status, payload, headers, cache_entry = outcome
+        if (
+            cache_entry is not None
+            and key is not None
+            and self._response_cache_cap
+            and route in _CACHEABLE_ROUTES
+        ):
+            self._response_cache_put(key, cache_entry)
+        self._requests_served += 1
+        return status, payload, headers
+
+    async def _run_guarded(
+        self, loop: asyncio.AbstractEventLoop, route: str, body: bytes
+    ) -> tuple[int, bytes, dict | None]:
+        """One uncoalesced, uncached pass through the guarded handler."""
+        status, payload, headers, _ = await loop.run_in_executor(
+            self._executor, self._handle_request, route, body
+        )
+        self._requests_served += 1
+        return status, payload, headers
+
+    # -- response cache -------------------------------------------------------
+
+    def _response_cache_get(self, key: tuple) -> tuple[str, str] | None:
+        with self._response_cache_lock:
+            entry = self._response_cache.get(key)
+            if entry is None:
+                self._response_misses += 1
+                return None
+            self._response_cache.move_to_end(key)
+            self._response_hits += 1
+            return entry
+
+    def _response_cache_put(self, key: tuple, entry: tuple[str, str]) -> None:
+        with self._response_cache_lock:
+            self._response_cache[key] = entry
+            self._response_cache.move_to_end(key)
+            while len(self._response_cache) > self._response_cache_cap:
+                self._response_cache.popitem(last=False)
+
+    # -- request handling (thread pool) ---------------------------------------
+
+    def _handle_request(
+        self, route: str, raw: bytes
+    ) -> tuple[int, bytes, dict | None, tuple[str, str] | None]:
+        """Parse, guard, and answer one request body on a handler thread.
+
+        Returns ``(status, body_bytes, extra_headers, cache_entry)``;
+        ``cache_entry`` is ``(kind, payload_json)`` for cacheable 200s.
+        """
+        token = None
+        try:
+            if route == "/v1/health":
+                status, body = 200, self._health_body()
+            else:
+                blob = self._parse_body(raw)
+                token = self._activate_deadline(blob)
+                status, body = getattr(self, self._POST_ROUTES[route])(blob)
+        except RequestError as exc:
+            status, body = 400, _error_body(str(exc), 400, exc.detail or None)
+        except DeadlineExceeded as exc:
+            # Normally the Session converts expiry into a 504 Result;
+            # this catches expiry in serve-layer code outside a Session
+            # entry point, so a deadline can never surface as a 500.
+            status, body = 504, _error_body(str(exc), 504, {
+                "reason": "deadline_exceeded",
+                "deadline_ms": exc.budget_ms,
+                "where": exc.where,
+            })
+        except (LoopNestError, ParseError, ValueError, TypeError, KeyError) as exc:
+            status, body = 400, _error_body(str(exc) or type(exc).__name__, 400)
+        except InjectedFault as exc:
+            # The chaos suite's escape hatch: an armed fault that nothing
+            # degraded around still maps to a structured envelope.
+            status, body = 500, _error_body(str(exc), 500, {
+                "reason": "injected-fault", "point": exc.point,
+            })
+        except Exception as exc:
+            # The defensive 500: a structured envelope with an error id;
+            # the traceback goes to the log, never into the body.
+            error_id = uuid.uuid4().hex[:12]
+            _log.error(
+                "internal error %s serving %s\n%s",
+                error_id, route, traceback.format_exc(),
+            )
+            status, body = 500, _error_body(
+                f"internal error (id {error_id})", 500,
+                {
+                    "reason": "internal",
+                    "error_id": error_id,
+                    "exception": type(exc).__name__,
+                },
+            )
+        finally:
+            if token is not None:
+                deactivate(token)
+        headers = None
+        if status == 429:
+            headers = {"Retry-After": "1"}
+        elif status == 503:
+            headers = {"Retry-After": "5"}
+        cache_entry = None
+        if status == 200 and route in _CACHEABLE_ROUTES:
+            cache_entry = (body["kind"], json.dumps(body["payload"]))
+        return status, _dump(body), headers, cache_entry
+
+    def _parse_body(self, raw: bytes) -> dict:
         if not raw:
             raise RequestError("empty request body; POST a JSON object")
         try:
@@ -203,6 +732,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise RequestError(f"request body is not valid JSON: {exc}") from exc
         if not isinstance(blob, dict):
             raise RequestError("request body must be a JSON object")
+        return blob
+
+    def _activate_deadline(self, blob: dict):
+        """Strip/validate ``deadline_ms`` and make the budget ambient.
+
+        ``deadline_ms`` is an envelope-level field shared by every POST
+        schema, so it is validated here (before per-request
+        ``from_json``); the caller's ``finally`` clears the token.
+        """
         deadline_ms = blob.pop("deadline_ms", None)
         if deadline_ms is not None:
             if (
@@ -212,74 +750,123 @@ class ServiceHandler(BaseHTTPRequestHandler):
             ):
                 raise RequestError("deadline_ms must be a positive number of milliseconds")
         else:
-            deadline_ms = getattr(self.server, "default_deadline_ms", None)
-        if deadline_ms is not None:
-            self._deadline_token = activate(Deadline(float(deadline_ms)))
-        return blob
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is None:
+            return None
+        return activate(Deadline(float(deadline_ms)))
 
-    def _guarded(self, handler: Callable[[], tuple[int, dict]]) -> None:
-        self._deadline_token = None
+    def _health_body(self) -> dict:
+        body = self.session.health().to_json()
+        body["payload"]["server"] = self._server_stats()
+        return body
+
+    def _server_stats(self) -> dict:
+        with self._pool_lock:
+            pool = self._pool
+            pool_alive = pool is not None and not getattr(pool, "_broken", False)
+        with self._response_cache_lock:
+            response_cache = {
+                "capacity": self._response_cache_cap,
+                "entries": len(self._response_cache),
+                "hits": self._response_hits,
+                "misses": self._response_misses,
+            }
+        store = getattr(getattr(self.session, "planner", None), "shared_store", None)
+        return {
+            "workers": {
+                "configured": self.workers,
+                "pool_started": pool is not None,
+                "pool_alive": pool_alive,
+                "dispatched": self._pool_dispatched,
+                "failures": self._pool_failures,
+            },
+            "shared_cache": store.stats_dict() if store is not None else None,
+            "response_cache": response_cache,
+            "coalesced": self._coalesced,
+            "requests_served": self._requests_served,
+            "inflight": self.inflight,
+            "draining": self.draining,
+        }
+
+    # -- worker pool (cold structure solves) ----------------------------------
+
+    def _get_pool(self) -> ProcessPoolExecutor | None:
+        with self._pool_lock:
+            if self._pool is None and not self._closed:
+                try:
+                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                except (OSError, RuntimeError):
+                    # Restricted sandbox (no semaphores, fork disabled):
+                    # the inline solve path is the documented fallback.
+                    self._pool_failures += 1
+                    return None
+            return self._pool
+
+    def _prewarm(self, nest) -> None:
+        """Solve a missing canonical structure in the worker pool.
+
+        Best-effort: any pool problem falls back to the inline solve the
+        session would do anyway.  Skipped while faults are armed —
+        in-process injected faults are invisible to pool workers, and
+        the chaos suite's contracts are about the inline path.
+        """
+        if self.workers <= 0 or faults.any_active():
+            return
+        planner = getattr(self.session, "planner", None)
+        if planner is None or not hasattr(planner, "probe_structure"):
+            return
         try:
-            status, body = handler()
-        except RequestError as exc:
-            self._send(400, _error_body(str(exc), 400, exc.detail or None))
-        except DeadlineExceeded as exc:
-            # Normally the Session converts expiry into a 504 Result;
-            # this catches expiry in serve-layer code outside a Session
-            # entry point, so a deadline can never surface as a 500.
-            self._send(504, _error_body(str(exc), 504, {
-                "reason": "deadline_exceeded",
-                "deadline_ms": exc.budget_ms,
-                "where": exc.where,
-            }))
-        except (LoopNestError, ParseError, ValueError, TypeError, KeyError) as exc:
-            self._send(400, _error_body(str(exc) or type(exc).__name__, 400))
-        except InjectedFault as exc:
-            # The chaos suite's escape hatch: an armed fault that nothing
-            # degraded around still maps to a structured envelope.
-            self._send(500, _error_body(str(exc), 500, {
-                "reason": "injected-fault", "point": exc.point,
-            }))
-        except Exception as exc:
-            # The defensive 500: a structured envelope with an error id;
-            # the traceback goes to the log, never into the body.
-            error_id = uuid.uuid4().hex[:12]
-            _log.error(
-                "internal error %s serving %s\n%s",
-                error_id, self.path, traceback.format_exc(),
-            )
-            self._send(500, _error_body(
-                f"internal error (id {error_id})", 500,
-                {
-                    "reason": "internal",
-                    "error_id": error_id,
-                    "exception": type(exc).__name__,
-                },
-            ))
-        else:
-            self._send(status, body)
+            key = planner.canonicalization(nest).form.key()
+        except Exception:
+            return  # invalid nests surface properly in the session call
+        if planner.probe_structure(key):
+            return
+        checkpoint("serve-prewarm")
+        while True:
+            with self._prewarm_lock:
+                event = self._prewarming.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._prewarming[key] = event
+                    break
+            # Another handler is already dispatching this structure:
+            # wait it out, then answer from the (now warm) planner.
+            while not event.wait(0.02):
+                checkpoint("serve-prewarm")
+            if planner.probe_structure(key):
+                return
+            # The leader failed (broken pool, timeout): take over.
+        try:
+            pool = self._get_pool()
+            if pool is None:
+                return
+            timeout = None
+            ambient = current_deadline()
+            if ambient is not None:
+                timeout = max(ambient.remaining_ms, 0.0) / 1000.0
+            try:
+                solved_key, pieces = pool.submit(_solve_structure, key).result(timeout)
+            except FuturesTimeoutError:
+                return  # the inline path will raise DeadlineExceeded cleanly
+            except BrokenProcessPool:
+                self._pool_failures += 1
+                with self._pool_lock:
+                    broken, self._pool = self._pool, None
+                if broken is not None:
+                    broken.shutdown(wait=False, cancel_futures=True)
+                return
+            except (OSError, RuntimeError):
+                self._pool_failures += 1
+                return
+            self._pool_dispatched += 1
+            planner.install_structure(solved_key, pieces)
         finally:
-            if self._deadline_token is not None:
-                deactivate(self._deadline_token)
-                self._deadline_token = None
+            with self._prewarm_lock:
+                self._prewarming.pop(key, None)
+            event.set()
+        checkpoint("serve-prewarm")
 
-    # -- endpoints ----------------------------------------------------------
-
-    def _route(self) -> str:
-        """Request path normalised for matching (query string stripped)."""
-        return self.path.partition("?")[0].rstrip("/")
-
-    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        route = self._route()
-        if route == "/v1/health":
-            self._guarded(lambda: (200, self.session.health().to_json()))
-        elif route in (
-            "/v1/analyze", "/v1/batch", "/v1/sweep", "/v1/simulate", "/v1/tune",
-            "/v1/hierarchy", "/v1/distributed",
-        ):
-            self._send(405, _error_body("use POST with a JSON body", 405))
-        else:
-            self._send(404, _error_body(f"unknown path {self.path!r}", 404))
+    # -- endpoints (thread pool) ----------------------------------------------
 
     _POST_ROUTES = {
         "/v1/analyze": "_post_analyze",
@@ -291,49 +878,19 @@ class ServiceHandler(BaseHTTPRequestHandler):
         "/v1/distributed": "_post_distributed",
     }
 
-    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        route = self._route()
-        if route == "/v1/health":
-            # Health bypasses admission control: probes must always land.
-            self._guarded(lambda: (200, self.session.health().to_json()))
-            return
-        name = self._POST_ROUTES.get(route)
-        if name is None:
-            self._send(404, _error_body(f"unknown path {self.path!r}", 404))
-            return
-        server = self.server
-        if getattr(server, "draining", False):
-            self._send(
-                503,
-                _error_body("server is draining; retry against another instance",
-                            503, {"reason": "draining"}),
-                headers={"Retry-After": "5"},
-            )
-            return
-        if hasattr(server, "try_acquire") and not server.try_acquire():
-            self._send(
-                429,
-                _error_body(
-                    f"server is over its in-flight limit of {server.max_inflight}; "
-                    "retry after a short backoff",
-                    429,
-                    {"reason": "overloaded", "max_inflight": server.max_inflight},
-                ),
-                headers={"Retry-After": "1"},
-            )
-            return
-        try:
-            self._guarded(getattr(self, name))
-        finally:
-            if hasattr(server, "release"):
-                server.release()
+    def _batch_workers(self) -> int:
+        # Injected faults must hit the inline path (pool workers cannot
+        # see in-process fault state), mirroring _prewarm's guard.
+        if self.workers > 0 and not faults.any_active():
+            return self.workers
+        return 0
 
-    def _post_analyze(self) -> tuple[int, dict]:
-        request = AnalyzeRequest.from_json(self._read_json(), "analyze")
+    def _post_analyze(self, blob: dict) -> tuple[int, dict]:
+        request = AnalyzeRequest.from_json(blob, "analyze")
+        self._prewarm(request.nest)
         return _result_response(self.session.analyze(request))
 
-    def _post_batch(self) -> tuple[int, dict]:
-        blob = self._read_json()
+    def _post_batch(self, blob: dict) -> tuple[int, dict]:
         entries = blob.get("requests")
         if not isinstance(entries, list):
             raise RequestError("batch body needs a 'requests' list")
@@ -343,16 +900,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
             AnalyzeRequest.from_json(entry, f"requests[{idx}]")
             for idx, entry in enumerate(entries)
         ]
-        # Serial structure solves: worker pools belong to offline batch
-        # jobs, not to a threaded request handler.
-        return self._batch_response("batch", self.session.batch(requests, workers=0))
+        return self._batch_response(
+            "batch", self.session.batch(requests, workers=self._batch_workers())
+        )
 
-    def _post_sweep(self) -> tuple[int, dict]:
-        sweep = SweepRequest.from_json(self._read_json(), "sweep")
+    def _post_sweep(self, blob: dict) -> tuple[int, dict]:
+        sweep = SweepRequest.from_json(blob, "sweep")
         expanded = sweep.expand()
         if len(expanded) > MAX_BATCH_REQUESTS:
             raise RequestError(f"sweep grid exceeds {MAX_BATCH_REQUESTS} requests")
-        return self._batch_response("sweep", self.session.batch(expanded, workers=0))
+        return self._batch_response(
+            "sweep", self.session.batch(expanded, workers=self._batch_workers())
+        )
 
     @staticmethod
     def _batch_response(kind: str, results: list[Result]) -> tuple[int, dict]:
@@ -363,23 +922,23 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return _result_response(results[0])
         return 200, _results_body(kind, results)
 
-    def _post_simulate(self) -> tuple[int, dict]:
-        request = SimulateRequest.from_json(self._read_json(), "simulate")
+    def _post_simulate(self, blob: dict) -> tuple[int, dict]:
+        request = SimulateRequest.from_json(blob, "simulate")
         return _result_response(self.session.simulate(request))
 
-    def _post_tune(self) -> tuple[int, dict]:
-        request = TuneRequest.from_json(self._read_json(), "tune")
-        # Serial candidate evaluation: worker pools belong to offline
-        # jobs, not to a threaded request handler (same as batch).
+    def _post_tune(self, blob: dict) -> tuple[int, dict]:
+        request = TuneRequest.from_json(blob, "tune")
+        # Serial candidate evaluation: tuner pools fan out far wider
+        # than a request should (they belong to offline jobs).
         return _result_response(self.session.tune(request, workers=0))
 
-    def _post_hierarchy(self) -> tuple[int, dict]:
-        request = HierarchyRequest.from_json(self._read_json(), "hierarchy")
+    def _post_hierarchy(self, blob: dict) -> tuple[int, dict]:
+        request = HierarchyRequest.from_json(blob, "hierarchy")
         # Serial candidate evaluation, same reason as tune.
         return _result_response(self.session.hierarchy(request, workers=0))
 
-    def _post_distributed(self) -> tuple[int, dict]:
-        request = DistributedRequest.from_json(self._read_json(), "distributed")
+    def _post_distributed(self, blob: dict) -> tuple[int, dict]:
+        request = DistributedRequest.from_json(blob, "distributed")
         return _result_response(self.session.distributed(request))
 
 
@@ -390,28 +949,41 @@ def make_server(
     verbose: bool = False,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     default_deadline_ms: float | None = None,
+    workers: int | None = None,
+    response_cache: int = 0,
 ) -> ServiceServer:
     """Bound, ready-to-``serve_forever`` server (``port=0`` = ephemeral).
 
-    The handler class is specialised per server so concurrent servers
-    (tests, benchmarks) never share a session by accident.
     ``max_inflight`` bounds concurrently-processed POSTs (excess load is
     shed with 429); ``default_deadline_ms`` deadline-bounds requests
-    that do not set their own ``deadline_ms``.
+    that do not set their own ``deadline_ms``; ``workers`` sizes the
+    process pool for cold structure solves (``None`` reads
+    ``REPRO_SERVE_WORKERS``, default 0 = no pool); ``response_cache``
+    turns on the full-request response cache (entries; 0 = off).
     """
     if max_inflight < 1:
         raise ValueError("max_inflight must be >= 1")
     if default_deadline_ms is not None and default_deadline_ms <= 0:
         raise ValueError("default_deadline_ms must be positive")
-    handler = type(
-        "BoundServiceHandler",
-        (ServiceHandler,),
-        {"session": session if session is not None else Session(), "verbose": verbose},
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        try:
+            workers = int(raw) if raw else 0
+        except ValueError as exc:
+            raise ValueError(f"bad {WORKERS_ENV_VAR} value {raw!r}") from exc
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    if response_cache < 0:
+        raise ValueError("response_cache must be >= 0")
+    return ServiceServer(
+        (host, port),
+        session if session is not None else Session(),
+        verbose=verbose,
+        max_inflight=int(max_inflight),
+        default_deadline_ms=default_deadline_ms,
+        workers=int(workers),
+        response_cache=int(response_cache),
     )
-    server = ServiceServer((host, port), handler)
-    server.max_inflight = int(max_inflight)
-    server.default_deadline_ms = default_deadline_ms
-    return server
 
 
 def serve(
@@ -421,20 +993,39 @@ def serve(
     verbose: bool = True,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     default_deadline_ms: float | None = None,
+    workers: int | None = None,
+    response_cache: int = DEFAULT_RESPONSE_CACHE,
 ) -> int:
     """Run the JSON service until interrupted (the CLI entry point)."""
     server = make_server(
         host, port, session=session, verbose=verbose,
         max_inflight=max_inflight, default_deadline_ms=default_deadline_ms,
+        workers=workers, response_cache=response_cache,
     )
     bound_host, bound_port = server.server_address[:2]
     print(f"repro-tile serve: listening on http://{bound_host}:{bound_port}/v1/ "
-          f"(schema v{SCHEMA_VERSION}; Ctrl-C to stop)", flush=True)
+          f"(schema v{SCHEMA_VERSION}; workers={server.workers}; Ctrl-C to stop)",
+          flush=True)
+
+    # SIGTERM (what `kill`, systemd, and containers send) must take the
+    # same graceful path as Ctrl-C: the default handler would kill only
+    # this process, orphaning fork-started pool workers that inherited
+    # the listening socket — the port would stay busy and a restarted
+    # server could never bind it.
+    def _graceful_term(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _graceful_term)
+    except (ValueError, OSError):  # non-main thread (embedded use)
+        previous = None
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         server.drain()
         print("repro-tile serve: shutting down")
     finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
         server.server_close()
     return 0
