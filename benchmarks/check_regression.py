@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """CI perf-regression gate: fresh smoke benches vs committed baselines.
 
-Runs ``bench_service.py`` and ``bench_planner.py`` in ``--smoke`` mode
+Runs ``bench_service.py``, ``bench_planner.py`` and
+``bench_frontend.py`` in ``--smoke`` mode
 (several times, keeping the best number per metric — CI boxes are
 noisy), then compares the gated throughput metrics against the
 committed baselines in ``benchmarks/results/smoke/baseline_metrics.json``.
@@ -39,7 +40,7 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 BASELINE_PATH = BENCH_DIR / "results" / "smoke" / "baseline_metrics.json"
-BENCH_FILES = ("bench_service.py", "bench_planner.py")
+BENCH_FILES = ("bench_service.py", "bench_planner.py", "bench_frontend.py")
 
 #: (bench JSON file, metric name, path into the JSON).  Every gated
 #: metric is higher-is-better; mixing in ratios (speedups) alongside
@@ -55,6 +56,10 @@ GATED_METRICS = (
      ("warm_queries_per_second",)),
     ("BENCH_planner.json", "planner.speedup_engine_vs_solve_tiling",
      ("speedup_engine_vs_solve_tiling",)),
+    ("BENCH_frontend.json", "frontend.warm_bands_per_second",
+     ("warm", "bands_per_second")),
+    ("BENCH_frontend.json", "frontend.warm_over_cold",
+     ("warm_over_cold",)),
 )
 
 

@@ -28,6 +28,7 @@ from .requests import (
     AnalyzeRequest,
     DistributedRequest,
     HierarchyRequest,
+    ProgramRequest,
     SimulateRequest,
     SweepRequest,
     TuneRequest,
@@ -43,6 +44,7 @@ __all__ = [
     "SweepRequest",
     "TuneRequest",
     "HierarchyRequest",
+    "ProgramRequest",
     "DistributedRequest",
     "RequestError",
     "Result",

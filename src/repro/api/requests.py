@@ -12,6 +12,9 @@ Six request dataclasses cover the service surface:
   autotuning with a lower-bound optimality certificate.
 * :class:`HierarchyRequest` — nested tilings for a whole memory
   hierarchy, certified per boundary, with an optional tune budget.
+* :class:`ProgramRequest` — a whole program (statement sequence or an
+  einsum string) split into perfect projective bands and planned
+  through one shared plan cache.
 * :class:`DistributedRequest` — processor-grid traffic vs the
   memory-dependent distributed lower bound.
 
@@ -31,6 +34,9 @@ from typing import Mapping
 
 from ..core.loopnest import LoopNest
 from ..core.tiling import BUDGETS
+from ..frontend.bands import split_bands
+from ..frontend.einsum import FrontendError, parse_einsum
+from ..frontend.program import Program, parse_program
 from ..library.problems import CATALOG_BUILDERS
 from ..simulate.trace import MAX_TRACE_ACCESSES, trace_length
 from ..tune.search import STRATEGIES
@@ -42,6 +48,7 @@ __all__ = [
     "SweepRequest",
     "TuneRequest",
     "HierarchyRequest",
+    "ProgramRequest",
     "DistributedRequest",
 ]
 
@@ -454,6 +461,113 @@ class HierarchyRequest:
                 nest=nest_from_json(blob, where),
                 capacities=tuple(int(c) for c in blob["capacities"]),
                 budget=str(blob.get("budget", "aggregate")),
+                tune_budget=int(blob.get("tune_budget", 0)),
+                strategy=str(blob.get("strategy", "exhaustive")),
+                radius=int(blob.get("radius", 1)),
+            ).validate()
+
+        return _build_request(where, build)
+
+
+@dataclass(frozen=True)
+class ProgramRequest:
+    """Whole-program ingestion query (``/v1/program``).
+
+    Splits the program into maximal perfect projective bands (see
+    :mod:`repro.frontend`), plans every band through the session's one
+    shared plan cache, and reports per-band plans (+ optional Theorem-3
+    certificates and tuning) plus the aggregate traffic lower bound.
+    ``from_json`` accepts three spellings: a nested ``program`` object,
+    inline ``statements``/``bounds``, or an ``einsum`` string with
+    ``sizes`` (expanded to its single-statement program).  Deterministic:
+    the same request yields the same payload on every surface.
+    """
+
+    program: Program
+    cache_words: int
+    budget: str = "per-array"
+    certificate: bool = False
+    tune_budget: int = 0
+    strategy: str = "exhaustive"
+    radius: int = 1
+
+    def validate(self) -> "ProgramRequest":
+        _require(self.cache_words >= 2, f"cache_words must be >= 2, got {self.cache_words}")
+        _check_budget(self.budget)
+        _require(
+            self.strategy in STRATEGIES,
+            f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}",
+        )
+        _require(
+            0 <= self.tune_budget <= MAX_TUNE_EVALUATIONS,
+            f"tune_budget must be in [0, {MAX_TUNE_EVALUATIONS}], got {self.tune_budget}",
+        )
+        _require(0 <= self.radius <= 8, f"radius must be in [0, 8], got {self.radius}")
+        try:
+            bands = split_bands(self.program)
+        except FrontendError as exc:
+            raise RequestError(str(exc)) from exc
+        for band in bands:
+            if self.budget == "aggregate":
+                _require(
+                    self.cache_words >= band.nest.num_arrays,
+                    f"aggregate budget needs cache_words >= {band.nest.num_arrays} "
+                    f"(one word per array of {band.nest.name}), got {self.cache_words}",
+                )
+            if self.tune_budget > 0:
+                # Tuning simulates traces per band; guard each like tune.
+                accesses = trace_length(band.nest)
+                _require(
+                    accesses <= MAX_TRACE_ACCESSES,
+                    f"trace of {accesses} accesses for {band.nest.name} exceeds "
+                    f"the {MAX_TRACE_ACCESSES} guard; tune a smaller instance",
+                )
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "program": self.program.to_json(),
+            "cache_words": self.cache_words,
+            "budget": self.budget,
+            "certificate": self.certificate,
+            "tune_budget": self.tune_budget,
+            "strategy": self.strategy,
+            "radius": self.radius,
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping, where: str = "program request") -> "ProgramRequest":
+        def build():
+            if "program" in blob:
+                program = Program.from_json(blob["program"], where)
+            elif "einsum" in blob:
+                sizes = blob.get("sizes")
+                _require(
+                    isinstance(sizes, Mapping),
+                    f"{where}: an einsum spec needs 'sizes' (index -> extent)",
+                )
+                operands = blob.get("operands")
+                spec = parse_einsum(
+                    str(blob["einsum"]),
+                    operands=tuple(str(n) for n in operands) if operands else None,
+                    output=str(blob["output"]) if "output" in blob else None,
+                )
+                program = parse_program(
+                    [spec.statement()],
+                    {str(k): int(v) for k, v in sizes.items()},
+                    name=str(blob.get("name", "einsum")),
+                )
+            elif "statements" in blob:
+                program = Program.from_json(blob, where)
+            else:
+                raise RequestError(
+                    f"{where}: needs one of 'program', 'statements' or 'einsum'"
+                )
+            return cls(
+                program=program,
+                cache_words=int(blob["cache_words"]),
+                budget=str(blob.get("budget", "per-array")),
+                certificate=bool(blob.get("certificate", False)),
                 tune_budget=int(blob.get("tune_budget", 0)),
                 strategy=str(blob.get("strategy", "exhaustive")),
                 radius=int(blob.get("radius", 1)),

@@ -37,6 +37,7 @@ KINDS = (
     "sweep",
     "tune",
     "hierarchy",
+    "program",
     "distributed",
     "health",
     "error",

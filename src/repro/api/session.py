@@ -30,6 +30,7 @@ from ..core.bounds import CommunicationLowerBound, communication_lower_bound
 from ..core.duality import Theorem3Certificate, theorem3_certificate
 from ..core.loopnest import LoopNest
 from ..core.tiling import TileShape, TilingSolution, solve_tiling
+from ..frontend.pipeline import plan_program
 from ..machine.model import MachineModel
 from ..parallel.distributed import DistributedReport, simulate_grid
 from ..plan.batch import plan_batch
@@ -41,6 +42,7 @@ from .requests import (
     AnalyzeRequest,
     DistributedRequest,
     HierarchyRequest,
+    ProgramRequest,
     SimulateRequest,
     SweepRequest,
     TuneRequest,
@@ -466,6 +468,57 @@ class Session:
         if extra:
             meta.update(extra)
         return Result(kind="hierarchy", payload=payload, meta=meta, detail=report)
+
+    def program(
+        self,
+        request: ProgramRequest,
+        *,
+        workers: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> Result:
+        """Whole-program ingestion; the ``/v1/program`` core.
+
+        Splits the request's program into maximal perfect projective
+        bands and plans each through this session's one shared plan
+        cache, so structurally identical bands — and any single-nest
+        query that came before — warm each other.  The payload is a pure
+        function of the request (per-band ``cache_hit`` and the live
+        planner-stats delta ride on meta), so the same program yields
+        byte-identical payloads across surfaces and cache temperatures.
+        """
+        t0 = time.perf_counter()
+        request = request.validate()
+        events: dict = {}
+        stats_before = self.planner.stats.as_dict()
+        try:
+            with deadline_scope(deadline_ms):
+                report = plan_program(
+                    request.program,
+                    request.cache_words,
+                    budget=request.budget,
+                    certificate=request.certificate,
+                    tune_budget=request.tune_budget,
+                    strategy=request.strategy,
+                    radius=request.radius,
+                    planner=self.planner,
+                    workers=self.workers if workers is None else workers,
+                    events=events,
+                )
+        except DeadlineExceeded as exc:
+            return _deadline_error(exc)
+        stats_after = self.planner.stats.as_dict()
+        meta = {
+            "elapsed_ms": _ms(time.perf_counter() - t0),
+            "cache_hit": report.cache_hit,
+            "planner_delta": {
+                key: stats_after[key] - stats_before.get(key, 0)
+                for key in ("queries", "structure_hits", "structure_solves")
+            },
+        }
+        extra = _degraded_meta(events)
+        if extra:
+            meta.update(extra)
+        return Result(kind="program", payload=report.to_json(), meta=meta, detail=report)
 
     def distributed(
         self, request: DistributedRequest, *, deadline_ms: float | None = None

@@ -33,6 +33,16 @@ hierarchy, certified per boundary (one Result JSON line)::
     repro-tile hierarchy --problem matmul --sizes 24,24,24 \
         --capacities 48:192:768 --tune 16 --workers 0
 
+Ingest a whole program — einsum string, inline statements (``;``
+separated, stencil offsets allowed) or a JSON program file — split it
+into perfect projective bands and plan every band through one plan
+cache (one Result JSON line, kind ``program``)::
+
+    repro-tile program --einsum "ik,kj->ij" --sizes i=512,k=512,j=512 -M 4096
+    repro-tile program "S[i,j] = A[i,j]; C[i,k] += S[i,j] * W[j,k]" \
+        --bounds i=64,j=64,k=64 -M 4096
+    repro-tile program --file program.json -M 4096 --tune 16 --workers 0
+
 Run the JSON service (see :mod:`repro.serve`)::
 
     repro-tile serve --port 8787
@@ -49,11 +59,19 @@ import json
 import sys
 from typing import Sequence
 
-from .api import AnalyzeRequest, HierarchyRequest, RequestError, Session, TuneRequest
+from .api import (
+    AnalyzeRequest,
+    HierarchyRequest,
+    ProgramRequest,
+    RequestError,
+    Session,
+    TuneRequest,
+)
 from .api import default_session as _session
 from .core.loopnest import LoopNest, LoopNestError
 from .core.mplp import parametric_tile_exponent
 from .core.parser import ParseError, parse_nest
+from .frontend.einsum import FrontendError
 from .library.problems import CATALOG_BUILDERS, build_problem
 from .machine.model import MachineModel
 from .simulate.executor import best_order_traffic, simulate_untiled_traffic
@@ -64,6 +82,7 @@ __all__ = [
     "build_serve_parser",
     "build_tune_parser",
     "build_hierarchy_parser",
+    "build_program_parser",
 ]
 
 
@@ -316,6 +335,129 @@ def build_hierarchy_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_program_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tile program",
+        description="Ingest a whole program (einsum string, inline statements, or a "
+        "JSON program file), split it into perfect projective bands, and plan every "
+        "band through one shared plan cache; emits one schema-v1 Result JSON line "
+        "(kind 'program')",
+    )
+    parser.add_argument(
+        "statements",
+        nargs="?",
+        help="inline ';'-separated update statements (stencil offsets allowed), "
+        'e.g. "S[i,j] = A[i,j]; C[i,k] += S[i,j] * W[j,k]"',
+    )
+    parser.add_argument(
+        "--bounds", help="comma-separated loop bounds for inline statements, e.g. i=64,j=64,k=64"
+    )
+    parser.add_argument(
+        "--file",
+        metavar="FILE",
+        help='JSON program file: {"name": ..., "bounds": {...}, "statements": [...]}',
+    )
+    parser.add_argument(
+        "--einsum", metavar="SPEC", help="einsum spec, e.g. 'ik,kj->ij' (explicit output)"
+    )
+    parser.add_argument(
+        "--sizes",
+        help="comma-separated einsum index extents, e.g. i=512,k=512,j=512",
+    )
+    parser.add_argument(
+        "--operands", help="comma-separated operand array names for --einsum (default A,B,...)"
+    )
+    parser.add_argument("--output", help="output array name for --einsum (default Out)")
+    parser.add_argument("--name", default=None, help="program name (defaults per spelling)")
+    parser.add_argument("-M", "--cache-words", help="fast-memory capacity in words")
+    parser.add_argument(
+        "--budget",
+        choices=("per-array", "aggregate"),
+        default="per-array",
+        help="memory-budget convention per band (default per-array)",
+    )
+    parser.add_argument(
+        "--certificate",
+        action="store_true",
+        help="attach a Theorem-3 tightness certificate per band",
+    )
+    parser.add_argument(
+        "--tune",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-band evaluation budget for tile tuning "
+        "(default 0 = serve the analytic plans)",
+    )
+    _add_search_arguments(
+        parser, smoke_help="CI smoke mode: clamp the per-band tune budget to 8 tiles"
+    )
+    return parser
+
+
+def _program_from_args(args, parser: argparse.ArgumentParser) -> dict:
+    """The request blob for one of the three program spellings."""
+    spellings = [bool(args.file), bool(args.einsum), bool(args.statements)]
+    if sum(spellings) != 1:
+        parser.error("give exactly one of --file, --einsum, or inline statements")
+    if args.file:
+        with open(args.file) as handle:
+            program = json.load(handle)
+        if isinstance(program, dict) and args.name:
+            program = {**program, "name": args.name}
+        return {"program": program}
+    if args.einsum:
+        if not args.sizes:
+            parser.error("--sizes is required with --einsum (e.g. i=512,k=512,j=512)")
+        blob: dict = {"einsum": args.einsum, "sizes": _parse_bounds(args.sizes)}
+        if args.operands:
+            blob["operands"] = [n.strip() for n in args.operands.split(",")]
+        if args.output:
+            blob["output"] = args.output
+        if args.name:
+            blob["name"] = args.name
+        return blob
+    if not args.bounds:
+        parser.error("--bounds is required with inline statements")
+    return {
+        "program": {
+            "name": args.name or "program",
+            "bounds": _parse_bounds(args.bounds),
+            "statements": [s for s in args.statements.split(";") if s.strip()],
+        }
+    }
+
+
+def _run_program(argv: Sequence[str]) -> int:
+    """One program request through a Session; one Result JSON line."""
+    parser = build_program_parser()
+    args = parser.parse_args(list(argv))
+    cache_words = _single_cache_words(args, parser)
+    try:
+        blob = _program_from_args(args, parser)
+        blob.update(
+            cache_words=cache_words,
+            budget=args.budget,
+            certificate=args.certificate,
+            tune_budget=min(args.tune, 8) if args.smoke else args.tune,
+            strategy=args.strategy,
+            radius=args.radius,
+        )
+        request = ProgramRequest.from_json(blob, "program")
+        session = Session(plan_cache=args.plan_cache, workers=args.workers)
+        result = session.program(request, deadline_ms=args.deadline_ms)
+        print(result.to_json_str())
+        if args.plan_cache:
+            session.save_plans()
+    except (ParseError, FrontendError, LoopNestError, RequestError, OSError,
+            json.JSONDecodeError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # An error envelope (e.g. an expired deadline) is still one valid
+    # Result JSON line on stdout, but the exit code tells scripts apart.
+    return 0 if result.ok else 3
+
+
 def _nest_from_args(args, parser: argparse.ArgumentParser) -> LoopNest:
     """The shared statement/--problem nest spelling of the subcommands."""
     if args.problem:
@@ -536,6 +678,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_tune(argv[1:])
     if argv[:1] == ["hierarchy"]:
         return _run_hierarchy(argv[1:])
+    if argv[:1] == ["program"]:
+        return _run_program(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)

@@ -8,52 +8,313 @@ nested loops").  The accepted grammar is a single update statement::
 
     expr   := term (("*" | "+" | ",") term)*
     term   := name "[" indices "]" | name "[" "]"
-    indices:= ident ("," ident)*
+    indices:= index ("," index)*
+    index  := ident (("+"|"-") integer)?     # offsets: frontend only
 
 Every identifier appearing inside brackets becomes a loop; the loop
 order is the order of first appearance unless ``loop_order`` overrides
 it.  Bounds are supplied separately (mapping loop name -> extent).
 
-Only *projective* accesses are accepted: each index slot must be a bare
-loop name.  Affine expressions (``i+j``, ``2*i``) are rejected with a
-pointered error message, since the paper's machinery (and this library)
-covers the projective case only.
+Two consumers share this grammar:
+
+* :func:`parse_nest` — the strict projective path.  Each index slot
+  must be a bare loop name; affine expressions (``i+j``, ``2*i``) and
+  constant offsets (``i+1``) are rejected with a pointered error,
+  since the paper's machinery covers the projective case only.
+* :func:`parse_statement` — the token-level view ``repro.frontend``
+  builds multi-statement programs from.  With ``allow_offsets=True``
+  it additionally accepts constant-offset (stencil) accesses like
+  ``A[i+1,j]``, recording the offsets for halo normalization.
+
+Errors carry a caret (``^``) under the offending character whenever the
+position is known, so CLI/HTTP callers can see *where* a statement went
+wrong, not just why.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from .loopnest import ArrayRef, LoopNest, LoopNestError
 
-__all__ = ["parse_nest", "ParseError"]
+__all__ = [
+    "parse_nest",
+    "parse_statement",
+    "nest_from_statement",
+    "ParsedStatement",
+    "Access",
+    "ParseError",
+]
 
 
 class ParseError(ValueError):
-    """Raised on malformed statements, with position information."""
+    """Raised on malformed statements, with position information.
+
+    When the offending span is known the message ends with the
+    statement and a caret under the first bad character::
+
+        array 'A': index expression 'i+j' is not a bare loop name; ...
+            C[i,k] += A[i+j]
+                        ^
+    """
 
 
 _ACCESS = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\[([^\]]*)\]")
-_IDENT = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+_INDEX = re.compile(r"^([A-Za-z_][A-Za-z_0-9]*)\s*(?:([+-])\s*([0-9]+))?$")
 
 
-def _parse_indices(array: str, blob: str, offset: int) -> list[str]:
-    blob = blob.strip()
-    if not blob:
-        return []
-    names = []
+def _pointered(message: str, statement: str, pos: int | None) -> str:
+    """Append the statement with a caret under character ``pos``."""
+    if pos is None or not statement.strip():
+        return message
+    line = statement.rstrip("\n")
+    pos = max(0, min(pos, len(line)))
+    return f"{message}\n    {line}\n    {' ' * pos}^"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One array access: ``A[i+1, j]`` -> indices ``(i, j)``, offsets ``(1, 0)``."""
+
+    array: str
+    indices: tuple[str, ...]
+    offsets: tuple[int, ...]
+    is_output: bool
+    #: Char offset of the array name within the statement (caret anchor).
+    position: int
+
+    @property
+    def has_offsets(self) -> bool:
+        return any(self.offsets)
+
+
+@dataclass(frozen=True)
+class ParsedStatement:
+    """The token-level view of one update statement.
+
+    ``repro.frontend`` builds program IRs from this (keeping constant
+    offsets for halo normalization); :func:`parse_nest` lowers it
+    directly to a projective :class:`LoopNest` via
+    :func:`nest_from_statement`.
+    """
+
+    text: str
+    #: Output access first, then inputs in source order (no dedup).
+    accesses: tuple[Access, ...]
+
+    @property
+    def output(self) -> Access:
+        return self.accesses[0]
+
+    @property
+    def inputs(self) -> tuple[Access, ...]:
+        return self.accesses[1:]
+
+    def loop_names(self) -> tuple[str, ...]:
+        """Loops in first-appearance order (output access first)."""
+        seen: list[str] = []
+        for acc in self.accesses:
+            for ident in acc.indices:
+                if ident not in seen:
+                    seen.append(ident)
+        return tuple(seen)
+
+
+def _parse_indices(
+    statement: str, array: str, blob: str, base: int, allow_offsets: bool
+) -> tuple[tuple[str, ...], tuple[int, ...]]:
+    """``"i+1, j"`` -> ``(("i", "j"), (1, 0))``, with pointered errors."""
+    if not blob.strip():
+        return (), ()
+    names: list[str] = []
+    offsets: list[int] = []
+    cursor = 0
     for piece in blob.split(","):
+        pos = base + cursor + (len(piece) - len(piece.lstrip()))
+        cursor += len(piece) + 1
         ident = piece.strip()
-        if not _IDENT.match(ident):
+        match = _INDEX.match(ident)
+        if match is None:
             raise ParseError(
-                f"array {array!r}: index expression {ident!r} (at char {offset}) is not a "
-                "bare loop name; only projective accesses are supported"
+                _pointered(
+                    f"array {array!r}: index expression {ident!r} is not a "
+                    "bare loop name; only projective accesses are supported",
+                    statement,
+                    pos,
+                )
             )
-        names.append(ident)
+        name, sign, magnitude = match.group(1), match.group(2), match.group(3)
+        offset = 0
+        if sign is not None:
+            if not allow_offsets:
+                raise ParseError(
+                    _pointered(
+                        f"array {array!r}: index expression {ident!r} is not a "
+                        "bare loop name; only projective accesses are supported "
+                        "here (the repro.frontend program parser accepts "
+                        "constant offsets and halo-normalizes them)",
+                        statement,
+                        pos,
+                    )
+                )
+            offset = int(magnitude) if sign == "+" else -int(magnitude)
+        names.append(name)
+        offsets.append(offset)
     if len(set(names)) != len(names):
-        raise ParseError(f"array {array!r} repeats an index: {names}")
-    return names
+        raise ParseError(
+            _pointered(f"array {array!r} repeats an index: {names}", statement, base)
+        )
+    return tuple(names), tuple(offsets)
+
+
+def parse_statement(statement: str, *, allow_offsets: bool = False) -> ParsedStatement:
+    """Tokenize one update statement (no loop-order/bounds resolution).
+
+    Surrounding whitespace is tolerated; blank input raises a clear
+    :class:`ParseError`.  ``allow_offsets=True`` admits constant-offset
+    (stencil) accesses like ``A[i-1,j]``; the default is the strict
+    projective grammar.
+    """
+    text = statement
+    if not text.strip():
+        raise ParseError(
+            "empty statement; expected an update like 'C[i,j] += A[i,k] * B[k,j]'"
+        )
+    if "=" not in text:
+        raise ParseError(
+            _pointered(
+                "statement must contain '=' or '+='", text, len(text.rstrip())
+            )
+        )
+    lhs_text, sep, rhs_text = text.partition("+=")
+    if not rhs_text:
+        lhs_text, sep, rhs_text = text.partition("=")
+    rhs_base = len(lhs_text) + len(sep)
+    if not rhs_text.strip():
+        raise ParseError(_pointered("empty right-hand side", text, rhs_base))
+
+    lhs_matches = list(_ACCESS.finditer(lhs_text))
+    if len(lhs_matches) != 1 or lhs_text[: lhs_matches[0].start()].strip():
+        raise ParseError(
+            _pointered(
+                f"left-hand side {lhs_text.strip()!r} must be a single array access",
+                text,
+                len(lhs_text) - len(lhs_text.lstrip()),
+            )
+        )
+    m = lhs_matches[0]
+    names, offsets = _parse_indices(text, m.group(1), m.group(2), m.start(2), allow_offsets)
+    accesses = [Access(m.group(1), names, offsets, True, m.start(1))]
+
+    consumed_until = 0
+    rhs_matches = list(_ACCESS.finditer(rhs_text))
+    if not rhs_matches:
+        raise ParseError(
+            _pointered(
+                f"no array accesses found on right-hand side {rhs_text.strip()!r}",
+                text,
+                rhs_base + (len(rhs_text) - len(rhs_text.lstrip())),
+            )
+        )
+    for m in rhs_matches:
+        gap = rhs_text[consumed_until : m.start()]
+        if gap.strip() and not all(ch in "*+,()" or ch.isspace() for ch in gap):
+            raise ParseError(
+                _pointered(
+                    f"unexpected token {gap.strip()!r} between accesses",
+                    text,
+                    rhs_base + consumed_until + (len(gap) - len(gap.lstrip())),
+                )
+            )
+        consumed_until = m.end()
+        names, offsets = _parse_indices(
+            text, m.group(1), m.group(2), rhs_base + m.start(2), allow_offsets
+        )
+        accesses.append(Access(m.group(1), names, offsets, False, rhs_base + m.start(1)))
+    trailing = rhs_text[consumed_until:]
+    if trailing.strip() and not all(ch in "*+,()" or ch.isspace() for ch in trailing):
+        raise ParseError(
+            _pointered(
+                f"unexpected trailing token {trailing.strip()!r}",
+                text,
+                rhs_base + consumed_until + (len(trailing) - len(trailing.lstrip())),
+            )
+        )
+    return ParsedStatement(text=text, accesses=tuple(accesses))
+
+
+def nest_from_statement(
+    parsed: ParsedStatement,
+    bounds: Mapping[str, int],
+    name: str = "nest",
+    loop_order: Sequence[str] | None = None,
+) -> LoopNest:
+    """Lower one tokenized projective statement to a :class:`LoopNest`.
+
+    Repeated references to the same array with the same index tuple
+    collapse (a no-op for the bounds); the same array with two different
+    index tuples is a distinct phi and must be renamed by the caller.
+    """
+    unique: list[Access] = []
+    seen: dict[str, Access] = {}
+    for acc in parsed.accesses:
+        if acc.has_offsets:
+            raise ParseError(
+                _pointered(
+                    f"array {acc.array!r}: constant-offset access is not projective; "
+                    "halo-normalize it first (repro.frontend does)",
+                    parsed.text,
+                    acc.position,
+                )
+            )
+        existing = seen.get(acc.array)
+        if existing is not None:
+            if existing.indices != acc.indices:
+                raise ParseError(
+                    _pointered(
+                        f"array {acc.array!r} accessed with two different index tuples "
+                        f"({list(existing.indices)} vs {list(acc.indices)}); "
+                        "give the accesses distinct names",
+                        parsed.text,
+                        acc.position,
+                    )
+                )
+            continue
+        seen[acc.array] = acc
+        unique.append(acc)
+
+    first_seen = parsed.loop_names()
+    loops = list(loop_order) if loop_order is not None else list(first_seen)
+    if sorted(loops) != sorted(first_seen):
+        raise ParseError(
+            f"loop_order {loops} does not match loops used in the statement "
+            f"{list(first_seen)}"
+        )
+
+    missing = [l for l in loops if l not in bounds]
+    if missing:
+        raise ParseError(f"no bounds given for loops {missing}")
+    position = {l: i for i, l in enumerate(loops)}
+
+    arrays = tuple(
+        ArrayRef(
+            name=acc.array,
+            support=tuple(sorted(position[ident] for ident in acc.indices)),
+            is_output=acc.is_output,
+        )
+        for acc in unique
+    )
+    try:
+        return LoopNest(
+            name=name,
+            loops=tuple(loops),
+            bounds=tuple(int(bounds[l]) for l in loops),
+            arrays=arrays,
+        )
+    except LoopNestError as exc:
+        raise ParseError(str(exc)) from exc
 
 
 def parse_nest(
@@ -80,85 +341,9 @@ def parse_nest(
     Raises
     ------
     ParseError
-        On syntax errors, non-projective accesses, or missing bounds.
+        On syntax errors, non-projective accesses, or missing bounds —
+        with a caret under the offending character where known.
     """
-    if "=" not in statement:
-        raise ParseError("statement must contain '=' or '+='")
-    lhs_text, _, rhs_text = statement.partition("+=")
-    if not rhs_text:
-        lhs_text, _, rhs_text = statement.partition("=")
-    if not rhs_text.strip():
-        raise ParseError("empty right-hand side")
-
-    accesses: list[tuple[str, list[str], bool]] = []
-    seen_arrays: set[str] = set()
-
-    lhs_matches = list(_ACCESS.finditer(lhs_text))
-    if len(lhs_matches) != 1 or lhs_text[: lhs_matches[0].start()].strip():
-        raise ParseError(f"left-hand side {lhs_text.strip()!r} must be a single array access")
-    m = lhs_matches[0]
-    accesses.append((m.group(1), _parse_indices(m.group(1), m.group(2), m.start(2)), True))
-    seen_arrays.add(m.group(1))
-
-    consumed_until = 0
-    rhs_matches = list(_ACCESS.finditer(rhs_text))
-    if not rhs_matches:
-        raise ParseError(f"no array accesses found on right-hand side {rhs_text.strip()!r}")
-    for m in rhs_matches:
-        gap = rhs_text[consumed_until : m.start()].strip()
-        if gap and not all(ch in "*+,()" or ch.isspace() for ch in gap):
-            raise ParseError(f"unexpected token {gap!r} between accesses")
-        consumed_until = m.end()
-        arr_name = m.group(1)
-        indices = _parse_indices(arr_name, m.group(2), m.start(2))
-        if arr_name in seen_arrays:
-            # Repeated reference to the same array with the same support is a
-            # no-op for the bounds; with a different support it would be a
-            # distinct phi and must be renamed by the caller.
-            existing = next(a for a in accesses if a[0] == arr_name)
-            if existing[1] != indices:
-                raise ParseError(
-                    f"array {arr_name!r} accessed with two different index tuples "
-                    f"({existing[1]} vs {indices}); give the accesses distinct names"
-                )
-            continue
-        seen_arrays.add(arr_name)
-        accesses.append((arr_name, indices, False))
-    trailing = rhs_text[consumed_until:].strip()
-    if trailing and not all(ch in "*+,()" or ch.isspace() for ch in trailing):
-        raise ParseError(f"unexpected trailing token {trailing!r}")
-
-    # Loop ordering.
-    first_seen: list[str] = []
-    for _, indices, _ in accesses:
-        for ident in indices:
-            if ident not in first_seen:
-                first_seen.append(ident)
-    loops = list(loop_order) if loop_order is not None else first_seen
-    if sorted(loops) != sorted(first_seen):
-        raise ParseError(
-            f"loop_order {loops} does not match loops used in the statement {first_seen}"
-        )
-
-    missing = [l for l in loops if l not in bounds]
-    if missing:
-        raise ParseError(f"no bounds given for loops {missing}")
-    position = {l: i for i, l in enumerate(loops)}
-
-    arrays = tuple(
-        ArrayRef(
-            name=arr_name,
-            support=tuple(sorted(position[ident] for ident in indices)),
-            is_output=is_out,
-        )
-        for arr_name, indices, is_out in accesses
+    return nest_from_statement(
+        parse_statement(statement), bounds, name=name, loop_order=loop_order
     )
-    try:
-        return LoopNest(
-            name=name,
-            loops=tuple(loops),
-            bounds=tuple(int(bounds[l]) for l in loops),
-            arrays=arrays,
-        )
-    except LoopNestError as exc:
-        raise ParseError(str(exc)) from exc

@@ -1,0 +1,49 @@
+"""``repro.frontend`` — program-level ingestion onto the plan/tune stack.
+
+Everything below the façade speaks one projective :class:`~repro.core.
+loopnest.LoopNest` at a time.  This package is the compiler-facing front
+door the paper's §7 sketches, lowering three richer input shapes onto
+that vocabulary:
+
+* **Einsum strings** (:mod:`.einsum`): ``"ik,kj->ij"`` and its batched /
+  multi-operand forms become `LoopNest`s bit-identical to the hand-built
+  library twins, so they share canonical structures (and plan-cache
+  entries) with every query that came before.
+* **Programs** (:mod:`.program`): a sequence of update statements with
+  shared loops and bounds — the imperfectly nested shape real code has.
+  The band splitter (:mod:`.bands`) decomposes a program into maximal
+  perfect projective bands (Tiramisu-style) that plan independently
+  through one shared :class:`~repro.plan.Planner`.
+* **Stencils** (:mod:`.stencil`): constant-offset accesses like
+  ``A[t-1,i+1]`` are halo-normalized to projective bands (the offsets
+  only pad the footprint by an additive O(halo) constant, which the
+  asymptotic communication analysis absorbs), enabling jacobi/heat
+  time-tiled scenario families.
+
+:func:`~repro.frontend.pipeline.plan_program` drives the whole flow and
+is what ``Session.program`` / ``/v1/program`` / ``repro-tile program``
+serve.  Grammar and policy live in ``docs/frontend.md``.
+"""
+
+from .bands import Band, split_bands
+from .einsum import EinsumSpec, FrontendError, einsum_nest, parse_einsum
+from .pipeline import BandPlan, ProgramReport, plan_program
+from .program import Program, Statement, parse_program
+from .stencil import halo_extents, normalize_accesses
+
+__all__ = [
+    "Band",
+    "BandPlan",
+    "EinsumSpec",
+    "FrontendError",
+    "Program",
+    "ProgramReport",
+    "Statement",
+    "einsum_nest",
+    "halo_extents",
+    "normalize_accesses",
+    "parse_einsum",
+    "parse_program",
+    "plan_program",
+    "split_bands",
+]

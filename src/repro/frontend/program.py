@@ -1,0 +1,147 @@
+"""The program IR: a sequence of update statements over shared loops.
+
+A :class:`Program` is the imperfectly nested shape real code has —
+several statements, each its own perfect nest over a subset of the
+program's loops, executed in order::
+
+    S[i,j]  = A[i,j]                  # depth-2 band
+    C[i,k] += S[i,j] * W[j,k]         # depth-3 band (same i, j; new k)
+
+Statements use the :mod:`repro.core.parser` grammar with constant
+offsets admitted (``A[t-1,i+1]`` — see :mod:`.stencil`), one shared
+``bounds`` mapping, and ``;`` or newline separators in text form.  The
+JSON form mirrors the wire schema of :class:`repro.api` requests::
+
+    {"name": "pipeline",
+     "bounds": {"i": 64, "j": 64, "k": 64},
+     "statements": ["S[i,j] = A[i,j]", "C[i,k] += S[i,j] * W[j,k]"]}
+
+Parsing only tokenizes and checks bounds coverage; lowering to
+projective bands (splitting, halo normalization, alias renaming) is
+:func:`repro.frontend.bands.split_bands`'s job.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.parser import ParsedStatement, ParseError, parse_statement
+from .einsum import FrontendError
+
+__all__ = ["Statement", "Program", "parse_program"]
+
+#: Statement separators in text form: newlines and semicolons.
+_SEPARATORS = re.compile(r"[;\n]")
+
+#: Guard: a program is a handful of statements, not a whole translation unit.
+MAX_PROGRAM_STATEMENTS = 64
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One parsed update statement of a program (offsets preserved)."""
+
+    text: str
+    parsed: ParsedStatement
+
+    def loop_names(self) -> tuple[str, ...]:
+        return self.parsed.loop_names()
+
+
+@dataclass(frozen=True)
+class Program:
+    """An ordered statement sequence with one shared bounds mapping."""
+
+    name: str
+    statements: tuple[Statement, ...]
+    #: Sorted (loop, extent) pairs — a hashable mapping.
+    bounds: tuple[tuple[str, int], ...]
+
+    @property
+    def bounds_map(self) -> dict[str, int]:
+        return dict(self.bounds)
+
+    def loop_names(self) -> tuple[str, ...]:
+        """Program loops in first-appearance order across statements."""
+        seen: list[str] = []
+        for stmt in self.statements:
+            for ident in stmt.loop_names():
+                if ident not in seen:
+                    seen.append(ident)
+        return tuple(seen)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "bounds": {loop: extent for loop, extent in self.bounds},
+            "statements": [stmt.text for stmt in self.statements],
+        }
+
+    @classmethod
+    def from_json(cls, blob: Mapping, where: str = "program") -> "Program":
+        if not isinstance(blob, Mapping):
+            raise FrontendError(f"{where}: expected an object, got {type(blob).__name__}")
+        statements = blob.get("statements")
+        if not isinstance(statements, Sequence) or isinstance(statements, (str, bytes)):
+            raise FrontendError(f"{where}: 'statements' must be a list of strings")
+        bounds = blob.get("bounds")
+        if not isinstance(bounds, Mapping):
+            raise FrontendError(f"{where}: 'bounds' must be an object of loop extents")
+        return parse_program(
+            [str(s) for s in statements],
+            {str(k): int(v) for k, v in bounds.items()},
+            name=str(blob.get("name", "program")),
+        )
+
+
+def parse_program(
+    statements: Sequence[str] | str,
+    bounds: Mapping[str, int],
+    name: str = "program",
+) -> Program:
+    """Parse statements (list, or ``;``/newline-separated text) + bounds.
+
+    Every loop used by any statement must have a bound; blank entries
+    between separators are skipped.  Raises :class:`FrontendError` (or
+    a pointered :class:`~repro.core.parser.ParseError` for statement
+    syntax) on malformed input.
+    """
+    if isinstance(statements, str):
+        statements = [s for s in _SEPARATORS.split(statements)]
+    texts = [s.strip() for s in statements if s and s.strip()]
+    if not texts:
+        raise FrontendError(
+            "empty program; expected at least one statement like "
+            "'C[i,j] += A[i,k] * B[k,j]'"
+        )
+    if len(texts) > MAX_PROGRAM_STATEMENTS:
+        raise FrontendError(
+            f"program of {len(texts)} statements exceeds the "
+            f"{MAX_PROGRAM_STATEMENTS}-statement guard"
+        )
+    parsed_statements = []
+    for idx, text in enumerate(texts):
+        try:
+            parsed = parse_statement(text, allow_offsets=True)
+        except ParseError as exc:
+            raise ParseError(f"statement {idx}: {exc}") from exc
+        parsed_statements.append(Statement(text=text, parsed=parsed))
+
+    used: list[str] = []
+    for stmt in parsed_statements:
+        for ident in stmt.loop_names():
+            if ident not in used:
+                used.append(ident)
+    missing = [loop for loop in used if loop not in bounds]
+    if missing:
+        raise FrontendError(f"program {name!r}: no bounds given for loops {missing}")
+    for loop in used:
+        if int(bounds[loop]) < 1:
+            raise FrontendError(
+                f"program {name!r}: bound for loop {loop!r} must be >= 1, "
+                f"got {bounds[loop]}"
+            )
+    kept = tuple(sorted((loop, int(bounds[loop])) for loop in used))
+    return Program(name=str(name), statements=tuple(parsed_statements), bounds=kept)

@@ -1,0 +1,112 @@
+"""Halo normalization: constant-offset (stencil) accesses -> projective.
+
+A stencil statement like ``A[t,i] = A[t-1,i-1] + A[t-1,i] + A[t-1,i+1]``
+is not projective slot by slot, but every access is a loop name plus a
+*constant* offset.  Shifting each access back onto its loops only grows
+the data an iteration tile touches by an additive halo of ``O(offset)``
+elements per face — a model constant the asymptotic communication
+analysis absorbs (exactly like the §6 syrk aliasing argument, where the
+footprint is overestimated by at most a constant factor).  So the
+normalization is:
+
+1. **Drop the offsets** — ``A[t-1,i+1]`` reads the same array through
+   the same projection ``phi`` as ``A[t,i]``; its support is the loop
+   set ``{t, i}`` either way.
+2. **Record the halo** — per array, the maximum ``|offset|`` seen per
+   index slot, reported so consumers can pad allocations/tiles.
+3. **Deduplicate** — offset-shifted reads of one array collapse to a
+   single :class:`~repro.core.loopnest.ArrayRef` (a write and a read of
+   the same projection merge into one ``is_output=True`` reference,
+   which is how time-tiled updates in place come out).
+4. **Rename true aliases** — the same array accessed through two
+   *different* index tuples (e.g. ``A[i,j]`` and ``A[j,i]``) is two
+   distinct projections; the later ones are renamed ``A__2``, ``A__3``,
+   ... (the library's hand-built syrk calls these ``A``/``A_t``), and
+   the renames are reported.
+
+Affine combinations of loops (``A[i+j]``, ``A[2i]``) stay rejected at
+tokenization — they change the projection itself, not just its
+footprint, and the paper's machinery covers the projective case only.
+"""
+
+from __future__ import annotations
+
+from ..core.parser import Access, ParsedStatement
+
+__all__ = ["halo_extents", "normalize_accesses"]
+
+
+def halo_extents(parsed: ParsedStatement) -> dict[str, tuple[int, ...]]:
+    """Per-array halo: max ``|offset|`` per index slot across accesses.
+
+    Only arrays with at least one nonzero offset appear; slots follow
+    the array's (first-seen) index tuple.
+    """
+    halo: dict[str, list[int]] = {}
+    order: dict[str, tuple[str, ...]] = {}
+    for acc in parsed.accesses:
+        if acc.array not in order:
+            order[acc.array] = acc.indices
+            halo[acc.array] = [0] * len(acc.indices)
+        if order[acc.array] != acc.indices:
+            continue  # a distinct projection; its halo is tracked post-rename
+        for slot, offset in enumerate(acc.offsets):
+            halo[acc.array][slot] = max(halo[acc.array][slot], abs(offset))
+    return {
+        name: tuple(extents)
+        for name, extents in halo.items()
+        if any(extents)
+    }
+
+
+def normalize_accesses(
+    accesses: tuple[Access, ...],
+) -> tuple[
+    tuple[tuple[str, tuple[str, ...], bool], ...],
+    dict[str, str],
+    dict[str, tuple[int, ...]],
+]:
+    """Offset-free, alias-renamed access list for one or more statements.
+
+    Returns ``(normalized, renames, halo)``:
+
+    * ``normalized`` — ordered ``(array_name, index_tuple, is_output)``
+      triples with unique array names;
+    * ``renames`` — synthesized alias name -> source array
+      (``{"A__2": "A"}``);
+    * ``halo`` — resolved array name -> max ``|offset|`` per index slot,
+      only for arrays that actually carried offsets.
+
+    Deduplication merges accesses with identical ``(array, indices)``
+    (``is_output`` is OR-ed: an array both written and read is one
+    output reference).  The same array with a *different* index tuple is
+    a distinct projection and gets a numbered alias.
+    """
+    by_name: dict[str, dict[tuple[str, ...], int]] = {}
+    normalized: list[list] = []  # [resolved_name, indices, is_output]
+    renames: dict[str, str] = {}
+    halos: list[list[int]] = []
+    for acc in accesses:
+        variants = by_name.setdefault(acc.array, {})
+        slot = variants.get(acc.indices)
+        if slot is None:
+            resolved = acc.array if not variants else f"{acc.array}__{len(variants) + 1}"
+            if resolved != acc.array:
+                renames[resolved] = acc.array
+            slot = len(normalized)
+            variants[acc.indices] = slot
+            normalized.append([resolved, acc.indices, acc.is_output])
+            halos.append([0] * len(acc.indices))
+        else:
+            normalized[slot][2] = normalized[slot][2] or acc.is_output
+        for i, offset in enumerate(acc.offsets):
+            halos[slot][i] = max(halos[slot][i], abs(offset))
+    return (
+        tuple((name, indices, bool(out)) for name, indices, out in normalized),
+        renames,
+        {
+            entry[0]: tuple(extents)
+            for entry, extents in zip(normalized, halos)
+            if any(extents)
+        },
+    )

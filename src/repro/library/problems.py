@@ -7,13 +7,26 @@ n-body interactions) and several additional projective workloads
 (MTTKRP, TTM, batched matmul, database-join aggregation) used by the
 benchmark suite.  Each constructor returns a validated
 :class:`~repro.core.loopnest.LoopNest`.
+
+Two scenario families are built *through* :mod:`repro.frontend` rather
+than by hand, as living proof the frontend lowers onto the same
+vocabulary: the einsum twins (``einsum_matmul`` et al., bit-identical
+to their hand-built library counterparts — same names, loops and
+supports — so both spellings share one canonical structure and
+plan-cache entry) and the time-tiled stencils (``jacobi1d_time``,
+``jacobi2d``, ``heat3d``), whose constant-offset accesses are
+halo-normalized to projective bands.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Mapping, Sequence
 
 from ..core.loopnest import ArrayRef, LoopNest
+from ..frontend.bands import split_bands
+from ..frontend.einsum import einsum_nest
+from ..frontend.program import parse_program
 
 __all__ = [
     "matmul",
@@ -31,6 +44,12 @@ __all__ = [
     "syrk",
     "tucker_core",
     "attention_scores",
+    "einsum_matmul",
+    "einsum_mttkrp",
+    "einsum_batched_matmul",
+    "jacobi1d_time",
+    "jacobi2d",
+    "heat3d",
     "catalog",
     "build_problem",
     "CATALOG_BUILDERS",
@@ -315,6 +334,92 @@ def join_aggregate(L1: int, L2: int) -> LoopNest:
     )
 
 
+# -- frontend-built scenarios ------------------------------------------------
+
+
+def einsum_matmul(L1: int, L2: int, L3: int) -> LoopNest:
+    """§6.1 matmul ingested from its einsum string ``"ik,kj->ij"``.
+
+    Bit-identical to :func:`matmul` (same name, loops, supports), so
+    both spellings share one canonical structure and plan-cache entry —
+    the frontend's golden equivalence scenario.
+    """
+    return einsum_nest(
+        "ik,kj->ij",
+        {"i": L1, "k": L2, "j": L3},
+        name="matmul",
+        operands=("A", "B"),
+        output="C",
+        loop_names={"i": "x1", "k": "x2", "j": "x3"},
+    )
+
+
+def einsum_mttkrp(I: int, J: int, K: int, R: int) -> LoopNest:
+    """MTTKRP ingested from ``"ijk,jr,kr->ir"`` — bit-identical to :func:`mttkrp`."""
+    return einsum_nest(
+        "ijk,jr,kr->ir",
+        {"i": I, "j": J, "k": K, "r": R},
+        name="mttkrp",
+        operands=("T", "B", "C"),
+        output="A",
+    )
+
+
+def einsum_batched_matmul(B: int, L1: int, L2: int, L3: int) -> LoopNest:
+    """Batched matmul from ``"bij,bjk->bik"`` — bit-identical to :func:`batched_matmul`."""
+    return einsum_nest(
+        "bij,bjk->bik",
+        {"b": B, "i": L1, "j": L2, "k": L3},
+        name="batched_matmul",
+        operands=("A", "B_"),
+        output="C",
+    )
+
+
+def _stencil_nest(name: str, statement: str, bounds: Mapping[str, int]) -> LoopNest:
+    """Build a single-band stencil nest through the frontend pipeline."""
+    program = parse_program(statement, bounds, name=name)
+    (band,) = split_bands(program)
+    return replace(band.nest, name=name)
+
+
+def jacobi1d_time(T: int, N: int) -> LoopNest:
+    """Time-tiled 1-D Jacobi: ``A[t,i] = sum of A[t-1, i +/- 1] + F[i]``.
+
+    The in-place write and the offset reads all project ``A`` through
+    the same ``(t, i)`` support, so halo normalization merges them into
+    one output reference; the forcing term ``F`` keeps the nest's
+    loop-coverage honest.  Tiling the ``t`` loop alongside ``i`` is the
+    classical time-tiling transformation, priced by the same Theorem.
+    """
+    return _stencil_nest(
+        "jacobi1d_time",
+        "A[t,i] = A[t-1,i-1] + A[t-1,i] + A[t-1,i+1] + F[i]",
+        {"t": T, "i": N},
+    )
+
+
+def jacobi2d(T: int, N1: int, N2: int) -> LoopNest:
+    """5-point 2-D Jacobi sweep over ``T`` time steps (halo-normalized)."""
+    return _stencil_nest(
+        "jacobi2d",
+        "A[t,i,j] = A[t-1,i,j] + A[t-1,i-1,j] + A[t-1,i+1,j]"
+        " + A[t-1,i,j-1] + A[t-1,i,j+1] + F[i,j]",
+        {"t": T, "i": N1, "j": N2},
+    )
+
+
+def heat3d(T: int, N1: int, N2: int, N3: int) -> LoopNest:
+    """7-point 3-D heat equation over ``T`` time steps (halo-normalized)."""
+    return _stencil_nest(
+        "heat3d",
+        "A[t,i,j,k] = A[t-1,i,j,k] + A[t-1,i-1,j,k] + A[t-1,i+1,j,k]"
+        " + A[t-1,i,j-1,k] + A[t-1,i,j+1,k] + A[t-1,i,j,k-1] + A[t-1,i,j,k+1]"
+        " + F[i,j,k]",
+        {"t": T, "i": N1, "j": N2, "k": N3},
+    )
+
+
 #: name -> (builder, default arguments) used by the CLI, tests, benches.
 CATALOG_BUILDERS: dict[str, tuple] = {
     "matmul": (matmul, (512, 512, 512)),
@@ -332,6 +437,12 @@ CATALOG_BUILDERS: dict[str, tuple] = {
     "syrk": (syrk, (512, 64)),
     "tucker_core": (tucker_core, (64, 64, 64, 8, 8, 8)),
     "attention_scores": (attention_scores, (8, 12, 512, 512, 64)),
+    "einsum_matmul": (einsum_matmul, (512, 512, 512)),
+    "einsum_mttkrp": (einsum_mttkrp, (128, 128, 128, 32)),
+    "einsum_batched_matmul": (einsum_batched_matmul, (16, 128, 128, 128)),
+    "jacobi1d_time": (jacobi1d_time, (64, 4096)),
+    "jacobi2d": (jacobi2d, (16, 256, 256)),
+    "heat3d": (heat3d, (8, 64, 64, 64)),
 }
 
 

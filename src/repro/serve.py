@@ -15,6 +15,7 @@ HTTP, with zero dependencies beyond the standard library:
 ``/v1/simulate``      POST    one :class:`~repro.api.SimulateRequest`
 ``/v1/tune``          POST    one :class:`~repro.api.TuneRequest`
 ``/v1/hierarchy``     POST    one :class:`~repro.api.HierarchyRequest`
+``/v1/program``       POST    one :class:`~repro.api.ProgramRequest`
 ``/v1/distributed``   POST    one :class:`~repro.api.DistributedRequest`
 ====================  ======  =============================================
 
@@ -93,6 +94,7 @@ from .api import (
 from .api.requests import (
     DistributedRequest,
     HierarchyRequest,
+    ProgramRequest,
     SimulateRequest,
     TuneRequest,
 )
@@ -159,7 +161,14 @@ _REASONS = {
 #: Routes answered from the response cache (single-Result 200 bodies;
 #: batch/sweep envelopes and health are excluded by construction).
 _CACHEABLE_ROUTES = frozenset(
-    {"/v1/analyze", "/v1/simulate", "/v1/tune", "/v1/hierarchy", "/v1/distributed"}
+    {
+        "/v1/analyze",
+        "/v1/simulate",
+        "/v1/tune",
+        "/v1/hierarchy",
+        "/v1/program",
+        "/v1/distributed",
+    }
 )
 
 
@@ -277,6 +286,10 @@ class ServiceServer:
         self._response_misses = 0
         self._coalesced = 0
         self._requests_served = 0
+        #: Per-route served-request counts (event-loop confined), so
+        #: health shows every kind — frontend programs included —
+        #: counted exactly like the rest.
+        self._route_counts: dict[str, int] = {}
         #: In-flight coalescing map (event-loop confined): key -> Future.
         self._pending: dict[tuple, asyncio.Future] = {}
         self._client_tasks: set[asyncio.Task] = set()
@@ -586,7 +599,7 @@ class ServiceServer:
                     "cache_hit": True,
                     "response_cache": True,
                 }
-                self._requests_served += 1
+                self._count_served(route)
                 return 200, _splice_envelope(kind, payload_json, meta), None
         if key is not None:
             pending = self._pending.get(key)
@@ -600,7 +613,7 @@ class ServiceServer:
                     raise
                 except Exception:
                     return await self._run_guarded(loop, route, body)
-                self._requests_served += 1
+                self._count_served(route)
                 return status, payload, headers
             fut: asyncio.Future = loop.create_future()
             self._pending[key] = fut
@@ -625,7 +638,7 @@ class ServiceServer:
             and route in _CACHEABLE_ROUTES
         ):
             self._response_cache_put(key, cache_entry)
-        self._requests_served += 1
+        self._count_served(route)
         return status, payload, headers
 
     async def _run_guarded(
@@ -635,8 +648,13 @@ class ServiceServer:
         status, payload, headers, _ = await loop.run_in_executor(
             self._executor, self._handle_request, route, body
         )
-        self._requests_served += 1
+        self._count_served(route)
         return status, payload, headers
+
+    def _count_served(self, route: str) -> None:
+        """Tally one served request, total and per route (event loop only)."""
+        self._requests_served += 1
+        self._route_counts[route] = self._route_counts.get(route, 0) + 1
 
     # -- response cache -------------------------------------------------------
 
@@ -784,6 +802,7 @@ class ServiceServer:
             "response_cache": response_cache,
             "coalesced": self._coalesced,
             "requests_served": self._requests_served,
+            "requests_by_route": dict(sorted(self._route_counts.items())),
             "inflight": self.inflight,
             "draining": self.draining,
         }
@@ -875,6 +894,7 @@ class ServiceServer:
         "/v1/simulate": "_post_simulate",
         "/v1/tune": "_post_tune",
         "/v1/hierarchy": "_post_hierarchy",
+        "/v1/program": "_post_program",
         "/v1/distributed": "_post_distributed",
     }
 
@@ -936,6 +956,11 @@ class ServiceServer:
         request = HierarchyRequest.from_json(blob, "hierarchy")
         # Serial candidate evaluation, same reason as tune.
         return _result_response(self.session.hierarchy(request, workers=0))
+
+    def _post_program(self, blob: dict) -> tuple[int, dict]:
+        request = ProgramRequest.from_json(blob, "program")
+        # Serial band tuning, same reason as tune.
+        return _result_response(self.session.program(request, workers=0))
 
     def _post_distributed(self, blob: dict) -> tuple[int, dict]:
         request = DistributedRequest.from_json(blob, "distributed")

@@ -1,0 +1,492 @@
+"""Frontend ingestion: einsum strings, programs, bands, stencils.
+
+The tentpole contracts, pinned here:
+
+* **Twin identity** — einsum-ingested matmul/MTTKRP/batched-matmul are
+  *bit-identical* (``==``, and ``to_json`` equal) to their hand-built
+  library counterparts, hence share one canonical structure and one
+  plan-cache entry.
+* **Band decomposition** — an imperfect program splits into maximal
+  perfect projective bands: consecutive same-loop-set statements fuse,
+  loop-set changes split, and a >=3-statement program with two
+  structurally identical bands shows >=1 warm cross-band cache hit in
+  the planner stats.
+* **Halo normalization** — constant-offset stencil accesses lower to
+  projective bands (offsets recorded as halo, same-projection write +
+  reads merged into one output ref, true aliases renamed), and the
+  batched trace engine agrees with the reference engine on the result.
+* **Pointered errors** — statement syntax errors carry a caret under
+  the offending character.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import ProgramRequest, RequestError, Session
+from repro.core.canonical import canonicalize
+from repro.core.parser import ParseError, parse_statement
+from repro.frontend import (
+    FrontendError,
+    einsum_nest,
+    halo_extents,
+    normalize_accesses,
+    parse_einsum,
+    parse_program,
+    plan_program,
+    split_bands,
+)
+from repro.library.problems import build_problem
+from repro.machine.model import MachineModel
+from repro.plan import Planner
+from repro.simulate.trace_sim import run_trace_simulation
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestEinsumParsing:
+    def test_matmul_spec(self):
+        spec = parse_einsum("ik,kj->ij")
+        assert spec.operand_indices == (("i", "k"), ("k", "j"))
+        assert spec.output_indices == ("i", "j")
+        assert spec.operand_names == ("A", "B")
+        assert spec.output_name == "Out"
+        assert spec.loop_order() == ("i", "k", "j")  # operands first
+
+    def test_spaced_multichar_indices(self):
+        spec = parse_einsum("batch row, batch col -> row col")
+        assert spec.operand_indices == (("batch", "row"), ("batch", "col"))
+        assert spec.output_indices == ("row", "col")
+
+    def test_statement_rendering(self):
+        spec = parse_einsum("ik,kj->ij", operands=("A", "B"), output="C")
+        assert spec.statement() == "C[i,j] += A[i,k] * B[k,j]"
+
+    def test_rejects_implicit_output(self):
+        with pytest.raises(FrontendError, match="no '->'"):
+            parse_einsum("ik,kj")
+
+    def test_rejects_double_arrow(self):
+        with pytest.raises(FrontendError, match="more than one"):
+            parse_einsum("ik->kj->ij")
+
+    def test_rejects_repeated_index(self):
+        # A trace/diagonal is not a projective access.
+        with pytest.raises(FrontendError, match="projective"):
+            parse_einsum("ii->i")
+
+    def test_rejects_orphan_output_index(self):
+        with pytest.raises(FrontendError, match="no operand"):
+            parse_einsum("ik,kj->iz")
+
+    def test_rejects_duplicate_array_names(self):
+        with pytest.raises(FrontendError, match="distinct"):
+            parse_einsum("ik,kj->ij", operands=("A", "A"))
+
+    def test_rejects_missing_sizes(self):
+        with pytest.raises(FrontendError, match="sizes"):
+            einsum_nest("ik,kj->ij", {"i": 4, "k": 4})
+
+    def test_rejects_unused_loop_names(self):
+        with pytest.raises(FrontendError, match="unused"):
+            einsum_nest("ik,kj->ij", {"i": 4, "k": 4, "j": 4}, loop_names={"z": "x"})
+
+
+class TestEinsumTwins:
+    """Einsum ingestion reproduces the hand-built library nests bit for bit."""
+
+    TWINS = {
+        "matmul": dict(
+            spec="ik,kj->ij",
+            sizes={"i": 512, "k": 512, "j": 512},
+            operands=("A", "B"),
+            output="C",
+            loop_names={"i": "x1", "k": "x2", "j": "x3"},
+        ),
+        "mttkrp": dict(
+            spec="ijk,jr,kr->ir",
+            sizes={"i": 128, "j": 128, "k": 128, "r": 32},
+            operands=("T", "B", "C"),
+            output="A",
+        ),
+        "batched_matmul": dict(
+            spec="bij,bjk->bik",
+            sizes={"b": 16, "i": 128, "j": 128, "k": 128},
+            operands=("A", "B_"),
+            output="C",
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(TWINS))
+    def test_bit_identical_to_library(self, name):
+        recipe = self.TWINS[name]
+        twin = einsum_nest(
+            recipe["spec"],
+            recipe["sizes"],
+            name=name,
+            operands=recipe["operands"],
+            output=recipe["output"],
+            loop_names=recipe.get("loop_names"),
+        )
+        library = build_problem(name)
+        assert twin == library
+        assert twin.to_json() == library.to_json()
+
+    @pytest.mark.parametrize("name", sorted(TWINS))
+    def test_catalog_einsum_entries_match(self, name):
+        assert build_problem(f"einsum_{name}") == build_problem(name)
+
+    def test_twins_share_plan_cache_entry(self):
+        planner = Planner()
+        library = planner.plan(build_problem("matmul", (64, 64, 64)), 1024)
+        twin = planner.plan(
+            einsum_nest(
+                "ik,kj->ij", {"i": 64, "k": 64, "j": 64}, name="matmul",
+                operands=("A", "B"), output="C",
+                loop_names={"i": "x1", "k": "x2", "j": "x3"},
+            ),
+            1024,
+        )
+        assert library.cache_hit is False and twin.cache_hit is True
+        assert twin.canonical_key == library.canonical_key
+        plan_json = twin.to_json()
+        plan_json.pop("cache_hit")
+        expected = library.to_json()
+        expected.pop("cache_hit")
+        assert plan_json == expected  # byte-identical plan payload
+
+
+@st.composite
+def einsum_specs(draw):
+    """Random projective einsum specs over a small index alphabet."""
+    alphabet = "ijklmn"
+    num_operands = draw(st.integers(1, 3))
+    operands = []
+    for _ in range(num_operands):
+        indices = draw(
+            st.lists(st.sampled_from(alphabet), min_size=1, max_size=3, unique=True)
+        )
+        operands.append("".join(indices))
+    used = sorted({ch for op in operands for ch in op})
+    out_count = draw(st.integers(0, len(used)))
+    output = "".join(draw(st.permutations(used))[:out_count])
+    sizes = {ch: draw(st.integers(1, 32)) for ch in used}
+    return ",".join(operands) + "->" + output, sizes
+
+
+class TestEinsumProperties:
+    @SETTINGS
+    @given(spec_and_sizes=einsum_specs())
+    def test_round_trip_and_canonical_stability(self, spec_and_sizes):
+        spec, sizes = spec_and_sizes
+        nest = einsum_nest(spec, sizes)
+        # Loops cover exactly the used indices, in operand-first order.
+        parsed = parse_einsum(spec)
+        assert nest.loops == parsed.loop_order()
+        assert nest.bounds == tuple(sizes[i] for i in parsed.loop_order())
+        # Re-ingesting the rendered statement form reproduces the same
+        # canonical structure (the program path and the einsum path agree).
+        program = parse_program([parsed.statement()], sizes, name="roundtrip")
+        (band,) = split_bands(program)
+        assert canonicalize(band.nest).form.key() == canonicalize(nest).form.key()
+
+    @SETTINGS
+    @given(spec_and_sizes=einsum_specs())
+    def test_loop_renames_preserve_canonical_key(self, spec_and_sizes):
+        spec, sizes = spec_and_sizes
+        nest = einsum_nest(spec, sizes)
+        renamed = einsum_nest(
+            spec, sizes, loop_names={ch: f"x_{ch}" for ch in sizes}
+        )
+        assert canonicalize(renamed).form.key() == canonicalize(nest).form.key()
+
+
+class TestParserCarets:
+    def test_affine_index_points_at_expression(self):
+        with pytest.raises(ParseError) as err:
+            parse_statement("C[i,k] += A[i+j]")
+        message = str(err.value)
+        lines = message.splitlines()
+        assert len(lines) == 3  # message, statement, caret line
+        assert lines[2].rstrip().endswith("^")
+        assert lines[1][lines[2].index("^")] == "i"  # caret under 'i+j'
+
+    def test_offset_rejected_without_flag_but_allowed_with(self):
+        with pytest.raises(ParseError, match="projective"):
+            parse_statement("A[t,i] = A[t-1,i]")
+        parsed = parse_statement("A[t,i] = A[t-1,i]", allow_offsets=True)
+        assert parsed.inputs[0].offsets == (-1, 0)
+
+    def test_blank_statement(self):
+        with pytest.raises(ParseError, match="empty statement"):
+            parse_statement("   ")
+
+
+class TestProgramParsing:
+    def test_text_and_list_forms_agree(self):
+        bounds = {"i": 8, "j": 8}
+        from_text = parse_program("S[i,j] = A[i,j]\n T[i,j] = S[i,j] * S[i,j]", bounds)
+        from_list = parse_program(["S[i,j] = A[i,j]", "T[i,j] = S[i,j] * S[i,j]"], bounds)
+        assert [s.text for s in from_text.statements] == [
+            s.text for s in from_list.statements
+        ]
+
+    def test_unused_bounds_dropped_and_sorted(self):
+        program = parse_program("C[i] += A[i,j] * B[j]", {"j": 4, "i": 8, "z": 9})
+        assert program.bounds == (("i", 8), ("j", 4))
+
+    def test_missing_bound_rejected(self):
+        with pytest.raises(FrontendError, match="no bounds"):
+            parse_program("C[i] += A[i,j] * B[j]", {"i": 4})
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(FrontendError, match="empty program"):
+            parse_program(" ; ;\n", {"i": 4})
+
+    def test_statement_errors_carry_index_and_caret(self):
+        with pytest.raises(ParseError, match=r"statement 1:.*\n.*\n\s*\^"):
+            parse_program("C[i] += A[i]; D[i] += A[i+j]", {"i": 4, "j": 4})
+
+    def test_json_round_trip(self):
+        program = parse_program(
+            "S[i,j] = A[i,j]; C[i,k] += S[i,j] * W[j,k]",
+            {"i": 8, "j": 8, "k": 8},
+            name="pipe",
+        )
+        from repro.frontend import Program
+
+        assert Program.from_json(program.to_json()) == program
+
+
+class TestBandSplitting:
+    def test_same_loop_set_fuses(self):
+        program = parse_program(
+            "S[i,j] = A[i,j] + B[i,j]; T[i,j] = S[i,j] * A[i,j]",
+            {"i": 8, "j": 8},
+        )
+        (band,) = split_bands(program)
+        assert band.statement_indices == (0, 1)
+        # S is written by statement 0 and read by statement 1: one output ref.
+        s_ref = band.nest.array("S")
+        assert s_ref.is_output
+        assert band.nest.array("T").is_output
+
+    def test_loop_set_change_splits(self):
+        program = parse_program(
+            "S[i,j] = A[i,j]; C[i,k] += S[i,j] * W[j,k]; D[i,k] = C[i,k]",
+            {"i": 8, "j": 8, "k": 8},
+            name="pipe",
+        )
+        bands = split_bands(program)
+        assert [b.statement_indices for b in bands] == [(0,), (1,), (2,)]
+        assert [b.nest.name for b in bands] == [
+            "pipe.band0", "pipe.band1", "pipe.band2",
+        ]
+        assert bands[1].nest.loops == ("i", "k", "j")  # first-appearance order
+
+    def test_cross_statement_alias_renamed(self):
+        program = parse_program(
+            "S[i,j] = A[i,j]; T[i,j] = S[i,j] + A[j,i]",
+            {"i": 8, "j": 8},
+        )
+        (band,) = split_bands(program)
+        assert band.renames_map == {"A__2": "A"}
+        assert band.nest.array("A").support == (0, 1)
+        assert band.nest.array("A__2").support == (0, 1)
+
+    def test_single_statement_band_matches_parse_nest(self):
+        from repro.core.parser import parse_nest
+
+        bounds = {"i": 8, "j": 8, "k": 8}
+        program = parse_program("C[i,k] += A[i,j] * B[j,k]", bounds, name="mm")
+        (band,) = split_bands(program)
+        direct = parse_nest("C[i,k] += A[i,j] * B[j,k]", bounds, name="mm.band0")
+        assert band.nest == direct
+
+
+class TestStencilNormalization:
+    def test_halo_extents(self):
+        parsed = parse_statement(
+            "A[t,i] = A[t-1,i-2] + A[t-1,i] + B[i]", allow_offsets=True
+        )
+        assert halo_extents(parsed) == {"A": (1, 2)}
+
+    def test_normalize_merges_write_and_offset_reads(self):
+        parsed = parse_statement(
+            "A[t,i] = A[t-1,i-1] + A[t-1,i+1] + F[i]", allow_offsets=True
+        )
+        normalized, renames, halo = normalize_accesses(parsed.accesses)
+        assert normalized == (
+            ("A", ("t", "i"), True),
+            ("F", ("i",), False),
+        )
+        assert renames == {}
+        assert halo == {"A": (1, 1)}
+
+    def test_affine_still_rejected(self):
+        with pytest.raises(ParseError, match="projective"):
+            parse_statement("A[i] = B[2i]", allow_offsets=True)
+
+    @pytest.mark.parametrize(
+        "name,sizes",
+        [("jacobi1d_time", (4, 12)), ("jacobi2d", (3, 6, 6)), ("heat3d", (2, 5, 5, 5))],
+    )
+    def test_stencil_differential_batched_vs_reference(self, name, sizes):
+        """The halo-normalized stencil bands simulate identically on
+        the batched engine and the reference single-step simulator."""
+        nest = build_problem(name, sizes)
+        planner = Planner()
+        plan = planner.plan(nest, 64, "per-array")
+        machine = MachineModel(cache_words=64)
+        batched = run_trace_simulation(nest, machine, tile=plan.tile, engine="batched")
+        reference = run_trace_simulation(
+            nest, machine, tile=plan.tile, engine="reference"
+        )
+        assert batched.total_words == reference.total_words
+        assert batched.loads == reference.loads
+        assert batched.stores == reference.stores
+
+    def test_stencil_traffic_respects_bound(self):
+        nest = build_problem("jacobi1d_time", (6, 24))
+        planner = Planner()
+        plan = planner.plan(nest, 32, "per-array")
+        machine = MachineModel(cache_words=32)
+        measured = run_trace_simulation(nest, machine, tile=plan.tile)
+        assert plan.lower_bound is not None
+        assert measured.total_words >= plan.lower_bound.value
+
+
+class TestPlanProgram:
+    def test_three_statement_program_shares_structure_warm(self):
+        """>=3 statements -> >=2 bands, with a warm cross-band hit
+        visible in both the deterministic payload and the live stats."""
+        program = parse_program(
+            "C[i,j] += A[i,k] * B[k,j]"
+            "; V[i] = C[i,j] + U[j]"
+            "; D[i,j] += C[i,k] * E[k,j]",
+            {"i": 16, "j": 16, "k": 16},
+            name="share",
+        )
+        planner = Planner()
+        report = plan_program(program, 256, planner=planner)
+        assert len(report.bands) >= 2
+        sharing = report.structure_sharing()
+        assert sharing["cross_band_structure_hits"] >= 1
+        assert report.bands[2].shared_with == 0
+        # Band 2 is matmul-shaped like band 0: its query hit the warm cache.
+        stats = planner.stats.as_dict()
+        assert stats["structure_hits"] >= 1
+        assert stats["structure_solves"] == sharing["unique_structures"]
+
+    def test_session_program_meta_reports_planner_delta(self):
+        program_blob = {
+            "program": {
+                "name": "share",
+                "bounds": {"i": 16, "j": 16, "k": 16},
+                "statements": [
+                    "C[i,j] += A[i,k] * B[k,j]",
+                    "V[i] = C[i,j] + U[j]",
+                    "D[i,j] += C[i,k] * E[k,j]",
+                ],
+            },
+            "cache_words": 256,
+        }
+        session = Session(workers=0)
+        cold = session.program(ProgramRequest.from_json(program_blob))
+        assert cold.meta["cache_hit"] is False
+        assert cold.meta["planner_delta"]["structure_hits"] >= 1  # cross-band
+        warm = session.program(ProgramRequest.from_json(program_blob))
+        assert warm.meta["cache_hit"] is True
+        assert warm.meta["planner_delta"]["structure_solves"] == 0
+        assert warm.payload == cold.payload
+
+    def test_aggregate_lower_bound_sums_bands(self):
+        program = parse_program(
+            "S[i,j] = A[i,j]; C[i,k] += S[i,j] * W[j,k]",
+            {"i": 16, "j": 16, "k": 16},
+        )
+        report = plan_program(program, 256, planner=Planner())
+        assert report.aggregate_lower_bound_words == pytest.approx(
+            sum(b.plan.lower_bound.value for b in report.bands)
+        )
+
+    def test_tuned_band_never_worse_than_seed(self):
+        program = parse_program(
+            "A[t,i] = A[t-1,i-1] + A[t-1,i] + A[t-1,i+1] + F[i]",
+            {"t": 6, "i": 24},
+            name="jac",
+        )
+        report = plan_program(program, 32, tune_budget=12, planner=Planner(), workers=0)
+        (band,) = report.bands
+        assert band.tuned is not None
+        assert band.tuned.tuned_traffic_words <= band.tuned.seed_traffic_words
+        assert band.tuned.tuned_ratio >= 1.0
+
+    def test_payload_is_json_round_trippable_via_result(self):
+        program = parse_program(
+            "C[i,k] += A[i,j] * B[j,k]", {"i": 8, "j": 8, "k": 8}
+        )
+        result = Session(workers=0).program(
+            ProgramRequest(program=program, cache_words=64, certificate=True)
+        )
+        assert json.loads(result.to_json_str())["payload"] == result.payload
+
+
+class TestProgramRequestValidation:
+    def test_needs_a_spelling(self):
+        with pytest.raises(RequestError, match="one of"):
+            ProgramRequest.from_json({"cache_words": 64})
+
+    def test_einsum_needs_sizes(self):
+        with pytest.raises(RequestError, match="sizes"):
+            ProgramRequest.from_json({"einsum": "ik,kj->ij", "cache_words": 64})
+
+    def test_cache_words_floor(self):
+        with pytest.raises(RequestError, match=">= 2"):
+            ProgramRequest.from_json(
+                {"einsum": "i->i", "sizes": {"i": 4}, "cache_words": 1}
+            )
+
+    def test_aggregate_floor_names_the_band(self):
+        with pytest.raises(RequestError, match="band0"):
+            ProgramRequest.from_json(
+                {
+                    "statements": ["C[i,k] += A[i,j] * B[j,k]"],
+                    "bounds": {"i": 4, "j": 4, "k": 4},
+                    "cache_words": 2,
+                    "budget": "aggregate",
+                }
+            )
+
+    def test_tune_trace_guard_is_per_band(self):
+        blob = {
+            "statements": [
+                "S[i,j] = A[i,j]",
+                "C[i,k] += S[i,j] * W[j,k]",
+            ],
+            "bounds": {"i": 4096, "j": 4096, "k": 4096},
+            "cache_words": 1024,
+        }
+        ProgramRequest.from_json(blob)  # analytic planning: no trace, fine
+        with pytest.raises(RequestError, match="guard"):
+            ProgramRequest.from_json({**blob, "tune_budget": 4})
+
+    def test_round_trip(self):
+        request = ProgramRequest.from_json(
+            {
+                "program": {
+                    "name": "pipe",
+                    "bounds": {"i": 8, "j": 8},
+                    "statements": ["S[i,j] = A[i,j]"],
+                },
+                "cache_words": 64,
+                "tune_budget": 4,
+            }
+        )
+        assert ProgramRequest.from_json(request.to_json()) == request

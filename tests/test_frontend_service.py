@@ -1,0 +1,252 @@
+"""Program-level serving: one request, three surfaces, one golden payload.
+
+Pins the frontend's service contract:
+
+* **Determinism** — one ``ProgramRequest`` produces one payload,
+  byte-identical across ``Session.program``, ``POST /v1/program`` and
+  ``repro-tile program`` (golden file shared by all three).
+* **Twin identity over the wire** — the einsum catalog scenarios
+  produce analyze payloads byte-identical to their hand-built library
+  counterparts.
+* **Cacheability** — ``/v1/program`` participates in the response
+  cache (the payload is a pure function of the request; live planner
+  telemetry rides in ``meta`` only), and shows up in the per-route
+  health counters.
+"""
+
+import doctest
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.api import ProgramRequest, Session
+from repro.cli import main
+from repro.library.problems import build_problem
+from repro.serve import make_server
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden" / "program_payloads.json").read_text()
+)
+
+SHARE_REQUEST = {
+    "program": {
+        "name": "share",
+        "bounds": {"i": 16, "j": 16, "k": 16},
+        "statements": [
+            "C[i,j] += A[i,k] * B[k,j]",
+            "V[i] = C[i,j] + U[j]",
+            "D[i,j] += C[i,k] * E[k,j]",
+        ],
+    },
+    "cache_words": 256,
+}
+
+SHARE_CLI = [
+    "program",
+    "C[i,j] += A[i,k] * B[k,j]; V[i] = C[i,j] + U[j]; D[i,j] += C[i,k] * E[k,j]",
+    "--bounds", "i=16,j=16,k=16", "--name", "share", "-M", "256", "--workers", "0",
+]
+
+
+@pytest.fixture()
+def service():
+    server = make_server(port=0, session=Session(workers=0), response_cache=64)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _post(base, path, blob):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(blob).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        return resp.status, json.load(resp)
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=30) as resp:
+        return resp.status, json.load(resp)
+
+
+class TestProgramSurfaces:
+    """One request, three surfaces, one golden payload."""
+
+    def test_session_matches_golden(self):
+        result = Session(workers=0).program(ProgramRequest.from_json(SHARE_REQUEST))
+        assert result.kind == "program"
+        assert result.payload == GOLDEN["program_share"]
+        # The acceptance bar: >=3 statements -> >=2 bands with a warm
+        # cross-band structure hit, visible in the payload itself.
+        assert result.payload["num_bands"] >= 2
+        assert result.payload["structure_sharing"]["cross_band_structure_hits"] >= 1
+        assert result.payload["bands"][2]["structure_shared_with_band"] == 0
+
+    def test_http_matches_golden(self, service):
+        status, body = _post(service, "/v1/program", SHARE_REQUEST)
+        assert status == 200
+        assert body["schema_version"] == 1 and body["kind"] == "program"
+        assert body["payload"] == GOLDEN["program_share"]
+
+    def test_cli_matches_golden(self, capsys):
+        assert main(SHARE_CLI) == 0
+        body = json.loads(capsys.readouterr().out.strip())
+        assert body["kind"] == "program"
+        assert body["payload"] == GOLDEN["program_share"]
+
+    def test_einsum_spelling_matches_golden(self, capsys):
+        blob = {
+            "einsum": "ik,kj->ij",
+            "sizes": {"i": 64, "k": 64, "j": 64},
+            "cache_words": 1024,
+        }
+        result = Session(workers=0).program(ProgramRequest.from_json(blob))
+        assert result.payload == GOLDEN["program_einsum_matmul"]
+        assert main([
+            "program", "--einsum", "ik,kj->ij", "--sizes", "i=64,k=64,j=64",
+            "-M", "1024", "--workers", "0",
+        ]) == 0
+        body = json.loads(capsys.readouterr().out.strip())
+        assert body["payload"] == GOLDEN["program_einsum_matmul"]
+
+    def test_stencil_tuned_certificate_golden(self):
+        blob = {
+            "program": {
+                "name": "jacobi",
+                "bounds": {"t": 6, "i": 24},
+                "statements": ["A[t,i] = A[t-1,i-1] + A[t-1,i] + A[t-1,i+1] + F[i]"],
+            },
+            "cache_words": 32,
+            "certificate": True,
+            "tune_budget": 8,
+        }
+        result = Session(workers=0).program(ProgramRequest.from_json(blob))
+        assert result.payload == GOLDEN["program_jacobi_tuned"]
+        (band,) = result.payload["bands"]
+        assert band["halo"] == {"A": [1, 1]}
+        assert band["certificate"] is not None
+        assert band["tuned"]["evaluations_used"] <= 8
+
+    def test_program_file_mode_matches_golden(self, tmp_path, capsys):
+        path = tmp_path / "share.json"
+        path.write_text(json.dumps(SHARE_REQUEST["program"]))
+        assert main([
+            "program", "--file", str(path), "-M", "256", "--workers", "0",
+        ]) == 0
+        body = json.loads(capsys.readouterr().out.strip())
+        assert body["payload"] == GOLDEN["program_share"]
+
+
+class TestEinsumTwinsOverAnalyze:
+    """Einsum catalog scenarios are byte-identical to the library ones."""
+
+    @pytest.mark.parametrize("name", ["matmul", "mttkrp", "batched_matmul"])
+    def test_analyze_payloads_identical(self, name):
+        session = Session(workers=0)
+        library = session.analyze(build_problem(name), cache_words=4096)
+        twin = session.analyze(build_problem(f"einsum_{name}"), cache_words=4096)
+        assert twin.payload == library.payload
+
+    @pytest.mark.parametrize("name", ["matmul", "mttkrp", "batched_matmul"])
+    def test_analyze_http_identical(self, service, name):
+        _, library = _post(
+            service, "/v1/analyze", {"problem": name, "cache_words": 4096}
+        )
+        _, twin = _post(
+            service, "/v1/analyze", {"problem": f"einsum_{name}", "cache_words": 4096}
+        )
+        assert twin["payload"] == library["payload"]
+
+
+class TestServiceBehaviour:
+    def test_response_cache_purity(self, service):
+        _, cold = _post(service, "/v1/program", SHARE_REQUEST)
+        _, warm = _post(service, "/v1/program", SHARE_REQUEST)
+        assert warm["meta"].get("response_cache") is True
+        assert warm["payload"] == cold["payload"]
+        assert warm["kind"] == cold["kind"] == "program"
+
+    def test_health_counts_program_route(self, service):
+        _post(service, "/v1/program", SHARE_REQUEST)
+        _post(service, "/v1/program", SHARE_REQUEST)
+        _, health = _get(service, "/v1/health")
+        by_route = health["payload"]["server"]["requests_by_route"]
+        assert by_route["/v1/program"] == 2
+
+    def test_http_validation_error_is_structured_400(self, service):
+        request = urllib.request.Request(
+            service + "/v1/program",
+            data=json.dumps({"einsum": "ik,kj", "sizes": {"i": 4},
+                             "cache_words": 64}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 400
+        body = json.load(err.value)
+        assert body["kind"] == "error" and body["payload"]["status"] == 400
+        assert "->" in body["payload"]["error"]
+
+    def test_meta_is_live_but_payload_is_pure(self):
+        session = Session(workers=0)
+        cold = session.program(ProgramRequest.from_json(SHARE_REQUEST))
+        warm = session.program(ProgramRequest.from_json(SHARE_REQUEST))
+        assert cold.payload == warm.payload == GOLDEN["program_share"]
+        assert cold.meta["cache_hit"] is False and warm.meta["cache_hit"] is True
+        assert warm.meta["planner_delta"]["structure_solves"] == 0
+        for band in cold.payload["bands"]:
+            assert "cache_hit" not in band["plan"]
+
+
+class TestProgramCli:
+    def test_smoke_clamps_tune_budget(self, capsys):
+        rc = main([
+            "program", "A[t,i] = A[t-1,i-1] + A[t-1,i] + A[t-1,i+1] + F[i]",
+            "--bounds", "t=6,i=24", "-M", "32", "--tune", "64",
+            "--workers", "0", "--smoke",
+        ])
+        assert rc == 0
+        body = json.loads(capsys.readouterr().out.strip())
+        (band,) = body["payload"]["bands"]
+        assert band["tuned"]["evaluations_used"] <= 8
+
+    def test_bad_einsum_is_exit_2(self, capsys):
+        rc = main(["program", "--einsum", "ik,kj", "--sizes", "i=4,k=4,j=4",
+                   "-M", "64"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_spelling_conflict_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["program", "C[i] += A[i]", "--einsum", "i->i", "-M", "64"])
+
+    def test_missing_bounds_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["program", "C[i] += A[i]", "-M", "64"])
+
+
+class TestDocsExamples:
+    """The executable examples in docs/frontend.md stay honest."""
+
+    def test_docs_frontend_doctests(self):
+        path = Path(__file__).parent.parent / "docs" / "frontend.md"
+        outcome = doctest.testfile(
+            str(path),
+            module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        )
+        assert outcome.attempted > 0
+        assert outcome.failed == 0
