@@ -42,9 +42,12 @@ REPO_ROOT = BENCH_DIR.parent
 BASELINE_PATH = BENCH_DIR / "results" / "smoke" / "baseline_metrics.json"
 BENCH_FILES = ("bench_service.py", "bench_planner.py", "bench_frontend.py")
 
-#: (bench JSON file, metric name, path into the JSON).  Every gated
-#: metric is higher-is-better; mixing in ratios (speedups) alongside
-#: absolute req/s keeps the gate meaningful across machine generations.
+#: (bench JSON file, metric name, path into the JSON[, tolerance]).
+#: Every gated metric is higher-is-better; mixing in ratios (speedups)
+#: alongside absolute req/s keeps the gate meaningful across machine
+#: generations.  An optional fourth element pins a per-metric tolerance
+#: that overrides ``--tolerance`` — used for ratios that must stay
+#: near 1.0 regardless of how noisy the absolute numbers are.
 GATED_METRICS = (
     ("BENCH_service.json", "service.http_analyze_rps",
      ("http_analyze", "requests_per_second")),
@@ -52,6 +55,10 @@ GATED_METRICS = (
      ("http_analyze_nocache", "requests_per_second")),
     ("BENCH_service.json", "service.session_batch_rps",
      ("session_batch", "requests_per_second")),
+    # Tracing-on vs tracing-off throughput on the cached HTTP path:
+    # observability must cost < 5%, whatever the machine.
+    ("BENCH_service.json", "service.obs_relative_throughput",
+     ("obs_relative_throughput",), 0.05),
     ("BENCH_planner.json", "planner.warm_queries_per_second",
      ("warm_queries_per_second",)),
     ("BENCH_planner.json", "planner.speedup_engine_vs_solve_tiling",
@@ -61,6 +68,11 @@ GATED_METRICS = (
     ("BENCH_frontend.json", "frontend.warm_over_cold",
      ("warm_over_cold",)),
 )
+
+#: metric name -> pinned tolerance (from GATED_METRICS' optional entry).
+METRIC_TOLERANCES = {
+    entry[1]: entry[3] for entry in GATED_METRICS if len(entry) > 3
+}
 
 
 def _metric(blob: dict, path: tuple[str, ...]) -> float:
@@ -73,7 +85,7 @@ def _metric(blob: dict, path: tuple[str, ...]) -> float:
 def collect_metrics(bench_dir: Path) -> dict[str, float]:
     """Gated metrics from one directory of fresh bench JSONs."""
     out: dict[str, float] = {}
-    for filename, name, path in GATED_METRICS:
+    for filename, name, path, *_ in GATED_METRICS:
         file_path = bench_dir / filename
         if not file_path.exists():
             raise FileNotFoundError(
@@ -115,7 +127,9 @@ def gate(
     A metric missing from the baseline passes (new metrics enter the
     gate when baselines are next updated); a baseline metric missing
     from the fresh run fails (a silently dropped metric is itself a
-    regression of the gate).
+    regression of the gate).  A metric with a pinned tolerance in
+    ``METRIC_TOLERANCES`` gates at that tolerance instead of the
+    run-wide ``tolerance``.
     """
     failures: list[str] = []
     report: dict[str, dict] = {}
@@ -125,19 +139,21 @@ def gate(
             report[name] = {"baseline": base_value, "fresh": None, "ok": False}
             continue
         fresh_value = fresh[name]
-        floor = base_value * (1.0 - tolerance)
+        metric_tolerance = METRIC_TOLERANCES.get(name, tolerance)
+        floor = base_value * (1.0 - metric_tolerance)
         ok = fresh_value >= floor
         report[name] = {
             "baseline": base_value,
             "fresh": round(fresh_value, 2),
             "ratio": round(fresh_value / base_value, 3) if base_value else None,
             "floor": round(floor, 2),
+            "tolerance": metric_tolerance,
             "ok": ok,
         }
         if not ok:
             failures.append(
                 f"{name}: {fresh_value:.1f} < {floor:.1f} "
-                f"(baseline {base_value:.1f}, tolerance {tolerance:.0%})"
+                f"(baseline {base_value:.1f}, tolerance {metric_tolerance:.0%})"
             )
     for name, fresh_value in fresh.items():
         if name not in baseline:

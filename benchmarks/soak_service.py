@@ -15,6 +15,12 @@ well-formed schema-v1 envelope with a status from the documented
 catalogue, and no request may hang, reset the connection, or return an
 unstructured 500.  Any violation fails the process (exit 1).
 
+After the soak, the observability contract is checked too: the
+``/v1/metrics`` scrape must be well-formed Prometheus text, counters
+and histogram components must be monotonic across scrapes, and the
+per-route ``repro_requests_total`` sums must agree with the health
+payload's ``requests_by_route`` view (see ``docs/observability.md``).
+
 Run directly (CI's chaos-smoke job uses ``--seconds 30``)::
 
     python benchmarks/soak_service.py --seconds 30 --threads 8 --max-inflight 4
@@ -26,6 +32,7 @@ import argparse
 import collections
 import json
 import random
+import re
 import sys
 import threading
 import time
@@ -133,6 +140,132 @@ def _soak_worker(base: str, stop_at: float, seed: int,
                     violations.append(f"{path} -> {status}: {problem}")
 
 
+#: One Prometheus text-format sample line: name{labels} value.
+_PROM_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r' (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$'
+)
+
+
+def _parse_prom(text: str) -> tuple[dict[str, str], dict[str, float], list[str]]:
+    """(family types, series -> value, violations) for one scrape."""
+    types: dict[str, str] = {}
+    series: dict[str, float] = {}
+    problems: list[str] = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                problems.append(f"malformed TYPE line: {line!r}")
+            else:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments
+        match = _PROM_SAMPLE.match(line)
+        if match is None:
+            problems.append(f"unparseable sample line: {line!r}")
+            continue
+        key = match.group("name") + (match.group("labels") or "")
+        if key in series:
+            problems.append(f"duplicate series: {key}")
+        series[key] = float(match.group("value"))
+    return types, series, problems
+
+
+def _series_family(name: str, types: dict[str, str]) -> str | None:
+    """The declared type owning one series (histogram suffixes included)."""
+    if name in types:
+        return types[name]
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = name[: -len(suffix)]
+        if name.endswith(suffix) and base in types:
+            return types[base]
+    return None
+
+
+def _route_total(series: dict[str, float], route: str) -> float:
+    """Sum of repro_requests_total across statuses for one route."""
+    return sum(
+        value
+        for key, value in series.items()
+        if key.startswith("repro_requests_total{") and f'route="{route}"' in key
+    )
+
+
+def _check_metrics(base: str, health_routes: dict | None) -> list[str]:
+    """The /v1/metrics contract: parseable, monotonic, health-consistent."""
+    problems: list[str] = []
+
+    def scrape() -> str:
+        request = urllib.request.Request(base + "/v1/metrics", method="GET")
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            ctype = resp.headers.get("Content-Type", "")
+            if not ctype.startswith("text/plain"):
+                problems.append(f"scrape content-type {ctype!r}")
+            return resp.read().decode("utf-8")
+
+    try:
+        first = scrape()
+        # One more warm analyze between scrapes: counters must move.
+        request = urllib.request.Request(
+            base + "/v1/analyze",
+            data=json.dumps(
+                {"problem": "matmul", "sizes": [16, 16, 16], "cache_words": 64}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            resp.read()
+        second = scrape()
+    except Exception as exc:
+        return [f"metrics scrape failed: {exc!r}"]
+
+    types1, series1, parse1 = _parse_prom(first)
+    types2, series2, parse2 = _parse_prom(second)
+    problems += parse1 + parse2
+    for family, expected in (
+        ("repro_requests_total", "counter"),
+        ("repro_request_seconds", "histogram"),
+        ("repro_server_requests_total", "counter"),
+    ):
+        if types1.get(family) != expected:
+            problems.append(f"scrape lacks {expected} family {family}")
+    # Counters and histogram components never vanish or go backwards.
+    for key, value in series1.items():
+        family = _series_family(key.partition("{")[0], types1)
+        if family not in ("counter", "histogram"):
+            continue
+        after = series2.get(key)
+        if after is None:
+            problems.append(f"series vanished between scrapes: {key}")
+        elif after < value:
+            problems.append(f"{key} went backwards: {value} -> {after}")
+    # The between-scrapes analyze shows up as exactly one more request.
+    before = _route_total(series1, "/v1/analyze")
+    after = _route_total(series2, "/v1/analyze")
+    if after != before + 1:
+        problems.append(
+            f"/v1/analyze served total moved {before} -> {after}, expected +1"
+        )
+    # The registry's per-route view agrees with the health payload's.
+    if health_routes is not None:
+        for route in ("/v1/analyze", "/v1/batch", "/v1/simulate"):
+            expected_count = float(health_routes.get(route, 0))
+            got = _route_total(series1, route)
+            if got != expected_count:
+                problems.append(
+                    f"repro_requests_total for {route} is {got}, "
+                    f"health saw {expected_count}"
+                )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seconds", type=float, default=30.0,
@@ -180,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
     # The health payload is part of the soak contract: worker-pool and
     # cache counters must reflect the configuration we ran with.
     health_problems: list[str] = []
+    health_routes: dict | None = None
     try:
         with urllib.request.urlopen(
             f"{base}/v1/health", timeout=30
@@ -198,8 +332,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"{stats['response_cache']['capacity']}, expected {args.response_cache}")
         if args.response_cache and not stats["response_cache"]["hits"]:
             health_problems.append("soak produced zero response-cache hits")
+        health_routes = stats["requests_by_route"]
     except Exception as exc:
         health_problems.append(f"final health probe failed: {exc!r}")
+
+    # The metrics endpoint is part of the contract too: no traffic runs
+    # between the health probe above and these scrapes, so the
+    # registry's counters must line up with health's route counts.
+    metrics_problems = _check_metrics(base, health_routes)
 
     server.shutdown()
     server.server_close()
@@ -228,7 +368,12 @@ def main(argv: list[str] | None = None) -> int:
         for problem in health_problems:
             print(f"  {problem}")
         return 1
-    print("PASS: zero malformed responses")
+    if metrics_problems:
+        print("FAIL: metrics endpoint contract violated")
+        for problem in metrics_problems:
+            print(f"  {problem}")
+        return 1
+    print("PASS: zero malformed responses, metrics contract holds")
     return 0
 
 

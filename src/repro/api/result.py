@@ -119,6 +119,18 @@ class Result:
         return None if ms is None else float(ms)
 
     @property
+    def trace_id(self) -> str | None:
+        """The request's trace id (16 hex chars unless caller-supplied)."""
+        tid = self.meta.get("trace_id")
+        return None if tid is None else str(tid)
+
+    @property
+    def timings(self) -> dict | None:
+        """``{"total_ms": float, "stages": {stage: ms}}`` when traced."""
+        timings = self.meta.get("timings")
+        return None if timings is None else dict(timings)
+
+    @property
     def ok(self) -> bool:
         return self.kind != "error"
 

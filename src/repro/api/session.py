@@ -21,6 +21,7 @@ re-running the rational simplex.
 
 from __future__ import annotations
 
+import functools
 import threading
 import time
 from dataclasses import replace
@@ -32,6 +33,7 @@ from ..core.loopnest import LoopNest
 from ..core.tiling import TileShape, TilingSolution, solve_tiling
 from ..frontend.pipeline import plan_program
 from ..machine.model import MachineModel
+from ..obs import current_trace, global_registry, span, trace_scope
 from ..parallel.distributed import DistributedReport, simulate_grid
 from ..plan.batch import plan_batch
 from ..plan.planner import Planner, PlanRequest, TilePlan
@@ -59,15 +61,46 @@ def _ms(seconds: float) -> float:
 
 def _deadline_error(exc: DeadlineExceeded) -> Result:
     """The structured 504 envelope for an expired request deadline."""
-    return Result.error(
-        str(exc),
-        status=504,
-        detail={
-            "reason": "deadline_exceeded",
-            "deadline_ms": exc.budget_ms,
-            "where": exc.where,
-        },
-    )
+    detail = {
+        "reason": "deadline_exceeded",
+        "deadline_ms": exc.budget_ms,
+        "where": exc.where,
+    }
+    trace = current_trace()
+    if trace is not None:
+        # Correlate the timeout with the request trace, next to `where`.
+        detail["trace_id"] = trace.trace_id
+    return Result.error(str(exc), status=504, detail=detail)
+
+
+def _stamp_trace(out, trace) -> None:
+    """Write ``meta.trace_id``/``meta.timings`` onto a Result (or each of
+    a batch's Results) in place — meta-only, so golden payloads stay
+    byte-identical with tracing enabled."""
+    timings = trace.timings_ms()
+    for result in out if isinstance(out, list) else (out,):
+        if isinstance(result, Result):
+            result.meta["trace_id"] = trace.trace_id
+            result.meta["timings"] = timings
+
+
+def _traced(method):
+    """Run a Session entry point under an ambient request trace.
+
+    Reuses the trace the HTTP layer installed (same id end to end) or
+    creates one for direct library/CLI calls; either way the returned
+    envelope(s) carry the stage breakdown in meta.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with trace_scope() as trace:
+            out = method(self, *args, **kwargs)
+            if trace is not None:
+                _stamp_trace(out, trace)
+            return out
+
+    return wrapper
 
 
 def _degraded_meta(events: dict) -> dict | None:
@@ -242,6 +275,7 @@ class Session:
 
     # -- service entry points -----------------------------------------------
 
+    @_traced
     def analyze(
         self,
         request,
@@ -269,6 +303,7 @@ class Session:
         except DeadlineExceeded as exc:
             return _deadline_error(exc)
 
+    @_traced
     def batch(
         self,
         requests: Iterable,
@@ -312,6 +347,7 @@ class Session:
             for req, plan in zip(reqs, plans)
         ]
 
+    @_traced
     def sweep(
         self,
         request: SweepRequest,
@@ -322,6 +358,7 @@ class Session:
         """Expand a :class:`SweepRequest` grid and serve it as a batch."""
         return self.batch(request.expand(), workers=workers, deadline_ms=deadline_ms)
 
+    @_traced
     def simulate(self, request: SimulateRequest, *, deadline_ms: float | None = None) -> Result:
         """Trace-driven cache simulation; the ``/v1`` story's ground truth."""
         t0 = time.perf_counter()
@@ -343,9 +380,11 @@ class Session:
             tile = planned.tile
         line_words = request.line_words if request.line_words is not None else self.line_words
         machine = MachineModel(cache_words=request.cache_words, line_words=line_words)
-        report = run_trace_simulation(
-            request.nest, machine, tile=tile, policy=request.policy, engine=self.engine
-        )
+        with span("simulation"):
+            report = run_trace_simulation(
+                request.nest, machine, tile=tile, policy=request.policy,
+                engine=self.engine,
+            )
         payload = {
             "nest": request.nest.to_json(),
             "cache_words": request.cache_words,
@@ -375,6 +414,7 @@ class Session:
         }
         return Result(kind="simulate", payload=payload, meta=meta, detail=report)
 
+    @_traced
     def tune(
         self,
         request: TuneRequest,
@@ -422,6 +462,7 @@ class Session:
             meta.update(extra)
         return Result(kind="tune", payload=payload, meta=meta, detail=report)
 
+    @_traced
     def hierarchy(
         self,
         request: HierarchyRequest,
@@ -469,6 +510,7 @@ class Session:
             meta.update(extra)
         return Result(kind="hierarchy", payload=payload, meta=meta, detail=report)
 
+    @_traced
     def program(
         self,
         request: ProgramRequest,
@@ -520,6 +562,7 @@ class Session:
             meta.update(extra)
         return Result(kind="program", payload=report.to_json(), meta=meta, detail=report)
 
+    @_traced
     def distributed(
         self, request: DistributedRequest, *, deadline_ms: float | None = None
     ) -> Result:
@@ -546,6 +589,7 @@ class Session:
         meta = {"elapsed_ms": _ms(time.perf_counter() - t0)}
         return Result(kind="distributed", payload=payload, meta=meta, detail=report)
 
+    @_traced
     def health(self) -> Result:
         """Liveness + cache effectiveness snapshot (``/v1/health``)."""
         from .. import __version__
@@ -564,6 +608,21 @@ class Session:
                 "uptime_s": round(time.time() - self._started, 3),
             },
         )
+
+    def metrics(self) -> dict:
+        """The library-surface view of the observability registry.
+
+        The same data ``GET /v1/metrics`` exposes (and ``repro-tile
+        stats`` prints), shaped for programs: the global registry's
+        summary (histograms with p50/p95/p99 already derived) plus this
+        session's planner and shared-cache counters.
+        """
+        store = getattr(self.planner, "shared_store", None)
+        return {
+            "registry": global_registry().summary(),
+            "planner_stats": self.planner.stats.as_dict(),
+            "shared_cache": store.stats_dict() if store is not None else None,
+        }
 
     # -- legacy-shaped conveniences -----------------------------------------
 

@@ -47,6 +47,13 @@ Run the JSON service (see :mod:`repro.serve`)::
 
     repro-tile serve --port 8787
 
+Inspect the metrics registry — this process's, a Session's summary, or
+a running server's ``/v1/metrics`` scrape (see :mod:`repro.obs`)::
+
+    repro-tile stats
+    repro-tile stats --json
+    repro-tile stats --url http://127.0.0.1:8787
+
 Every mode routes through one :class:`repro.api.Session`, the same
 façade the library, the benchmarks and the HTTP service share.
 """
@@ -80,6 +87,7 @@ __all__ = [
     "main",
     "build_arg_parser",
     "build_serve_parser",
+    "build_stats_parser",
     "build_tune_parser",
     "build_hierarchy_parser",
     "build_program_parser",
@@ -211,6 +219,35 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="deadline applied to requests that do not carry their own "
         "deadline_ms (default: none)",
+    )
+    parser.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log a structured slow-request line (with the span tree) for "
+        "requests slower than this (default 1000; 0 = off)",
+    )
+    return parser
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tile stats",
+        description="Inspect the observability registry: scrape a running "
+        "server's /v1/metrics, or render this process's own registry",
+    )
+    parser.add_argument(
+        "--url",
+        metavar="URL",
+        help="server base URL (e.g. http://127.0.0.1:8787); scrapes "
+        "/v1/metrics and prints the Prometheus text verbatim",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print Session.metrics() as JSON (registry summary + planner "
+        "and shared-cache stats) instead of Prometheus text",
     )
     return parser
 
@@ -631,6 +668,30 @@ def _run_batch(requests: Sequence[AnalyzeRequest], args) -> int:
     return 0
 
 
+def _run_stats(argv: Sequence[str]) -> int:
+    """Observability surface: scrape a server or render the local registry."""
+    args = build_stats_parser().parse_args(list(argv))
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/v1/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                sys.stdout.write(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    if args.json:
+        print(json.dumps(_session().metrics(), indent=2, sort_keys=True))
+        return 0
+    from .obs import global_registry, render_registry
+
+    sys.stdout.write(render_registry(global_registry()))
+    return 0
+
+
 def _run_serve(argv: Sequence[str]) -> int:
     from .serve import serve  # deferred: keep plain CLI start cheap
 
@@ -641,8 +702,17 @@ def _run_serve(argv: Sequence[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        from .serve import DEFAULT_MAX_INFLIGHT, DEFAULT_RESPONSE_CACHE
+        from .serve import (
+            DEFAULT_MAX_INFLIGHT,
+            DEFAULT_RESPONSE_CACHE,
+            DEFAULT_SLOW_REQUEST_MS,
+        )
 
+        if args.slow_request_ms is None:
+            slow_request_ms: float | None = DEFAULT_SLOW_REQUEST_MS
+        else:
+            # 0 (or negative) disables the slow-request log entirely.
+            slow_request_ms = args.slow_request_ms if args.slow_request_ms > 0 else None
         return serve(
             host=args.host,
             port=args.port,
@@ -656,6 +726,7 @@ def _run_serve(argv: Sequence[str]) -> int:
                 if args.response_cache is None
                 else args.response_cache
             ),
+            slow_request_ms=slow_request_ms,
         )
     except (OSError, ValueError) as exc:
         # Bind failures (port in use, bad host) and bad admission/deadline
@@ -674,6 +745,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     argv = list(argv)
     if argv[:1] == ["serve"]:
         return _run_serve(argv[1:])
+    if argv[:1] == ["stats"]:
+        return _run_stats(argv[1:])
     if argv[:1] == ["tune"]:
         return _run_tune(argv[1:])
     if argv[:1] == ["hierarchy"]:

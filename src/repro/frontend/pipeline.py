@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.trace import span as _span
 from ..plan.planner import Planner, TilePlan
 from ..tune.result import TuneReport
 from ..tune.tuner import tune_tile
@@ -158,27 +159,28 @@ def plan_program(
     first_with_key: dict[str, int] = {}
     band_plans: list[BandPlan] = []
     for band in bands:
-        plan = planner.plan(band.nest, cache_words, budget, include_bound=True)
-        cert_payload = None
-        if certificate:
-            from ..api.session import Session
+        with _span("band-plan"):
+            plan = planner.plan(band.nest, cache_words, budget, include_bound=True)
+            cert_payload = None
+            if certificate:
+                from ..api.session import Session
 
-            cert_payload = Session._certificate_payload(
-                planner.certificate(band.nest, cache_words)
-            )
-        tuned = None
-        if tune_budget > 0:
-            tuned = tune_tile(
-                band.nest,
-                cache_words,
-                budget=budget,
-                strategy=strategy,
-                max_evaluations=tune_budget,
-                radius=radius,
-                planner=planner,
-                workers=workers,
-                events=events,
-            )
+                cert_payload = Session._certificate_payload(
+                    planner.certificate(band.nest, cache_words)
+                )
+            tuned = None
+            if tune_budget > 0:
+                tuned = tune_tile(
+                    band.nest,
+                    cache_words,
+                    budget=budget,
+                    strategy=strategy,
+                    max_evaluations=tune_budget,
+                    radius=radius,
+                    planner=planner,
+                    workers=workers,
+                    events=events,
+                )
         shared_with = first_with_key.get(plan.canonical_key)
         if shared_with is None:
             first_with_key[plan.canonical_key] = band.index

@@ -1,0 +1,57 @@
+"""``repro.obs`` — metrics registry, request tracing, Prometheus text.
+
+The observability substrate for the plan/tune/serve stack (see
+``docs/observability.md``): a dependency-free mergeable
+:class:`MetricsRegistry`, a per-request :class:`RequestTrace` riding a
+ContextVar next to the ambient deadline, and a hand-rolled Prometheus
+renderer behind ``GET /v1/metrics``.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    merge_worker_delta,
+    reset_global_registry,
+)
+from .prom import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .prom import render_counters, render_registry
+from .trace import (
+    RequestTrace,
+    coerce_trace_id,
+    current_trace,
+    enabled,
+    harvest,
+    mint_trace_id,
+    set_enabled,
+    span,
+    tick,
+    trace_scope,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "RequestTrace",
+    "coerce_trace_id",
+    "current_trace",
+    "enabled",
+    "global_registry",
+    "harvest",
+    "merge_worker_delta",
+    "mint_trace_id",
+    "render_counters",
+    "render_registry",
+    "reset_global_registry",
+    "set_enabled",
+    "span",
+    "tick",
+    "trace_scope",
+]

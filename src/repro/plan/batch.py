@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
@@ -24,25 +25,35 @@ from typing import Iterable, Sequence
 from ..core.canonical import CanonicalForm
 from ..core.loopnest import LoopNest
 from ..core.mplp import parametric_tile_exponent
+from ..obs import MetricsRegistry, merge_worker_delta
 from ..util import deadline, faults
 from .planner import Planner, PlanRequest, TilePlan, _piece_to_json
 
 __all__ = ["plan_batch", "sweep_requests"]
 
 
-def _solve_structure(key: str) -> tuple[str, list[dict]]:
+def _solve_structure(key: str) -> tuple[str, list[dict], dict]:
     """Worker entry point: one multiparametric solve per canonical key.
 
     Only strings and JSON-able dicts cross the process boundary, so the
-    pool works under any start method (fork or spawn).
+    pool works under any start method (fork or spawn).  The third item
+    is a metrics-registry snapshot of the worker's own observations —
+    the parent merges it like ``meta.degraded`` travels, so no solve
+    time is lost to process isolation.
     """
     if faults.active("worker-crash"):
         # Hard exit (no unwinding), like a real OOM kill or segfault:
         # this is what produces BrokenProcessPool in the parent.
         os._exit(17)
+    registry = MetricsRegistry()
+    started = time.perf_counter()
     form = CanonicalForm.from_key(key)
     pvf = parametric_tile_exponent(form.to_nest())
-    return key, [_piece_to_json(p) for p in pvf.pieces]
+    registry.histogram("repro_worker_solve_seconds").observe(
+        time.perf_counter() - started
+    )
+    registry.counter("repro_worker_structure_solves_total").inc()
+    return key, [_piece_to_json(p) for p in pvf.pieces], registry.snapshot()
 
 
 def _as_request(item: PlanRequest | tuple) -> PlanRequest:
@@ -102,8 +113,9 @@ def plan_batch(
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 futures = [pool.submit(_solve_structure, key) for key in missing]
                 for future in futures:
-                    key, pieces = future.result()
+                    key, pieces, delta = future.result()
                     planner.install_structure(key, pieces)
+                    merge_worker_delta(delta)
         except BrokenProcessPool:
             # A worker crashed mid-run.  Structures installed before the
             # crash stay installed; the serial serving loop below solves

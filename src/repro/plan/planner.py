@@ -61,6 +61,7 @@ from ..core.tiling import (
     integer_repair,
     lvar,
 )
+from ..obs.trace import span as _span
 from ..util import deadline as _deadline
 from ..util import faults
 from ..util.rationals import log_ratio, pow_fraction
@@ -565,7 +566,7 @@ class Planner:
         key = canon.form.key()
         waited = False
         while True:
-            with self._lock:
+            with _span("plan-cache-probe"), self._lock:
                 cached = self._structures.get(key)
                 if cached is not None:
                     self._structures.move_to_end(key)

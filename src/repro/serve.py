@@ -9,6 +9,7 @@ HTTP, with zero dependencies beyond the standard library:
 
 ====================  ======  =============================================
 ``/v1/health``        GET     liveness + plan-cache + worker-pool stats
+``/v1/metrics``       GET     Prometheus text exposition (repro.obs)
 ``/v1/analyze``       POST    one :class:`~repro.api.AnalyzeRequest`
 ``/v1/batch``         POST    ``{"requests": [...]}`` — ordered results
 ``/v1/sweep``         POST    one :class:`~repro.api.SweepRequest` grid
@@ -100,6 +101,18 @@ from .api.requests import (
 )
 from .core.loopnest import LoopNestError
 from .core.parser import ParseError
+from .obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    RequestTrace,
+    coerce_trace_id,
+    global_registry,
+    merge_worker_delta,
+    mint_trace_id,
+    render_counters,
+    render_registry,
+    span,
+)
+from .obs import trace as obs_trace
 from .plan.batch import _solve_structure
 from .util import faults
 from .util.deadline import (
@@ -120,6 +133,7 @@ __all__ = [
     "MAX_BATCH_REQUESTS",
     "DEFAULT_MAX_INFLIGHT",
     "DEFAULT_RESPONSE_CACHE",
+    "DEFAULT_SLOW_REQUEST_MS",
     "WORKERS_ENV_VAR",
 ]
 
@@ -141,6 +155,10 @@ DEFAULT_RESPONSE_CACHE = 1024
 #: ``make_server(workers=None)`` reads the worker-pool size from here,
 #: so an unmodified test suite can run against a multi-worker server.
 WORKERS_ENV_VAR = "REPRO_SERVE_WORKERS"
+
+#: Requests slower than this get their span tree logged (structured
+#: JSON on the ``repro.serve`` logger); CLI flag ``--slow-request-ms``.
+DEFAULT_SLOW_REQUEST_MS = 1000.0
 
 #: Bodies larger than this skip response-cache/coalescing key building
 #: (hashing a huge batch on the event loop would defeat the point).
@@ -198,17 +216,19 @@ def _dump(body: dict) -> bytes:
     return json.dumps(body).encode()
 
 
-def _splice_envelope(kind: str, payload_json: str, meta: dict) -> bytes:
+def _splice_envelope(kind: str, payload_json: str, meta_json: str) -> bytes:
     """A Result envelope assembled from pre-serialised payload bytes.
 
     Key order and separators match ``json.dumps(Result.to_json())``
     exactly (``schema_version``, ``kind``, ``payload``, ``meta``), so a
     response-cache hit is byte-identical to a fresh response in
-    everything but ``meta``.
+    everything but ``meta``.  ``meta_json`` arrives pre-serialised —
+    the caller hand-builds it so the hot splice path never pays
+    ``json.dumps`` for a three-key dict.
     """
     return (
         f'{{"schema_version": {SCHEMA_VERSION}, "kind": {json.dumps(kind)}, '
-        f'"payload": {payload_json}, "meta": {json.dumps(meta)}}}'
+        f'"payload": {payload_json}, "meta": {meta_json}}}'
     ).encode()
 
 
@@ -254,15 +274,27 @@ class ServiceServer:
         default_deadline_ms: float | None = None,
         workers: int = 0,
         response_cache: int = 0,
+        slow_request_ms: float | None = DEFAULT_SLOW_REQUEST_MS,
     ):
         self.session = session
         self.verbose = verbose
         self.max_inflight = int(max_inflight)
         self.default_deadline_ms = default_deadline_ms
         self.workers = int(workers)
+        self.slow_request_ms = slow_request_ms
         self.draining = False
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        #: One lock makes every server-stat snapshot atomic (satellite
+        #: fix: health/metrics taken mid-drain() must never see torn
+        #: worker/cache state).  Order: _stats_lock before _pool_lock /
+        #: _response_cache_lock / _inflight_lock, never the reverse.
+        self._stats_lock = threading.Lock()
+        self._registry = global_registry()
+        #: Event-loop-confined caches of live metric handles, so the
+        #: per-request cost is a dict lookup, not label-key building.
+        self._request_counters: dict[tuple[str, int], object] = {}
+        self._request_hists: dict[str, object] = {}
         self._socket = socket.create_server(address, backlog=128)
         self.server_address = self._socket.getsockname()
         # Handler threads: admission control bounds real work at
@@ -320,7 +352,8 @@ class ServiceServer:
 
     def drain(self) -> None:
         """Start refusing new work (503) while in-flight requests finish."""
-        self.draining = True
+        with self._stats_lock:
+            self.draining = True
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -478,7 +511,9 @@ class ServiceServer:
                 and not self._stop_requested
             )
             try:
-                status, payload, extra = await self._dispatch(method, target, body)
+                status, payload, extra = await self._dispatch(
+                    method, target, body, headers
+                )
             except asyncio.CancelledError:
                 raise
             except Exception:
@@ -514,10 +549,14 @@ class ServiceServer:
         headers: dict | None = None,
         close: bool = False,
     ) -> None:
+        content_type = "application/json"
+        if headers and "Content-Type" in headers:
+            headers = dict(headers)
+            content_type = headers.pop("Content-Type")
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
             "Server: repro-tile/2\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
         )
@@ -530,24 +569,35 @@ class ServiceServer:
     # -- routing (event loop) -------------------------------------------------
 
     async def _dispatch(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes, headers: dict | None = None
     ) -> tuple[int, bytes, dict | None]:
         route = target.partition("?")[0].rstrip("/")
         loop = asyncio.get_running_loop()
+        trace_id = coerce_trace_id(headers.get("x-trace-id")) if headers else None
         if method == "GET":
             if route == "/v1/health":
-                return await self._run_guarded(loop, "/v1/health", b"")
+                return await self._run_guarded(loop, "/v1/health", b"", trace_id)
+            if route == "/v1/metrics":
+                # Like health, metrics bypasses admission control:
+                # scrapers must see an overloaded or draining server.
+                return await self._run_guarded(loop, "/v1/metrics", b"", trace_id)
             if route in self._POST_ROUTES or route == "/v1/batch":
                 return 405, _dump(_error_body("use POST with a JSON body", 405)), None
+            self._count_rejected("not-found")
             return 404, _dump(_error_body(f"unknown path {target!r}", 404)), None
         if method != "POST":
+            self._count_rejected("bad-method")
             return 405, _dump(_error_body(f"method {method} not supported", 405)), None
         if route == "/v1/health":
             # Health bypasses admission control: probes must always land.
-            return await self._run_guarded(loop, "/v1/health", b"")
+            return await self._run_guarded(loop, "/v1/health", b"", trace_id)
+        if route == "/v1/metrics":
+            return 405, _dump(_error_body("use GET to scrape /v1/metrics", 405)), None
         if route not in self._POST_ROUTES:
+            self._count_rejected("not-found")
             return 404, _dump(_error_body(f"unknown path {target!r}", 404)), None
         if self.draining:
+            self._count_rejected("draining")
             return (
                 503,
                 _dump(_error_body(
@@ -556,6 +606,7 @@ class ServiceServer:
                 {"Retry-After": "5"},
             )
         if not self.try_acquire():
+            self._count_rejected("overloaded")
             return (
                 429,
                 _dump(_error_body(
@@ -566,61 +617,91 @@ class ServiceServer:
                 {"Retry-After": "1"},
             )
         try:
-            return await self._admitted(loop, route, body)
+            return await self._admitted(loop, route, body, trace_id)
         finally:
             self.release()
 
-    def _request_key(self, route: str, body: bytes) -> tuple | None:
-        """Stable identity of one request, for caching and coalescing."""
+    def _request_key(self, route: str, body: bytes) -> tuple[tuple | None, str | None]:
+        """(request identity for caching/coalescing, body-level trace id).
+
+        ``trace_id`` is an envelope field like ``deadline_ms``; it is
+        excluded from the key so retries carrying fresh ids still hit
+        the response cache and coalesce.
+        """
         if len(body) > _COALESCE_MAX_BODY:
-            return None
+            return None, None
         try:
             blob = json.loads(body)
         except ValueError:
-            return None
+            return None, None
         if not isinstance(blob, dict):
-            return None
+            return None, None
+        trace_id = coerce_trace_id(blob.pop("trace_id", None))
         try:
-            return route, json.dumps(blob, sort_keys=True, separators=(",", ":"))
+            key = route, json.dumps(blob, sort_keys=True, separators=(",", ":"))
         except (TypeError, ValueError):
-            return None
+            return None, trace_id
+        return key, trace_id
 
     async def _admitted(
-        self, loop: asyncio.AbstractEventLoop, route: str, body: bytes
+        self,
+        loop: asyncio.AbstractEventLoop,
+        route: str,
+        body: bytes,
+        header_tid: str | None = None,
     ) -> tuple[int, bytes, dict | None]:
         started = time.perf_counter()
-        key = self._request_key(route, body)
+        key, body_tid = self._request_key(route, body)
+        trace_id = body_tid or header_tid
         if key is not None and self._response_cache_cap and route in _CACHEABLE_ROUTES:
             entry = self._response_cache_get(key)
             if entry is not None:
                 kind, payload_json = entry
-                meta = {
-                    "elapsed_ms": round((time.perf_counter() - started) * 1000, 3),
-                    "cache_hit": True,
-                    "response_cache": True,
-                }
-                self._count_served(route)
-                return 200, _splice_envelope(kind, payload_json, meta), None
+                elapsed_ms = round((time.perf_counter() - started) * 1000, 3)
+                # Meta is hand-serialised: trace ids are regex-vetted
+                # ([0-9a-zA-Z._-], no escapes needed) and elapsed_ms is
+                # a rounded float, so this matches json.dumps exactly.
+                headers = None
+                if obs_trace.enabled():
+                    # The splice path runs no handler, so the trace is
+                    # this meta itself: id + a stage-free timing.
+                    tid = trace_id or mint_trace_id()
+                    meta_json = (
+                        f'{{"elapsed_ms": {elapsed_ms}, "cache_hit": true, '
+                        f'"response_cache": true, "trace_id": "{tid}", '
+                        f'"timings": {{"total_ms": {elapsed_ms}, "stages": {{}}}}}}'
+                    )
+                    headers = {"X-Trace-Id": tid}
+                else:
+                    meta_json = (
+                        f'{{"elapsed_ms": {elapsed_ms}, "cache_hit": true, '
+                        f'"response_cache": true}}'
+                    )
+                self._count_served(route, 200, time.perf_counter() - started)
+                return 200, _splice_envelope(kind, payload_json, meta_json), headers
         if key is not None:
             pending = self._pending.get(key)
             if pending is not None:
                 # Identical request already executing: wait for its
                 # outcome instead of burning a second handler thread.
-                self._coalesced += 1
+                # Followers share the leader's envelope verbatim —
+                # including the leader's trace id.
+                with self._stats_lock:
+                    self._coalesced += 1
                 try:
                     status, payload, headers, _ = await asyncio.shield(pending)
                 except asyncio.CancelledError:
                     raise
                 except Exception:
-                    return await self._run_guarded(loop, route, body)
-                self._count_served(route)
+                    return await self._run_guarded(loop, route, body, trace_id)
+                self._count_served(route, status, time.perf_counter() - started)
                 return status, payload, headers
             fut: asyncio.Future = loop.create_future()
             self._pending[key] = fut
         outcome = None
         try:
             outcome = await loop.run_in_executor(
-                self._executor, self._handle_request, route, body
+                self._executor, self._handle_request, route, body, trace_id
             )
         finally:
             if key is not None:
@@ -638,23 +719,54 @@ class ServiceServer:
             and route in _CACHEABLE_ROUTES
         ):
             self._response_cache_put(key, cache_entry)
-        self._count_served(route)
+        self._count_served(route, status, time.perf_counter() - started)
         return status, payload, headers
 
     async def _run_guarded(
-        self, loop: asyncio.AbstractEventLoop, route: str, body: bytes
+        self,
+        loop: asyncio.AbstractEventLoop,
+        route: str,
+        body: bytes,
+        trace_id: str | None = None,
     ) -> tuple[int, bytes, dict | None]:
         """One uncoalesced, uncached pass through the guarded handler."""
+        started = time.perf_counter()
         status, payload, headers, _ = await loop.run_in_executor(
-            self._executor, self._handle_request, route, body
+            self._executor, self._handle_request, route, body, trace_id
         )
-        self._count_served(route)
+        self._count_served(route, status, time.perf_counter() - started)
         return status, payload, headers
 
-    def _count_served(self, route: str) -> None:
-        """Tally one served request, total and per route (event loop only)."""
-        self._requests_served += 1
-        self._route_counts[route] = self._route_counts.get(route, 0) + 1
+    def _count_served(self, route: str, status: int = 200,
+                      elapsed_s: float | None = None) -> None:
+        """Tally one served request, total and per route (event loop only).
+
+        Updates both the legacy health counters and the registry
+        (``repro_requests_total{route,status}`` +
+        ``repro_request_seconds{route}``); metric handles are cached per
+        route so the hot path is two dict lookups.
+        """
+        with self._stats_lock:
+            self._requests_served += 1
+            self._route_counts[route] = self._route_counts.get(route, 0) + 1
+        counter_key = (route, status)
+        counter = self._request_counters.get(counter_key)
+        if counter is None:
+            counter = self._registry.counter(
+                "repro_requests_total", route=route, status=str(status)
+            )
+            self._request_counters[counter_key] = counter
+        counter.inc()
+        if elapsed_s is not None:
+            hist = self._request_hists.get(route)
+            if hist is None:
+                hist = self._registry.histogram("repro_request_seconds", route=route)
+                self._request_hists[route] = hist
+            hist.observe(elapsed_s)
+
+    def _count_rejected(self, reason: str) -> None:
+        """One shed/refused request (404/405/429/503) by reason."""
+        self._registry.counter("repro_rejected_total", reason=reason).inc()
 
     # -- response cache -------------------------------------------------------
 
@@ -678,68 +790,214 @@ class ServiceServer:
     # -- request handling (thread pool) ---------------------------------------
 
     def _handle_request(
-        self, route: str, raw: bytes
+        self, route: str, raw: bytes, trace_id: str | None = None
     ) -> tuple[int, bytes, dict | None, tuple[str, str] | None]:
         """Parse, guard, and answer one request body on a handler thread.
 
         Returns ``(status, body_bytes, extra_headers, cache_entry)``;
         ``cache_entry`` is ``(kind, payload_json)`` for cacheable 200s.
+        ``trace_id`` is the caller-supplied id (``X-Trace-Id`` header or
+        ``trace_id`` envelope field); the trace itself is activated here,
+        on the handler thread, because ContextVars do not propagate into
+        ``run_in_executor``.
         """
+        if route == "/v1/metrics":
+            return self._metrics_response()
         token = None
+        trace = None
+        trace_token = None
+        if obs_trace.enabled():
+            trace = RequestTrace(trace_id)
+            trace_token = obs_trace.activate(trace)
         try:
-            if route == "/v1/health":
-                status, body = 200, self._health_body()
-            else:
-                blob = self._parse_body(raw)
-                token = self._activate_deadline(blob)
-                status, body = getattr(self, self._POST_ROUTES[route])(blob)
-        except RequestError as exc:
-            status, body = 400, _error_body(str(exc), 400, exc.detail or None)
-        except DeadlineExceeded as exc:
-            # Normally the Session converts expiry into a 504 Result;
-            # this catches expiry in serve-layer code outside a Session
-            # entry point, so a deadline can never surface as a 500.
-            status, body = 504, _error_body(str(exc), 504, {
-                "reason": "deadline_exceeded",
-                "deadline_ms": exc.budget_ms,
-                "where": exc.where,
-            })
-        except (LoopNestError, ParseError, ValueError, TypeError, KeyError) as exc:
-            status, body = 400, _error_body(str(exc) or type(exc).__name__, 400)
-        except InjectedFault as exc:
-            # The chaos suite's escape hatch: an armed fault that nothing
-            # degraded around still maps to a structured envelope.
-            status, body = 500, _error_body(str(exc), 500, {
-                "reason": "injected-fault", "point": exc.point,
-            })
-        except Exception as exc:
-            # The defensive 500: a structured envelope with an error id;
-            # the traceback goes to the log, never into the body.
-            error_id = uuid.uuid4().hex[:12]
-            _log.error(
-                "internal error %s serving %s\n%s",
-                error_id, route, traceback.format_exc(),
-            )
-            status, body = 500, _error_body(
-                f"internal error (id {error_id})", 500,
-                {
+            try:
+                if route == "/v1/health":
+                    status, body = 200, self._health_body()
+                else:
+                    blob = self._parse_body(raw)
+                    body_tid = coerce_trace_id(blob.pop("trace_id", None))
+                    if body_tid is not None and trace is not None:
+                        # The envelope field wins over the header (it is
+                        # part of the request proper); adopt it before
+                        # any failure path can echo the id.
+                        trace.trace_id = body_tid
+                    token = self._activate_deadline(blob)
+                    status, body = getattr(self, self._POST_ROUTES[route])(blob)
+            except RequestError as exc:
+                status, body = 400, _error_body(str(exc), 400, exc.detail or None)
+            except DeadlineExceeded as exc:
+                # Normally the Session converts expiry into a 504 Result;
+                # this catches expiry in serve-layer code outside a Session
+                # entry point, so a deadline can never surface as a 500.
+                detail = {
+                    "reason": "deadline_exceeded",
+                    "deadline_ms": exc.budget_ms,
+                    "where": exc.where,
+                }
+                if trace is not None:
+                    detail["trace_id"] = trace.trace_id
+                status, body = 504, _error_body(str(exc), 504, detail)
+            except (LoopNestError, ParseError, ValueError, TypeError, KeyError) as exc:
+                status, body = 400, _error_body(str(exc) or type(exc).__name__, 400)
+            except InjectedFault as exc:
+                # The chaos suite's escape hatch: an armed fault that nothing
+                # degraded around still maps to a structured envelope.
+                status, body = 500, _error_body(str(exc), 500, {
+                    "reason": "injected-fault", "point": exc.point,
+                })
+            except Exception as exc:
+                # The defensive 500: a structured envelope with an error id;
+                # the traceback goes to the log (as a structured line
+                # correlating error_id with trace_id), never into the body.
+                error_id = uuid.uuid4().hex[:12]
+                _log.error("%s", json.dumps({
+                    "event": "internal-error",
+                    "error_id": error_id,
+                    "trace_id": trace.trace_id if trace is not None else None,
+                    "route": route,
+                    "exception": type(exc).__name__,
+                    "traceback": traceback.format_exc(),
+                }))
+                detail = {
                     "reason": "internal",
                     "error_id": error_id,
                     "exception": type(exc).__name__,
-                },
-            )
+                }
+                if trace is not None:
+                    detail["trace_id"] = trace.trace_id
+                status, body = 500, _error_body(
+                    f"internal error (id {error_id})", 500, detail,
+                )
+            finally:
+                if token is not None:
+                    deactivate(token)
+            headers = None
+            if status == 429:
+                headers = {"Retry-After": "1"}
+            elif status == 503:
+                headers = {"Retry-After": "5"}
+            cache_entry = None
+            if status == 200 and route in _CACHEABLE_ROUTES:
+                cache_entry = (body["kind"], json.dumps(body["payload"]))
+            if trace is not None:
+                self._stamp_trace_meta(body, trace)
+                headers = dict(headers or {})
+                headers["X-Trace-Id"] = trace.trace_id
+                with span("serialize"):
+                    data = _dump(body)
+            else:
+                data = _dump(body)
         finally:
-            if token is not None:
-                deactivate(token)
-        headers = None
-        if status == 429:
-            headers = {"Retry-After": "1"}
-        elif status == 503:
-            headers = {"Retry-After": "5"}
-        cache_entry = None
-        if status == 200 and route in _CACHEABLE_ROUTES:
-            cache_entry = (body["kind"], json.dumps(body["payload"]))
-        return status, _dump(body), headers, cache_entry
+            if trace_token is not None:
+                obs_trace.deactivate(trace_token)
+        if trace is not None:
+            self._finish_trace(trace, route, status)
+        return status, data, headers, cache_entry
+
+    @staticmethod
+    def _stamp_trace_meta(body: dict, trace: RequestTrace) -> None:
+        """``meta.trace_id`` + ``meta.timings`` on every envelope in
+        ``body`` — the single-result meta and each batch/sweep item.
+        Meta-only, so cached payload bytes and goldens are untouched."""
+        timings = trace.timings_ms()
+        results = body.get("results")
+        if isinstance(results, list):
+            for item in results:
+                if isinstance(item, dict) and isinstance(item.get("meta"), dict):
+                    item["meta"]["trace_id"] = trace.trace_id
+                    item["meta"]["timings"] = timings
+        meta = body.get("meta")
+        if isinstance(meta, dict):
+            meta["trace_id"] = trace.trace_id
+            meta["timings"] = timings
+
+    def _finish_trace(self, trace: RequestTrace, route: str, status: int) -> None:
+        """Harvest stage totals into the registry; log slow requests."""
+        obs_trace.harvest(trace)
+        threshold = self.slow_request_ms
+        if threshold is None:
+            return
+        total_ms = trace.total_seconds() * 1000.0
+        if total_ms >= threshold:
+            _log.warning("%s", json.dumps({
+                "event": "slow-request",
+                "trace_id": trace.trace_id,
+                "route": route,
+                "status": status,
+                "total_ms": round(total_ms, 3),
+                "threshold_ms": threshold,
+                "stages": {k: round(v * 1000.0, 3)
+                           for k, v in sorted(trace.stages.items())},
+                "spans": trace.span_tree_lines(),
+            }))
+
+    def _metrics_response(self) -> tuple[int, bytes, dict | None, None]:
+        """The ``GET /v1/metrics`` Prometheus text exposition."""
+        try:
+            text = self._metrics_text()
+        except Exception:
+            error_id = uuid.uuid4().hex[:12]
+            _log.error("%s", json.dumps({
+                "event": "internal-error",
+                "error_id": error_id,
+                "route": "/v1/metrics",
+                "traceback": traceback.format_exc(),
+            }))
+            body = _error_body(f"internal error (id {error_id})", 500,
+                               {"reason": "internal", "error_id": error_id})
+            return 500, _dump(body), None, None
+        return (
+            200,
+            text.encode("utf-8"),
+            {"Content-Type": PROMETHEUS_CONTENT_TYPE},
+            None,
+        )
+
+    def _metrics_text(self) -> str:
+        """Registry metrics + live planner/shared-store/server counters."""
+        parts = [render_registry(self._registry)]
+        stats = self._server_stats()
+        parts.append(render_counters(
+            "repro_server_requests_total", "route", stats["requests_by_route"],
+            "Requests served, by route.",
+        ))
+        planner_stats = getattr(getattr(self.session, "planner", None), "stats", None)
+        if planner_stats is not None:
+            parts.append(render_counters(
+                "repro_plan_cache_events_total", "event", planner_stats.as_dict(),
+                "Planner structure-cache events (hits, solves, coalesced, ...).",
+            ))
+        shared = stats.get("shared_cache")
+        if shared:
+            parts.append(render_counters(
+                "repro_shared_store_events_total", "event",
+                {k: v for k, v in shared.items()
+                 if k not in ("version", "shards")},
+                "Cross-process shared plan-store events.",
+            ))
+        response_cache = stats["response_cache"]
+        parts.append(render_counters(
+            "repro_response_cache_events_total", "event",
+            {"hits": response_cache["hits"], "misses": response_cache["misses"]},
+            "Full-request response-cache events.",
+        ))
+        workers = stats["workers"]
+        parts.append(render_counters(
+            "repro_pool_events_total", "event",
+            {"dispatched": workers["dispatched"], "failures": workers["failures"]},
+            "Worker-pool prewarm dispatches and failures.",
+        ))
+        parts.append(
+            "# TYPE repro_coalesced_total counter\n"
+            f"repro_coalesced_total {stats['coalesced']}\n"
+            "# TYPE repro_requests_served_total counter\n"
+            f"repro_requests_served_total {stats['requests_served']}\n"
+            "# TYPE repro_inflight gauge\n"
+            f"repro_inflight {stats['inflight']}\n"
+            "# TYPE repro_draining gauge\n"
+            f"repro_draining {int(stats['draining'])}\n"
+        )
+        return "".join(parts)
 
     def _parse_body(self, raw: bytes) -> dict:
         if not raw:
@@ -779,47 +1037,65 @@ class ServiceServer:
         return body
 
     def _server_stats(self) -> dict:
-        with self._pool_lock:
-            pool = self._pool
-            pool_alive = pool is not None and not getattr(pool, "_broken", False)
-        with self._response_cache_lock:
-            response_cache = {
-                "capacity": self._response_cache_cap,
-                "entries": len(self._response_cache),
-                "hits": self._response_hits,
-                "misses": self._response_misses,
+        # The whole snapshot is taken under _stats_lock (satellite fix):
+        # health/metrics scraped mid-drain() see one consistent moment —
+        # never a drained flag next to pre-drain counters, and never a
+        # route-count dict mutating underfoot.  Lock order is always
+        # _stats_lock -> _pool_lock / _response_cache_lock /
+        # _inflight_lock; no path takes them in reverse.
+        with self._stats_lock:
+            with self._pool_lock:
+                pool = self._pool
+                pool_alive = pool is not None and not getattr(pool, "_broken", False)
+            with self._response_cache_lock:
+                response_cache = {
+                    "capacity": self._response_cache_cap,
+                    "entries": len(self._response_cache),
+                    "hits": self._response_hits,
+                    "misses": self._response_misses,
+                }
+            store = getattr(
+                getattr(self.session, "planner", None), "shared_store", None
+            )
+            return {
+                "workers": {
+                    "configured": self.workers,
+                    "pool_started": pool is not None,
+                    "pool_alive": pool_alive,
+                    "dispatched": self._pool_dispatched,
+                    "failures": self._pool_failures,
+                },
+                "shared_cache": store.stats_dict() if store is not None else None,
+                "response_cache": response_cache,
+                "coalesced": self._coalesced,
+                "requests_served": self._requests_served,
+                "requests_by_route": dict(sorted(self._route_counts.items())),
+                "inflight": self.inflight,
+                "draining": self.draining,
             }
-        store = getattr(getattr(self.session, "planner", None), "shared_store", None)
-        return {
-            "workers": {
-                "configured": self.workers,
-                "pool_started": pool is not None,
-                "pool_alive": pool_alive,
-                "dispatched": self._pool_dispatched,
-                "failures": self._pool_failures,
-            },
-            "shared_cache": store.stats_dict() if store is not None else None,
-            "response_cache": response_cache,
-            "coalesced": self._coalesced,
-            "requests_served": self._requests_served,
-            "requests_by_route": dict(sorted(self._route_counts.items())),
-            "inflight": self.inflight,
-            "draining": self.draining,
-        }
 
     # -- worker pool (cold structure solves) ----------------------------------
 
     def _get_pool(self) -> ProcessPoolExecutor | None:
-        with self._pool_lock:
-            if self._pool is None and not self._closed:
-                try:
-                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
-                except (OSError, RuntimeError):
-                    # Restricted sandbox (no semaphores, fork disabled):
-                    # the inline solve path is the documented fallback.
+        failed = False
+        try:
+            with self._pool_lock:
+                if self._pool is None and not self._closed:
+                    try:
+                        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                    except (OSError, RuntimeError):
+                        # Restricted sandbox (no semaphores, fork
+                        # disabled): the inline solve path is the
+                        # documented fallback.  (The failure is counted
+                        # outside _pool_lock — _stats_lock is always the
+                        # outer lock of the pair.)
+                        failed = True
+                        return None
+                return self._pool
+        finally:
+            if failed:
+                with self._stats_lock:
                     self._pool_failures += 1
-                    return None
-            return self._pool
 
     def _prewarm(self, nest) -> None:
         """Solve a missing canonical structure in the worker pool.
@@ -864,21 +1140,27 @@ class ServiceServer:
             if ambient is not None:
                 timeout = max(ambient.remaining_ms, 0.0) / 1000.0
             try:
-                solved_key, pieces = pool.submit(_solve_structure, key).result(timeout)
+                solved_key, pieces, delta = pool.submit(
+                    _solve_structure, key
+                ).result(timeout)
             except FuturesTimeoutError:
                 return  # the inline path will raise DeadlineExceeded cleanly
             except BrokenProcessPool:
-                self._pool_failures += 1
+                with self._stats_lock:
+                    self._pool_failures += 1
                 with self._pool_lock:
                     broken, self._pool = self._pool, None
                 if broken is not None:
                     broken.shutdown(wait=False, cancel_futures=True)
                 return
             except (OSError, RuntimeError):
-                self._pool_failures += 1
+                with self._stats_lock:
+                    self._pool_failures += 1
                 return
-            self._pool_dispatched += 1
+            with self._stats_lock:
+                self._pool_dispatched += 1
             planner.install_structure(solved_key, pieces)
+            merge_worker_delta(delta)
         finally:
             with self._prewarm_lock:
                 self._prewarming.pop(key, None)
@@ -976,6 +1258,7 @@ def make_server(
     default_deadline_ms: float | None = None,
     workers: int | None = None,
     response_cache: int = 0,
+    slow_request_ms: float | None = DEFAULT_SLOW_REQUEST_MS,
 ) -> ServiceServer:
     """Bound, ready-to-``serve_forever`` server (``port=0`` = ephemeral).
 
@@ -984,12 +1267,16 @@ def make_server(
     that do not set their own ``deadline_ms``; ``workers`` sizes the
     process pool for cold structure solves (``None`` reads
     ``REPRO_SERVE_WORKERS``, default 0 = no pool); ``response_cache``
-    turns on the full-request response cache (entries; 0 = off).
+    turns on the full-request response cache (entries; 0 = off);
+    ``slow_request_ms`` sets the slow-request span-tree log threshold
+    (``None`` disables it).
     """
     if max_inflight < 1:
         raise ValueError("max_inflight must be >= 1")
     if default_deadline_ms is not None and default_deadline_ms <= 0:
         raise ValueError("default_deadline_ms must be positive")
+    if slow_request_ms is not None and slow_request_ms <= 0:
+        raise ValueError("slow_request_ms must be positive (or None to disable)")
     if workers is None:
         raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
         try:
@@ -1008,6 +1295,7 @@ def make_server(
         default_deadline_ms=default_deadline_ms,
         workers=int(workers),
         response_cache=int(response_cache),
+        slow_request_ms=slow_request_ms,
     )
 
 
@@ -1020,12 +1308,14 @@ def serve(
     default_deadline_ms: float | None = None,
     workers: int | None = None,
     response_cache: int = DEFAULT_RESPONSE_CACHE,
+    slow_request_ms: float | None = DEFAULT_SLOW_REQUEST_MS,
 ) -> int:
     """Run the JSON service until interrupted (the CLI entry point)."""
     server = make_server(
         host, port, session=session, verbose=verbose,
         max_inflight=max_inflight, default_deadline_ms=default_deadline_ms,
         workers=workers, response_cache=response_cache,
+        slow_request_ms=slow_request_ms,
     )
     bound_host, bound_port = server.server_address[:2]
     print(f"repro-tile serve: listening on http://{bound_host}:{bound_port}/v1/ "

@@ -18,6 +18,7 @@ only, serial fallback when no usable pool exists).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -27,6 +28,7 @@ import numpy as np
 
 from ..core.loopnest import LoopNest
 from ..core.tiling import TileShape
+from ..obs import MetricsRegistry, merge_worker_delta
 from ..simulate.multilevel import nest_miss_curve
 from ..util import deadline, faults
 
@@ -107,7 +109,12 @@ def evaluate_tile(
 
 
 def _evaluate_worker(payload: tuple[dict, list[int], list[int], bool | None]) -> dict:
-    """Worker entry point: JSON in, JSON out (start-method agnostic)."""
+    """Worker entry point: JSON in, JSON out (start-method agnostic).
+
+    Returns ``{"evaluation": ..., "metrics": ...}`` — the evaluation
+    plus a metrics-registry snapshot the parent merges, so worker-side
+    observations survive the process boundary losslessly.
+    """
     if faults.active("worker-crash"):
         # Hard exit, not an exception: a real crashed worker (OOM kill,
         # segfault) takes the process down without unwinding, which is
@@ -115,7 +122,14 @@ def _evaluate_worker(payload: tuple[dict, list[int], list[int], bool | None]) ->
         os._exit(17)
     nest_json, blocks, capacities, use_native = payload
     nest = LoopNest.from_json(nest_json)
-    return evaluate_tile(nest, blocks, capacities, use_native=use_native).to_json()
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    evaluation = evaluate_tile(nest, blocks, capacities, use_native=use_native)
+    registry.histogram("repro_worker_eval_seconds").observe(
+        time.perf_counter() - started
+    )
+    registry.counter("repro_worker_evaluations_total").inc()
+    return {"evaluation": evaluation.to_json(), "metrics": registry.snapshot()}
 
 
 def evaluate_candidates(
@@ -155,7 +169,9 @@ def evaluate_candidates(
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [pool.submit(_evaluate_worker, p) for p in payloads]
                 for idx, future in enumerate(futures):
-                    done[idx] = TileEvaluation.from_json(future.result())
+                    blob = future.result()
+                    merge_worker_delta(blob["metrics"])
+                    done[idx] = TileEvaluation.from_json(blob["evaluation"])
                 return [done[i] for i in range(len(blocks_list))]
         except BrokenProcessPool:
             # Mid-run crash: keep the survivors, finish the rest serially.

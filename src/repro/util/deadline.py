@@ -12,8 +12,10 @@ The ambient deadline travels in a :class:`contextvars.ContextVar`, so
 it follows the request through nested calls without threading an
 argument through every solver signature, and it is inherited only
 within the requesting thread — concurrent HTTP handlers never see each
-other's budgets.  The no-deadline fast path is a single ContextVar read
-plus a falsy check.
+other's budgets.  The checkpoints double as trace *ticks*: when a
+:mod:`repro.obs` request trace is ambient, the time since its previous
+event is attributed to the checkpoint's stage name.  The idle fast path
+(no deadline, no trace) is two ContextVar reads plus falsy checks.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from contextvars import ContextVar, Token
 from typing import Iterator
 
 from . import faults
+from ..obs import trace as obs_trace
 
 __all__ = [
     "Deadline",
@@ -122,6 +125,9 @@ def checkpoint(where: str = "") -> None:
     huge problem instance.
     """
     deadline = _current.get()
+    trace = obs_trace.current_trace()
+    if trace is not None and where:
+        trace.tick(where)
     if deadline is None and not faults.any_active():
         return
     if faults.active("slow-lp"):

@@ -41,6 +41,8 @@ try:  # pragma: no cover - import guard exercised only off-POSIX
 except ImportError:  # pragma: no cover
     fcntl = None
 
+from ..obs.trace import span as _span
+
 __all__ = ["SharedPlanStore", "STORE_SCHEMA_VERSION"]
 
 #: Tracks the planner's plan-cache schema: bump both together.
@@ -164,16 +166,17 @@ class SharedPlanStore:
 
     def get(self, key: str) -> list[dict] | None:
         """The stored piece list for ``key``, or None (counts hit/miss)."""
-        entry = self._shard_entries(self._shard_index(key)).get(key)
-        with self._lock:
+        with _span("shared-store-read"):
+            entry = self._shard_entries(self._shard_index(key)).get(key)
+            with self._lock:
+                if entry is None:
+                    self.misses += 1
+                else:
+                    self.hits += 1
             if entry is None:
-                self.misses += 1
-            else:
-                self.hits += 1
-        if entry is None:
-            return None
-        pieces = entry.get("pieces")
-        return pieces if isinstance(pieces, list) else None
+                return None
+            pieces = entry.get("pieces")
+            return pieces if isinstance(pieces, list) else None
 
     def keys(self) -> list[str]:
         """All keys currently stored, across every shard."""
@@ -197,7 +200,7 @@ class SharedPlanStore:
         index = self._shard_index(key)
         path = self._shard_path(index)
         try:
-            with self._shard_lock(index):
+            with _span("shared-store-publish"), self._shard_lock(index):
                 entries: dict = {}
                 try:
                     current = self._parse_shard(path.read_text())

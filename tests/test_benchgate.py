@@ -25,6 +25,7 @@ def _fake_bench_dir(tmp_path: Path, scale: float = 1.0) -> Path:
         "http_analyze": {"requests_per_second": 10_000.0 * scale},
         "http_analyze_nocache": {"requests_per_second": 2_000.0 * scale},
         "session_batch": {"requests_per_second": 5_000.0 * scale},
+        "obs_relative_throughput": 1.0 * scale,
     }
     planner = {
         "warm_queries_per_second": 4_000.0 * scale,
@@ -72,6 +73,19 @@ class TestGate:
     def test_improvements_always_pass(self):
         failures, report = check_regression.gate({"m": 300.0}, {"m": 100.0}, 0.2)
         assert failures == [] and report["m"]["ratio"] == 3.0
+
+    def test_per_metric_tolerance_overrides_the_default(self):
+        # obs_relative_throughput carries its own 5% tolerance: a drop
+        # the default 20% would wave through must still trip the gate.
+        name = "service.obs_relative_throughput"
+        assert check_regression.METRIC_TOLERANCES[name] == 0.05
+        failures, report = check_regression.gate(
+            {name: 0.92}, {name: 1.0}, 0.2
+        )
+        assert len(failures) == 1 and name in failures[0]
+        assert report[name]["tolerance"] == 0.05
+        failures, _ = check_regression.gate({name: 0.96}, {name: 1.0}, 0.2)
+        assert failures == []
 
 
 class TestAggregation:
@@ -130,7 +144,7 @@ class TestCli:
         report = json.loads(out.read_text())
         assert report["failures"] == []
         assert set(report["metrics"]) == {
-            name for _, name, _ in check_regression.GATED_METRICS
+            entry[1] for entry in check_regression.GATED_METRICS
         }
 
     def test_missing_baseline_is_an_infra_error(self, tmp_path):
